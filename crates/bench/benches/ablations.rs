@@ -1,0 +1,151 @@
+//! Ablation micro-benches: the runtime cost of each Q-DPM design choice
+//! (schedules, exploration, encoder resolution, fuzzy membership math).
+//! The *quality* side of these ablations is `--bin table_ablation`.
+//!
+//! Run with: `cargo bench -p qdpm-bench --bench ablations`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qdpm_bench::standard_device;
+use qdpm_core::{
+    Exploration, LearningRate, Observation, PowerManager, QDpmAgent, QDpmConfig, StepOutcome,
+};
+use qdpm_core::{FuzzyConfig, FuzzyQDpmAgent};
+use qdpm_device::DeviceMode;
+use rand::SeedableRng;
+
+fn fixture() -> (Observation, StepOutcome) {
+    let (power, _) = standard_device();
+    (
+        Observation {
+            device_mode: DeviceMode::Operational(power.highest_power_state()),
+            queue_len: 2,
+            idle_slices: 7,
+            sr_mode_hint: None,
+        },
+        StepOutcome { energy: 1.0, queue_len: 2, dropped: 0, completed: 1, arrivals: 1 },
+    )
+}
+
+fn bench_exploration_variants(c: &mut Criterion) {
+    let (power, _) = standard_device();
+    let (obs, outcome) = fixture();
+    let mut group = c.benchmark_group("exploration");
+    let variants: Vec<(&str, Exploration)> = vec![
+        ("eps_greedy", Exploration::EpsilonGreedy { epsilon: 0.05 }),
+        (
+            "decaying_eps",
+            Exploration::DecayingEpsilon { epsilon0: 0.3, decay: 0.9999, min_epsilon: 0.01 },
+        ),
+        ("boltzmann", Exploration::Boltzmann { temperature: 0.5 }),
+    ];
+    for (name, exploration) in variants {
+        let mut agent = QDpmAgent::new(
+            &power,
+            QDpmConfig { exploration, ..QDpmConfig::default() },
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let a = agent.decide(black_box(&obs), &mut rng);
+                agent.observe(black_box(&outcome), &obs);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_learning_rate_variants(c: &mut Criterion) {
+    let (power, _) = standard_device();
+    let (obs, outcome) = fixture();
+    let mut group = c.benchmark_group("learning_rate");
+    let variants: Vec<(&str, LearningRate)> = vec![
+        ("constant", LearningRate::Constant(0.1)),
+        ("global_decay", LearningRate::GlobalDecay { c: 1000.0 }),
+        ("visit_decay", LearningRate::VisitDecay { omega: 0.7 }),
+    ];
+    for (name, learning_rate) in variants {
+        let mut agent = QDpmAgent::new(
+            &power,
+            QDpmConfig { learning_rate, ..QDpmConfig::default() },
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let a = agent.decide(black_box(&obs), &mut rng);
+                agent.observe(black_box(&outcome), &obs);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoder_resolution(c: &mut Criterion) {
+    let (power, _) = standard_device();
+    let (obs, outcome) = fixture();
+    let mut group = c.benchmark_group("encoder_resolution");
+    for (name, idle_thresholds) in [
+        ("no_idle_feature", vec![]),
+        ("idle_3_buckets", vec![2, 8]),
+        ("idle_6_buckets", vec![1, 2, 4, 8, 16]),
+    ] {
+        let mut agent = QDpmAgent::new(
+            &power,
+            QDpmConfig { idle_thresholds, ..QDpmConfig::default() },
+        )
+        .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let a = agent.decide(black_box(&obs), &mut rng);
+                agent.observe(black_box(&outcome), &obs);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fuzzy_vs_crisp_step(c: &mut Criterion) {
+    let (power, _) = standard_device();
+    let (obs, outcome) = fixture();
+    let mut group = c.benchmark_group("fuzzy_vs_crisp");
+    {
+        let mut agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_function("crisp", |b| {
+            b.iter(|| {
+                let a = agent.decide(black_box(&obs), &mut rng);
+                agent.observe(black_box(&outcome), &obs);
+                a
+            })
+        });
+    }
+    {
+        let mut agent =
+            FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        group.bench_function("fuzzy", |b| {
+            b.iter(|| {
+                let a = agent.decide(black_box(&obs), &mut rng);
+                agent.observe(black_box(&outcome), &obs);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exploration_variants,
+    bench_learning_rate_variants,
+    bench_encoder_resolution,
+    bench_fuzzy_vs_crisp_step
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! T1 (criterion) — policy-optimization latency: LP vs policy iteration vs
+//! value iteration across DPM state-space sizes, plus a single Q-DPM
+//! decide+learn step for scale.
+//!
+//! Run with: `cargo bench -p qdpm-bench --bench policy_opt`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qdpm_bench::standard_device;
+use qdpm_core::{Observation, PowerManager, QDpmAgent, QDpmConfig, StepOutcome};
+use qdpm_device::DeviceMode;
+use qdpm_mdp::{build_dpm_mdp, lp, solvers, CostWeights, DpmModel};
+use qdpm_workload::MarkovArrivalModel;
+use rand::SeedableRng;
+
+fn compile(queue_cap: usize) -> DpmModel {
+    let (power, service) = standard_device();
+    let arrivals = MarkovArrivalModel::bernoulli(0.1).unwrap();
+    build_dpm_mdp(&power, &service, &arrivals, queue_cap, 20.0).unwrap()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_optimization");
+    for queue_cap in [4usize, 8, 16] {
+        let model = compile(queue_cap);
+        let cost = model.mdp.combined_cost(CostWeights::default());
+        let n = model.mdp.n_states();
+
+        group.bench_with_input(BenchmarkId::new("lp_simplex", n), &n, |b, _| {
+            b.iter(|| lp::lp_solve_discounted(black_box(&model.mdp), &cost, 0.95).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lp_primal", n), &n, |b, _| {
+            b.iter(|| lp::lp_solve_primal(black_box(&model.mdp), &cost, 0.95).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("policy_iteration", n), &n, |b, _| {
+            b.iter(|| solvers::policy_iteration(black_box(&model.mdp), &cost, 0.95).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("value_iteration", n), &n, |b, _| {
+            b.iter(|| {
+                solvers::value_iteration(
+                    black_box(&model.mdp),
+                    &cost,
+                    solvers::SolveOptions { discount: 0.95, tol: 1e-9, max_iter: 1_000_000 },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_qdpm_step(c: &mut Criterion) {
+    let (power, _) = standard_device();
+    let mut agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let obs = Observation {
+        device_mode: DeviceMode::Operational(power.highest_power_state()),
+        queue_len: 1,
+        idle_slices: 3,
+        sr_mode_hint: None,
+    };
+    let outcome = StepOutcome { energy: 1.0, queue_len: 1, dropped: 0, completed: 0, arrivals: 1 };
+    c.bench_function("qdpm_decide_plus_learn", |b| {
+        b.iter(|| {
+            let a = agent.decide(black_box(&obs), &mut rng);
+            agent.observe(black_box(&outcome), &obs);
+            a
+        })
+    });
+}
+
+fn bench_mdp_compilation(c: &mut Criterion) {
+    // The model-based pipeline also pays model (re)construction on every
+    // re-estimate; Q-DPM never does.
+    let mut group = c.benchmark_group("mdp_compilation");
+    for queue_cap in [8usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(queue_cap),
+            &queue_cap,
+            |b, &cap| b.iter(|| compile(black_box(cap))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers, bench_qdpm_step, bench_mdp_compilation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Simulation-engine throughput: slices per second for the full system
+//! loop under different power managers and workloads. Not a paper claim,
+//! but the practical budget for every experiment in this repo.
+//!
+//! Run with: `cargo bench -p qdpm-bench --bench sim_throughput`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use qdpm_bench::standard_device;
+use qdpm_core::{QDpmAgent, QDpmConfig};
+use qdpm_sim::{policies, SimConfig, Simulator};
+use qdpm_workload::WorkloadSpec;
+
+const STEPS: u64 = 10_000;
+
+fn sim_for(policy: &str, spec: &WorkloadSpec) -> Simulator {
+    let (power, service) = standard_device();
+    let pm: Box<dyn qdpm_core::PowerManager> = match policy {
+        "always_on" => Box::new(policies::AlwaysOn::new(&power)),
+        "fixed_timeout" => Box::new(policies::FixedTimeout::break_even(&power)),
+        "q_dpm" => Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        other => panic!("unknown policy {other}"),
+    };
+    Simulator::new(power, service, spec.build(), pm, SimConfig::default()).unwrap()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    group.throughput(Throughput::Elements(STEPS));
+    let bernoulli = WorkloadSpec::bernoulli(0.1).unwrap();
+    let mmpp = WorkloadSpec::two_mode_mmpp(0.02, 0.5, 0.01).unwrap();
+
+    for policy in ["always_on", "fixed_timeout", "q_dpm"] {
+        group.bench_with_input(
+            BenchmarkId::new("bernoulli", policy),
+            &policy,
+            |b, &p| {
+                let mut sim = sim_for(p, &bernoulli);
+                b.iter(|| black_box(sim.run(STEPS)))
+            },
+        );
+    }
+    group.bench_function(BenchmarkId::new("mmpp", "q_dpm"), |b| {
+        let mut sim = sim_for("q_dpm", &mmpp);
+        b.iter(|| black_box(sim.run(STEPS)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! T3 (criterion) — per-slice power-manager overhead: what each approach
+//! costs the host CPU every time slice ("feasible to implement on almost
+//! any low end systems").
+//!
+//! Run with: `cargo bench -p qdpm-bench --bench step_overhead`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qdpm_bench::standard_device;
+use qdpm_core::{Observation, PowerManager, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent, StepOutcome};
+use qdpm_core::{FuzzyConfig, FuzzyQDpmAgent};
+use qdpm_device::DeviceMode;
+use qdpm_sim::{policies, AdaptiveConfig, ModelBasedAdaptive};
+use rand::SeedableRng;
+
+fn fixture() -> (Observation, StepOutcome) {
+    let (power, _) = standard_device();
+    (
+        Observation {
+            device_mode: DeviceMode::Operational(power.highest_power_state()),
+            queue_len: 1,
+            idle_slices: 4,
+            sr_mode_hint: None,
+        },
+        StepOutcome { energy: 1.0, queue_len: 1, dropped: 0, completed: 0, arrivals: 1 },
+    )
+}
+
+fn bench_per_slice(c: &mut Criterion) {
+    let (power, service) = standard_device();
+    let (obs, outcome) = fixture();
+    let mut group = c.benchmark_group("per_slice_overhead");
+
+    let mut cases: Vec<(&str, Box<dyn PowerManager>)> = vec![
+        ("q_dpm", Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap())),
+        (
+            "qos_q_dpm",
+            Box::new(QosQDpmAgent::new(&power, QosConfig::default()).unwrap()),
+        ),
+        (
+            "fuzzy_q_dpm",
+            Box::new(FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap()),
+        ),
+        ("fixed_timeout", Box::new(policies::FixedTimeout::break_even(&power))),
+        (
+            "model_based_estimator",
+            Box::new(
+                ModelBasedAdaptive::new(
+                    &power,
+                    &service,
+                    AdaptiveConfig {
+                        // Never alarm: measures the always-on estimator +
+                        // detector overhead alone, not a re-solve.
+                        ph_threshold: 1e12,
+                        ..AdaptiveConfig::default()
+                    },
+                )
+                .unwrap(),
+            ),
+        ),
+    ];
+
+    for (name, pm) in cases.iter_mut() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let a = pm.decide(black_box(&obs), &mut rng);
+                pm.observe(black_box(&outcome), &obs);
+                a
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_slice);
+criterion_main!(benches);

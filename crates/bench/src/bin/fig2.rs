@@ -1,0 +1,70 @@
+//! F2 — regenerates paper Fig. 2 ("Rapid Response").
+//!
+//! Piecewise-stationary workload with marked switching points; series for
+//! Q-DPM, the model-based adaptive pipeline (estimator + detector +
+//! re-optimizer with modeled optimization delay), and the clairvoyant
+//! per-segment optimum.
+//!
+//! Run with: `cargo run --release -p qdpm-bench --bin fig2`
+
+use qdpm_bench::{save_results, standard_device};
+use qdpm_sim::experiment::{run_rapid_response, RapidResponseParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (power, service) = standard_device();
+    let seg = 40_000u64;
+    let params = RapidResponseParams {
+        segments: vec![
+            (seg, 0.02),
+            (seg, 0.25),
+            (seg, 0.05),
+            (seg, 0.25),
+            (seg, 0.02),
+            (seg, 0.15),
+        ],
+        window: 2_000,
+        ..RapidResponseParams::default()
+    };
+    eprintln!(
+        "fig2: {} segments of {} slices, optimization delay {} slices",
+        params.segments.len(),
+        seg,
+        params.adaptive.optimization_delay
+    );
+    let report = run_rapid_response(&power, &service, &params)?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# fig2 rapid response | switch_points={:?} model_based_resolves={}\n",
+        report.switch_points, report.model_based_resolves
+    ));
+    out.push_str(
+        "end\tqdpm_cost\tqdpm_reduction\tmodel_based_cost\tmodel_based_reduction\tclairvoyant_cost\tswitch\n",
+    );
+    for ((q, m), c) in report
+        .qdpm
+        .iter()
+        .zip(&report.model_based)
+        .zip(&report.clairvoyant)
+    {
+        let switched = report
+            .switch_points
+            .iter()
+            .any(|&s| s >= q.end.saturating_sub(params.window) && s < q.end);
+        out.push_str(&format!(
+            "{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{}\n",
+            q.end,
+            q.cost_per_slice,
+            q.energy_reduction,
+            m.cost_per_slice,
+            m.energy_reduction,
+            c.cost_per_slice,
+            u8::from(switched)
+        ));
+    }
+    print!("{out}");
+    if let Some(path) = save_results("fig2_rapid_response.tsv", &out) {
+        eprintln!("saved {}", path.display());
+    }
+    Ok(())
+}

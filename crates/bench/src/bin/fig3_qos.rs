@@ -1,0 +1,95 @@
+//! F3 — QoS-guaranteed Q-DPM (paper future work, implemented).
+//!
+//! Sweeps the latency (average-queue) target and reports, for each bound:
+//! the QoS agent's steady-state energy and queue, the plain agent's, and
+//! the constrained-LP randomized optimum.
+//!
+//! Run with: `cargo run --release -p qdpm-bench --bin fig3_qos`
+
+use qdpm_bench::{save_results, standard_device};
+use qdpm_core::{QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent};
+use qdpm_mdp::{build_dpm_mdp, lp};
+use qdpm_sim::{policies, SimConfig, Simulator};
+use qdpm_workload::{MarkovArrivalModel, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (power, service) = standard_device();
+    let arrival_p = 0.15;
+    let horizon = 250_000u64;
+    let spec = WorkloadSpec::bernoulli(arrival_p)?;
+    let p_on = power.state(power.highest_power_state()).power;
+
+    let mut out = String::new();
+    out.push_str("# fig3 qos sweep | bernoulli p=0.15, steady-state after 150k warmup\n");
+    out.push_str(
+        "target\tqos_energy\tqos_queue\tqos_ok\tplain_energy\tplain_queue\tlp_energy\tlp_queue\n",
+    );
+
+    for target in [0.3, 0.6, 1.0, 1.5, 2.5] {
+        // QoS agent.
+        let qos = QosQDpmAgent::new(
+            &power,
+            QosConfig { perf_target: target, ..QosConfig::default() },
+        )?;
+        let mut sim = Simulator::new(
+            power.clone(),
+            service,
+            spec.build(),
+            Box::new(qos),
+            SimConfig { seed: 5, ..SimConfig::default() },
+        )?;
+        sim.run(150_000);
+        let qs = sim.run(horizon);
+
+        // Plain agent (fixed trade-off, constraint-unaware).
+        let plain = QDpmAgent::new(&power, QDpmConfig::default())?;
+        let mut sim = Simulator::new(
+            power.clone(),
+            service,
+            spec.build(),
+            Box::new(plain),
+            SimConfig { seed: 5, ..SimConfig::default() },
+        )?;
+        sim.run(150_000);
+        let ps = sim.run(horizon);
+
+        // Constrained-LP optimum (model known), simulated.
+        let arrivals = MarkovArrivalModel::bernoulli(arrival_p)?;
+        let model = build_dpm_mdp(&power, &service, &arrivals, 8, 20.0)?;
+        let (lp_energy, lp_queue) = match lp::lp_solve_constrained(&model.mdp, 0.99, target) {
+            Ok(sol) => {
+                let controller =
+                    policies::MdpPolicyController::stochastic(model.space.clone(), sol.policy);
+                let mut sim = Simulator::new(
+                    power.clone(),
+                    service,
+                    spec.build(),
+                    Box::new(controller),
+                    SimConfig { seed: 5, ..SimConfig::default() },
+                )?;
+                let ls = sim.run(horizon);
+                (ls.avg_power(), ls.avg_queue_len())
+            }
+            Err(_) => (f64::NAN, f64::NAN),
+        };
+
+        out.push_str(&format!(
+            "{:.2}\t{:.5}\t{:.4}\t{}\t{:.5}\t{:.4}\t{:.5}\t{:.4}\n",
+            target,
+            qs.avg_power(),
+            qs.avg_queue_len(),
+            u8::from(qs.avg_queue_len() <= target * 1.15),
+            ps.avg_power(),
+            ps.avg_queue_len(),
+            lp_energy,
+            lp_queue,
+        ));
+        eprintln!("target {target}: done");
+    }
+    print!("{out}");
+    if let Some(path) = save_results("fig3_qos.tsv", &out) {
+        eprintln!("saved {}", path.display());
+    }
+    let _ = p_on;
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! T2 — the paper's memory claim, as a table.
+//!
+//! "Q values can be encoded in a |s| x |a| table that requires a little bit
+//! memory space. Hence, it is feasible to implement Q-DPM on almost any
+//! embedded nodes."
+//!
+//! Compares, per state-space size: Q-DPM's table bytes against the
+//! model-based pipeline's working set (compiled MDP + solver values +
+//! estimator window).
+//!
+//! Run with: `cargo run --release -p qdpm-bench --bin table_memory`
+
+use qdpm_bench::{save_results, standard_device};
+use qdpm_core::{QDpmAgent, QDpmConfig};
+use qdpm_mdp::build_dpm_mdp;
+use qdpm_workload::{MarkovArrivalModel, RateEstimator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (power, service) = standard_device();
+    let arrivals = MarkovArrivalModel::bernoulli(0.1)?;
+
+    let mut out = String::new();
+    out.push_str("# table_memory (T2): working-set bytes\n");
+    out.push_str("queue_cap\tn_states\tqdpm_bytes\tmodel_based_bytes\tratio\n");
+
+    for queue_cap in [4usize, 8, 16, 32, 64] {
+        let agent = QDpmAgent::new(
+            &power,
+            QDpmConfig { queue_cap, ..QDpmConfig::default() },
+        )?;
+        let qdpm_bytes = agent.table_bytes();
+
+        let model = build_dpm_mdp(&power, &service, &arrivals, queue_cap, 20.0)?;
+        let estimator = RateEstimator::new(200);
+        // Model-based working set: the compiled model, one value vector for
+        // the solver, and the estimator window.
+        let mb_bytes = model.mdp.memory_bytes()
+            + model.mdp.n_states() * std::mem::size_of::<f64>()
+            + estimator.memory_bytes();
+
+        out.push_str(&format!(
+            "{queue_cap}\t{}\t{qdpm_bytes}\t{mb_bytes}\t{:.1}\n",
+            model.mdp.n_states(),
+            mb_bytes as f64 / qdpm_bytes as f64
+        ));
+    }
+    print!("{out}");
+    if let Some(path) = save_results("table_memory.tsv", &out) {
+        eprintln!("saved {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! T1 — the paper's central efficiency claim, as a table.
+//!
+//! "Even on Pentium III 800MHz PC, the widely applied linear programming
+//! policy optimization runs extremely slow. [...] Apparently the run time
+//! complexity of Q-DPM is very low."
+//!
+//! For growing DPM state spaces (queue capacity sweep), measures wall-clock
+//! time of: one full LP policy optimization, one policy iteration, one
+//! value iteration, versus ONE Q-DPM decide+learn step — the work each
+//! approach performs to "refresh" its policy.
+//!
+//! Run with: `cargo run --release -p qdpm-bench --bin table_overhead`
+
+use std::time::Instant;
+
+use qdpm_bench::{save_results, standard_device};
+use qdpm_core::{PowerManager, QDpmAgent, QDpmConfig, StepOutcome};
+use qdpm_core::Observation;
+use qdpm_device::DeviceMode;
+use qdpm_mdp::{build_dpm_mdp, lp, solvers, CostWeights};
+use qdpm_workload::MarkovArrivalModel;
+use rand::SeedableRng;
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e6) // microseconds
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (power, service) = standard_device();
+    let arrivals = MarkovArrivalModel::bernoulli(0.1)?;
+
+    let mut out = String::new();
+    out.push_str("# table_overhead (T1): policy refresh cost, microseconds\n");
+    out.push_str("queue_cap\tn_states\tlp_us\tlp_pivots\tpi_us\tvi_us\tqdpm_step_us\tlp_over_qstep\n");
+
+    for queue_cap in [4usize, 8, 16, 32, 48] {
+        let model = build_dpm_mdp(&power, &service, &arrivals, queue_cap, 20.0)?;
+        let cost = model.mdp.combined_cost(CostWeights::default());
+        let n = model.mdp.n_states();
+
+        let (lp_sol, lp_us) = time(|| lp::lp_solve_discounted(&model.mdp, &cost, 0.95));
+        let lp_sol = lp_sol?;
+        let (_, pi_us) = time(|| solvers::policy_iteration(&model.mdp, &cost, 0.95).unwrap());
+        let (_, vi_us) = time(|| {
+            solvers::value_iteration(
+                &model.mdp,
+                &cost,
+                solvers::SolveOptions { discount: 0.95, tol: 1e-9, max_iter: 1_000_000 },
+            )
+            .unwrap()
+        });
+
+        // One Q-DPM step: decide + observe on a hot table (amortized).
+        let mut agent = QDpmAgent::new(
+            &power,
+            QDpmConfig { queue_cap, ..QDpmConfig::default() },
+        )?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let obs = Observation {
+            device_mode: DeviceMode::Operational(power.highest_power_state()),
+            queue_len: 1,
+            idle_slices: 0,
+            sr_mode_hint: None,
+        };
+        let outcome = StepOutcome { energy: 1.0, queue_len: 1, dropped: 0, completed: 0, arrivals: 1 };
+        // Warm up, then time a batch.
+        for _ in 0..1_000 {
+            let _ = agent.decide(&obs, &mut rng);
+            agent.observe(&outcome, &obs);
+        }
+        let iters = 100_000u32;
+        let (_, batch_us) = time(|| {
+            for _ in 0..iters {
+                let _ = agent.decide(&obs, &mut rng);
+                agent.observe(&outcome, &obs);
+            }
+        });
+        let qstep_us = batch_us / f64::from(iters);
+
+        out.push_str(&format!(
+            "{queue_cap}\t{n}\t{lp_us:.0}\t{}\t{pi_us:.0}\t{vi_us:.0}\t{qstep_us:.3}\t{:.0}\n",
+            lp_sol.pivots,
+            lp_us / qstep_us
+        ));
+        eprintln!("queue_cap {queue_cap} ({n} states): lp {lp_us:.0}us, pi {pi_us:.0}us, vi {vi_us:.0}us, q-step {qstep_us:.3}us");
+    }
+    print!("{out}");
+    if let Some(path) = save_results("table_overhead.tsv", &out) {
+        eprintln!("saved {}", path.display());
+    }
+    Ok(())
+}

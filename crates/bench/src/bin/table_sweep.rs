@@ -1,0 +1,62 @@
+//! T4 — the paper's "after studying many cases" robustness sweep.
+//!
+//! Grid over device presets x arrival rates x service rates: Q-DPM's
+//! steady-state cost ratio against the analytic optimum, energy reduction
+//! and latency.
+//!
+//! Run with: `cargo run --release -p qdpm-bench --bin table_sweep`
+
+use qdpm_bench::save_results;
+use qdpm_device::presets;
+use qdpm_sim::experiment::run_sweep;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let devices = vec![
+        ("three-state".to_string(), presets::three_state_generic()),
+        ("two-state".to_string(), presets::two_state(1.0, 0.1, 3, 1.2)),
+        ("ibm-hdd".to_string(), presets::ibm_hdd()),
+    ];
+    let arrival_ps = [0.02, 0.05, 0.1, 0.2, 0.4];
+    let service_ps = [0.4, 0.6, 0.9];
+    eprintln!(
+        "sweep: {} devices x {} rates x {} service rates",
+        devices.len(),
+        arrival_ps.len(),
+        service_ps.len()
+    );
+    let rows = run_sweep(&devices, &arrival_ps, &service_ps, 1_000_000, 300_000, 3)?;
+
+    let mut out = String::new();
+    out.push_str("# table_sweep (T4): q-dpm vs analytic optimum across cases\n");
+    out.push_str(
+        "device\tarrival_p\tservice_p\toptimal_gain\tqdpm_cost\tratio\tenergy_reduction\tmean_wait\n",
+    );
+    let mut worst: f64 = 0.0;
+    let mut acc = 0.0;
+    for r in &rows {
+        out.push_str(&format!(
+            "{}\t{:.2}\t{:.1}\t{:.5}\t{:.5}\t{:.3}\t{:.3}\t{:.2}\n",
+            r.device,
+            r.arrival_p,
+            r.service_p,
+            r.optimal_gain,
+            r.qdpm_cost,
+            r.ratio,
+            r.energy_reduction,
+            r.mean_wait
+        ));
+        worst = worst.max(r.ratio);
+        acc += r.ratio;
+    }
+    out.push_str(&format!(
+        "# mean ratio {:.3}, worst ratio {:.3} over {} cases\n",
+        acc / rows.len() as f64,
+        worst,
+        rows.len()
+    ));
+    print!("{out}");
+    if let Some(path) = save_results("table_sweep.tsv", &out) {
+        eprintln!("saved {}", path.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Shared scaffolding for the Q-DPM benchmark harness.
+//!
+//! The binaries in `src/bin/` regenerate every figure and table of the
+//! paper's evaluation (see `DESIGN.md` §4 for the index); the Criterion
+//! benches in `benches/` measure the runtime claims (T1/T3). Binaries print
+//! TSV to stdout and mirror it into `results/` at the workspace root.
+
+use std::fs;
+use std::path::PathBuf;
+
+use qdpm_device::{presets, PowerModel, ServiceModel};
+
+/// The standard scenario of the headline experiments: generic three-state
+/// device with geometric service.
+#[must_use]
+pub fn standard_device() -> (PowerModel, ServiceModel) {
+    (presets::three_state_generic(), presets::default_service())
+}
+
+/// Writes `content` to `results/<name>` (best effort) and returns the path.
+pub fn save_results(name: &str, content: &str) -> Option<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).ok()?;
+    let path = dir.canonicalize().unwrap_or(dir).join(name);
+    fs::write(&path, content).ok()?;
+    Some(path)
+}
+
+/// Renders a two-column-per-series aligned table of windowed points for
+/// quick eyeballing in a terminal.
+#[must_use]
+pub fn format_series_columns(
+    headers: &[&str],
+    columns: &[&[qdpm_sim::WindowPoint]],
+) -> String {
+    let mut out = String::from("end");
+    for h in headers {
+        out.push_str(&format!("\t{h}_cost\t{h}_reduction"));
+    }
+    out.push('\n');
+    let rows = columns.iter().map(|c| c.len()).min().unwrap_or(0);
+    for i in 0..rows {
+        out.push_str(&format!("{}", columns[0][i].end));
+        for col in columns {
+            out.push_str(&format!(
+                "\t{:.6}\t{:.6}",
+                col[i].cost_per_slice, col[i].energy_reduction
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_device_is_valid() {
+        let (power, service) = standard_device();
+        assert!(power.n_states() >= 3);
+        assert!(service.completion_probability().is_some());
+    }
+
+    #[test]
+    fn format_series_produces_header_and_rows() {
+        let p = qdpm_sim::WindowPoint {
+            end: 10,
+            energy_per_slice: 1.0,
+            cost_per_slice: 1.1,
+            avg_queue: 0.0,
+            dropped: 0,
+            energy_reduction: 0.0,
+        };
+        let s = format_series_columns(&["a", "b"], &[&[p], &[p]]);
+        assert!(s.starts_with("end\ta_cost"));
+        assert_eq!(s.lines().count(), 2);
+    }
+}

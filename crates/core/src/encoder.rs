@@ -1,0 +1,338 @@
+use serde::{Deserialize, Serialize};
+
+use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
+
+use crate::CoreError;
+
+/// What the power manager can observe at the start of a slice.
+///
+/// These are exactly the signals a real PM has access to: its own device's
+/// mode (the PM is the driver, so the power state machine is known), the
+/// service-queue depth, and how long the input has been silent. The hidden
+/// requester mode is *not* observable — being model-free about the workload
+/// is the paper's whole point — but white-box baselines may receive it via
+/// `sr_mode_hint`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Current device mode (operational state or in-flight transition).
+    pub device_mode: DeviceMode,
+    /// Requests currently waiting in the service queue.
+    pub queue_len: usize,
+    /// Slices since the last request arrival.
+    pub idle_slices: u64,
+    /// Hidden requester mode, available only to white-box baselines.
+    pub sr_mode_hint: Option<usize>,
+}
+
+/// Maps observations onto the dense state indices of a Q-table.
+pub trait StateEncoder: std::fmt::Debug {
+    /// Number of distinct encoded states.
+    fn n_states(&self) -> usize;
+
+    /// Encodes an observation. Must return a value below
+    /// [`StateEncoder::n_states`].
+    fn encode(&self, obs: &Observation) -> usize;
+}
+
+/// How queue depth is quantized by [`DpmStateEncoder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QueueBuckets {
+    /// One state per depth `0..=cap` (exact; matches the MDP state space).
+    Exact {
+        /// Maximum depth represented; deeper queues clamp to `cap`.
+        cap: usize,
+    },
+    /// Logarithmic depth buckets `{0}, {1}, {2..3}, {4..7}, ...` capped at
+    /// `n` buckets (compact tables for memory-constrained nodes).
+    Log {
+        /// Number of buckets, at least 2.
+        n: usize,
+    },
+}
+
+impl QueueBuckets {
+    fn n_buckets(&self) -> usize {
+        match *self {
+            QueueBuckets::Exact { cap } => cap + 1,
+            QueueBuckets::Log { n } => n,
+        }
+    }
+
+    fn bucket(&self, len: usize) -> usize {
+        match *self {
+            QueueBuckets::Exact { cap } => len.min(cap),
+            QueueBuckets::Log { n } => {
+                if len == 0 {
+                    0
+                } else {
+                    ((usize::BITS - len.leading_zeros()) as usize).min(n - 1)
+                }
+            }
+        }
+    }
+}
+
+/// How idle time (slices since the last arrival) is quantized.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IdleBuckets {
+    /// Idle time is ignored (the exact-MDP-matching configuration for
+    /// memoryless workloads).
+    None,
+    /// Bucket `i` holds idle times in `[thresholds[i-1], thresholds[i])`;
+    /// the last bucket is open-ended. Thresholds must be strictly
+    /// increasing.
+    Thresholds(Vec<u64>),
+}
+
+impl IdleBuckets {
+    fn n_buckets(&self) -> usize {
+        match self {
+            IdleBuckets::None => 1,
+            IdleBuckets::Thresholds(t) => t.len() + 1,
+        }
+    }
+
+    fn bucket(&self, idle: u64) -> usize {
+        match self {
+            IdleBuckets::None => 0,
+            IdleBuckets::Thresholds(t) => t.iter().take_while(|&&th| idle >= th).count(),
+        }
+    }
+}
+
+/// The default Q-DPM state encoder: `device mode x queue bucket x idle
+/// bucket`.
+///
+/// Device modes are enumerated exactly (operational states plus every
+/// in-flight transition step), mirroring how the PM — being the device
+/// driver — knows its own power state machine. With
+/// [`QueueBuckets::Exact`] and [`IdleBuckets::None`] on a memoryless
+/// workload, the encoded space coincides with the exact DTMDP state space,
+/// which is what lets Fig. 1 show convergence *to* the analytic optimum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpmStateEncoder {
+    n_dev_modes: usize,
+    /// `(from, to, remaining)` -> device mode index (after operational).
+    transient_index: Vec<(usize, usize, u32)>,
+    queue: QueueBuckets,
+    idle: IdleBuckets,
+    n_power_states: usize,
+}
+
+impl DpmStateEncoder {
+    /// Builds an encoder for `power` with the given bucketing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadEncoder`] for empty/degenerate bucketings.
+    pub fn new(
+        power: &PowerModel,
+        queue: QueueBuckets,
+        idle: IdleBuckets,
+    ) -> Result<Self, CoreError> {
+        match &queue {
+            QueueBuckets::Exact { .. } => {}
+            QueueBuckets::Log { n } if *n >= 2 => {}
+            QueueBuckets::Log { n } => {
+                return Err(CoreError::BadEncoder(format!(
+                    "log bucketing needs n >= 2, got {n}"
+                )))
+            }
+        }
+        if let IdleBuckets::Thresholds(t) = &idle {
+            if t.is_empty() || t.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(CoreError::BadEncoder(
+                    "idle thresholds must be non-empty and strictly increasing".into(),
+                ));
+            }
+        }
+        // Enumerate transient modes exactly like the device walks them.
+        let n_op = power.n_states();
+        let mut transient_index = Vec::new();
+        for from in 0..n_op {
+            for to in power.commands_from(PowerStateId::from_index(from)) {
+                let spec = power
+                    .transition(PowerStateId::from_index(from), to)
+                    .expect("commands_from yields defined transitions");
+                for remaining in 1..=spec.latency {
+                    transient_index.push((from, to.index(), remaining));
+                }
+            }
+        }
+        Ok(DpmStateEncoder {
+            n_dev_modes: n_op + transient_index.len(),
+            transient_index,
+            queue,
+            idle,
+            n_power_states: n_op,
+        })
+    }
+
+    /// Convenience constructor matching the exact DTMDP state space of a
+    /// memoryless workload: exact queue depths `0..=queue_cap`, no idle
+    /// feature.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::BadEncoder`] (cannot occur for this
+    /// configuration, kept for API uniformity).
+    pub fn exact(power: &PowerModel, queue_cap: usize) -> Result<Self, CoreError> {
+        DpmStateEncoder::new(
+            power,
+            QueueBuckets::Exact { cap: queue_cap },
+            IdleBuckets::None,
+        )
+    }
+
+    fn dev_index(&self, mode: DeviceMode) -> usize {
+        match mode {
+            DeviceMode::Operational(s) => s.index(),
+            DeviceMode::Transitioning { from, to, remaining } => {
+                let key = (from.index(), to.index(), remaining);
+                self.n_power_states
+                    + self
+                        .transient_index
+                        .iter()
+                        .position(|&k| k == key)
+                        .expect("unknown transient mode for this power model")
+            }
+        }
+    }
+}
+
+impl StateEncoder for DpmStateEncoder {
+    fn n_states(&self) -> usize {
+        self.n_dev_modes * self.queue.n_buckets() * self.idle.n_buckets()
+    }
+
+    fn encode(&self, obs: &Observation) -> usize {
+        let dev = self.dev_index(obs.device_mode);
+        let qb = self.queue.bucket(obs.queue_len);
+        let ib = self.idle.bucket(obs.idle_slices);
+        (dev * self.queue.n_buckets() + qb) * self.idle.n_buckets() + ib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdpm_device::presets;
+
+    fn obs(mode: DeviceMode, q: usize, idle: u64) -> Observation {
+        Observation {
+            device_mode: mode,
+            queue_len: q,
+            idle_slices: idle,
+            sr_mode_hint: None,
+        }
+    }
+
+    #[test]
+    fn exact_encoder_counts_match_mdp_space() {
+        let power = presets::three_state_generic();
+        let enc = DpmStateEncoder::exact(&power, 8).unwrap();
+        // 11 device modes (3 operational + 8 transient) x 9 queue depths.
+        assert_eq!(enc.n_states(), 11 * 9);
+    }
+
+    #[test]
+    fn encode_is_injective_on_reachable_observations() {
+        let power = presets::three_state_generic();
+        let enc = DpmStateEncoder::exact(&power, 4).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..power.n_states() {
+            for q in 0..=4 {
+                let o = obs(DeviceMode::Operational(PowerStateId::from_index(s)), q, 0);
+                let e = enc.encode(&o);
+                assert!(e < enc.n_states());
+                assert!(seen.insert(e), "collision at ({s}, {q})");
+            }
+        }
+    }
+
+    #[test]
+    fn transient_modes_encode_distinctly() {
+        let power = presets::three_state_generic();
+        let enc = DpmStateEncoder::exact(&power, 2).unwrap();
+        let active = power.state_by_name("active").unwrap();
+        let sleep = power.state_by_name("sleep").unwrap();
+        let t1 = enc.encode(&obs(
+            DeviceMode::Transitioning { from: active, to: sleep, remaining: 1 },
+            0,
+            0,
+        ));
+        let t2 = enc.encode(&obs(
+            DeviceMode::Transitioning { from: active, to: sleep, remaining: 2 },
+            0,
+            0,
+        ));
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn queue_clamps_at_cap() {
+        let power = presets::three_state_generic();
+        let enc = DpmStateEncoder::exact(&power, 3).unwrap();
+        let a = DeviceMode::Operational(PowerStateId::from_index(0));
+        assert_eq!(enc.encode(&obs(a, 3, 0)), enc.encode(&obs(a, 99, 0)));
+    }
+
+    #[test]
+    fn log_buckets_group_depths() {
+        let qb = QueueBuckets::Log { n: 4 };
+        assert_eq!(qb.bucket(0), 0);
+        assert_eq!(qb.bucket(1), 1);
+        assert_eq!(qb.bucket(2), 2);
+        assert_eq!(qb.bucket(3), 2);
+        assert_eq!(qb.bucket(4), 3);
+        assert_eq!(qb.bucket(1000), 3); // clamped to last bucket
+    }
+
+    #[test]
+    fn idle_thresholds_bucket_correctly() {
+        let ib = IdleBuckets::Thresholds(vec![2, 10]);
+        assert_eq!(ib.n_buckets(), 3);
+        assert_eq!(ib.bucket(0), 0);
+        assert_eq!(ib.bucket(1), 0);
+        assert_eq!(ib.bucket(2), 1);
+        assert_eq!(ib.bucket(9), 1);
+        assert_eq!(ib.bucket(10), 2);
+        assert_eq!(ib.bucket(1_000_000), 2);
+    }
+
+    #[test]
+    fn idle_feature_multiplies_state_count() {
+        let power = presets::three_state_generic();
+        let plain = DpmStateEncoder::exact(&power, 4).unwrap();
+        let with_idle = DpmStateEncoder::new(
+            &power,
+            QueueBuckets::Exact { cap: 4 },
+            IdleBuckets::Thresholds(vec![2, 8]),
+        )
+        .unwrap();
+        assert_eq!(with_idle.n_states(), plain.n_states() * 3);
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let power = presets::three_state_generic();
+        assert!(DpmStateEncoder::new(
+            &power,
+            QueueBuckets::Log { n: 1 },
+            IdleBuckets::None
+        )
+        .is_err());
+        assert!(DpmStateEncoder::new(
+            &power,
+            QueueBuckets::Exact { cap: 4 },
+            IdleBuckets::Thresholds(vec![5, 5])
+        )
+        .is_err());
+        assert!(DpmStateEncoder::new(
+            &power,
+            QueueBuckets::Exact { cap: 4 },
+            IdleBuckets::Thresholds(vec![])
+        )
+        .is_err());
+    }
+}

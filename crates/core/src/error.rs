@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Errors produced while configuring Q-DPM components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The discount factor was outside `[0, 1)`.
+    BadDiscount(f64),
+    /// A learning-rate parameter was out of range.
+    BadLearningRate(String),
+    /// An exploration parameter was out of range.
+    BadExploration(String),
+    /// A reward weight was negative or non-finite.
+    BadRewardWeight {
+        /// Which weight was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A state encoder was configured with an empty or invalid bucketing.
+    BadEncoder(String),
+    /// A QoS constraint parameter was invalid.
+    BadConstraint(String),
+    /// A fuzzy set/variable was malformed.
+    BadFuzzy(String),
+    /// A serialized Q-table blob failed validation on load.
+    CorruptTable(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::BadDiscount(b) => write!(f, "discount factor {b} outside [0, 1)"),
+            CoreError::BadLearningRate(msg) => write!(f, "bad learning rate: {msg}"),
+            CoreError::BadExploration(msg) => write!(f, "bad exploration: {msg}"),
+            CoreError::BadRewardWeight { what, value } => {
+                write!(f, "reward weight `{what}` invalid: {value}")
+            }
+            CoreError::BadEncoder(msg) => write!(f, "bad state encoder: {msg}"),
+            CoreError::BadConstraint(msg) => write!(f, "bad qos constraint: {msg}"),
+            CoreError::BadFuzzy(msg) => write!(f, "bad fuzzy configuration: {msg}"),
+            CoreError::CorruptTable(msg) => write!(f, "corrupt q-table blob: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+
+    #[test]
+    fn display_contains_value() {
+        let e = CoreError::BadDiscount(1.5);
+        assert!(e.to_string().contains("1.5"));
+    }
+}

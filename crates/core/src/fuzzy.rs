@@ -1,0 +1,528 @@
+//! Fuzzy Q-DPM: the paper's second future-work item ("Fuzzy Q-DPM in noisy
+//! environment").
+//!
+//! Crisp tabular Q-learning keys its table on exact observations, so
+//! measurement noise (a misread queue depth, jittered idle timers) scatters
+//! updates across neighbouring states. Fuzzy Q-learning (Glorennec/Jouffe
+//! style) instead describes each observation by its *membership* in a small
+//! set of overlapping fuzzy cells, evaluates actions by
+//! membership-weighted Q-values, and distributes each update over the
+//! active cells in proportion to their membership — so noise that shifts an
+//! observation slightly only re-weights the same cells rather than landing
+//! in a foreign table row.
+//!
+//! Where this pays off: workloads with *continuous, informative* features —
+//! e.g. heavy-tailed interarrivals, where idle time predicts the remaining
+//! gap — observed through noisy sensors (bench F4). On small exactly-Markov
+//! problems a crisp table is already optimal and fuzzification only adds
+//! approximation error; EXPERIMENTS.md records both findings.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
+
+use crate::rng_util::{uniform, uniform_index};
+use crate::{CoreError, Exploration, LearningRate, Observation, PowerManager, RewardWeights, StepOutcome};
+
+/// A one-dimensional fuzzy set with triangular/shoulder membership.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FuzzySet {
+    /// Membership 1 at/below `full`, falling linearly to 0 at `zero`.
+    LeftShoulder {
+        /// Upper edge of full membership.
+        full: f64,
+        /// Point where membership reaches 0 (`> full`).
+        zero: f64,
+    },
+    /// Triangle rising from `left` to 1 at `peak`, falling to 0 at `right`.
+    Triangle {
+        /// Left zero point.
+        left: f64,
+        /// Peak (membership 1).
+        peak: f64,
+        /// Right zero point.
+        right: f64,
+    },
+    /// Membership 0 at/below `zero`, rising linearly to 1 at `full`.
+    RightShoulder {
+        /// Point where membership starts rising.
+        zero: f64,
+        /// Lower edge of full membership (`> zero`).
+        full: f64,
+    },
+}
+
+impl FuzzySet {
+    /// Membership of `x` in this set, in `[0, 1]`.
+    #[must_use]
+    pub fn membership(&self, x: f64) -> f64 {
+        match *self {
+            FuzzySet::LeftShoulder { full, zero } => {
+                if x <= full {
+                    1.0
+                } else if x >= zero {
+                    0.0
+                } else {
+                    (zero - x) / (zero - full)
+                }
+            }
+            FuzzySet::Triangle { left, peak, right } => {
+                if x <= left || x >= right {
+                    0.0
+                } else if x <= peak {
+                    (x - left) / (peak - left)
+                } else {
+                    (right - x) / (right - peak)
+                }
+            }
+            FuzzySet::RightShoulder { zero, full } => {
+                if x <= zero {
+                    0.0
+                } else if x >= full {
+                    1.0
+                } else {
+                    (x - zero) / (full - zero)
+                }
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), CoreError> {
+        let ok = match *self {
+            FuzzySet::LeftShoulder { full, zero } => full < zero,
+            FuzzySet::Triangle { left, peak, right } => left < peak && peak < right,
+            FuzzySet::RightShoulder { zero, full } => zero < full,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CoreError::BadFuzzy(format!("degenerate fuzzy set {self:?}")))
+        }
+    }
+}
+
+/// A fuzzy linguistic variable: an ordered family of fuzzy sets covering a
+/// feature's range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzyVariable {
+    sets: Vec<FuzzySet>,
+}
+
+impl FuzzyVariable {
+    /// Creates a variable from at least one set; every set must be
+    /// non-degenerate and the family must give positive total membership
+    /// somewhere (checked on use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadFuzzy`] on an empty family or degenerate set.
+    pub fn new(sets: Vec<FuzzySet>) -> Result<Self, CoreError> {
+        if sets.is_empty() {
+            return Err(CoreError::BadFuzzy("variable needs at least one set".into()));
+        }
+        for s in &sets {
+            s.validate()?;
+        }
+        Ok(FuzzyVariable { sets })
+    }
+
+    /// A standard 3-set cover of `[0, max]`: low / medium / high.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadFuzzy`] when `max <= 0`.
+    pub fn low_medium_high(max: f64) -> Result<Self, CoreError> {
+        if !(max.is_finite() && max > 0.0) {
+            return Err(CoreError::BadFuzzy(format!("max {max} must be positive")));
+        }
+        FuzzyVariable::new(vec![
+            FuzzySet::LeftShoulder { full: 0.0, zero: max / 2.0 },
+            FuzzySet::Triangle { left: 0.0, peak: max / 2.0, right: max },
+            FuzzySet::RightShoulder { zero: max / 2.0, full: max },
+        ])
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn n_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Normalized memberships of `x` (summing to 1; falls back to the
+    /// nearest set when `x` is outside every support).
+    #[must_use]
+    pub fn memberships(&self, x: f64) -> Vec<f64> {
+        let mut m: Vec<f64> = self.sets.iter().map(|s| s.membership(x)).collect();
+        let total: f64 = m.iter().sum();
+        if total > 1e-12 {
+            for v in m.iter_mut() {
+                *v /= total;
+            }
+        } else {
+            // Outside all supports: snap to the first or last set.
+            let idx = if x < 0.0 { 0 } else { m.len() - 1 };
+            m.fill(0.0);
+            m[idx] = 1.0;
+        }
+        m
+    }
+}
+
+/// Configuration of a [`FuzzyQDpmAgent`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzyConfig {
+    /// Discount factor.
+    pub discount: f64,
+    /// Learning rate (constant rates suit the fuzzy update).
+    pub learning_rate: LearningRate,
+    /// Exploration strategy (epsilon-based variants only).
+    pub exploration: Exploration,
+    /// Reward weights.
+    pub weights: RewardWeights,
+    /// Fuzzy cover of the queue-depth feature.
+    pub queue_var: FuzzyVariable,
+    /// Fuzzy cover of the idle-time feature.
+    pub idle_var: FuzzyVariable,
+}
+
+impl FuzzyConfig {
+    /// The standard cover for a queue of capacity `queue_cap`.
+    ///
+    /// The queue cover is sharp at zero (an `empty` shoulder) because the
+    /// sleep/wake decision hinges on empty-vs-nonempty, then coarsens
+    /// upward; the idle-time cover spans short..long gaps with wide
+    /// overlaps, which is where fuzzy generalization pays off on
+    /// heavy-tailed workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadFuzzy`] when `queue_cap == 0`.
+    pub fn standard(queue_cap: usize) -> Result<Self, CoreError> {
+        if queue_cap == 0 {
+            return Err(CoreError::BadFuzzy("queue capacity must be positive".into()));
+        }
+        let cap = queue_cap as f64;
+        Ok(FuzzyConfig {
+            discount: 0.99,
+            learning_rate: LearningRate::Constant(0.15),
+            exploration: Exploration::EpsilonGreedy { epsilon: 0.05 },
+            weights: RewardWeights::default(),
+            queue_var: FuzzyVariable::new(vec![
+                FuzzySet::LeftShoulder { full: 0.0, zero: 1.0 },
+                FuzzySet::Triangle { left: 0.0, peak: (cap / 4.0).max(1.0), right: (cap * 0.625).max(2.0) },
+                FuzzySet::RightShoulder { zero: (cap / 4.0).max(1.0), full: (cap * 0.75).max(2.0) },
+            ])?,
+            idle_var: FuzzyVariable::new(vec![
+                FuzzySet::LeftShoulder { full: 1.0, zero: 4.0 },
+                FuzzySet::Triangle { left: 1.0, peak: 6.0, right: 16.0 },
+                FuzzySet::Triangle { left: 6.0, peak: 16.0, right: 40.0 },
+                FuzzySet::RightShoulder { zero: 16.0, full: 40.0 },
+            ])?,
+        })
+    }
+}
+
+/// Fuzzy Q-DPM agent: fuzzy state over (queue depth, idle time), crisp over
+/// device mode.
+#[derive(Debug)]
+pub struct FuzzyQDpmAgent {
+    config: FuzzyConfig,
+    power: PowerModel,
+    /// Q-values per `(device mode, queue set, idle set)` cell and action.
+    q: Vec<f64>,
+    n_cells: usize,
+    n_actions: usize,
+    transient_index: Vec<(usize, usize, u32)>,
+    steps: u64,
+    pending: Option<PendingFuzzy>,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+struct PendingFuzzy {
+    cells: Vec<(usize, f64)>,
+    action: usize,
+}
+
+impl FuzzyQDpmAgent {
+    /// Creates a fuzzy agent for the given device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from the schedules and fuzzy covers.
+    pub fn new(power: &PowerModel, config: FuzzyConfig) -> Result<Self, CoreError> {
+        if !(config.discount.is_finite() && (0.0..1.0).contains(&config.discount)) {
+            return Err(CoreError::BadDiscount(config.discount));
+        }
+        config.learning_rate.validate()?;
+        config.exploration.validate()?;
+        let n_op = power.n_states();
+        let mut transient_index = Vec::new();
+        for from in 0..n_op {
+            for to in power.commands_from(PowerStateId::from_index(from)) {
+                let spec = power
+                    .transition(PowerStateId::from_index(from), to)
+                    .expect("commands_from yields defined transitions");
+                for remaining in 1..=spec.latency {
+                    transient_index.push((from, to.index(), remaining));
+                }
+            }
+        }
+        let n_dev_modes = n_op + transient_index.len();
+        let n_cells = n_dev_modes * config.queue_var.n_sets() * config.idle_var.n_sets();
+        Ok(FuzzyQDpmAgent {
+            q: vec![0.0; n_cells * n_op],
+            n_cells,
+            n_actions: n_op,
+            transient_index,
+            power: power.clone(),
+            config,
+            steps: 0,
+            pending: None,
+            name: "fuzzy-q-dpm".to_string(),
+        })
+    }
+
+    /// Number of fuzzy cells (rows of the Q-table).
+    #[must_use]
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Q-table footprint in bytes.
+    #[must_use]
+    pub fn table_bytes(&self) -> usize {
+        self.q.len() * std::mem::size_of::<f64>()
+    }
+
+    fn dev_index(&self, mode: DeviceMode) -> usize {
+        match mode {
+            DeviceMode::Operational(s) => s.index(),
+            DeviceMode::Transitioning { from, to, remaining } => {
+                let key = (from.index(), to.index(), remaining);
+                self.power.n_states()
+                    + self
+                        .transient_index
+                        .iter()
+                        .position(|&k| k == key)
+                        .expect("unknown transient mode for this power model")
+            }
+        }
+    }
+
+    /// Active fuzzy cells of an observation with their normalized weights.
+    fn cells(&self, obs: &Observation) -> Vec<(usize, f64)> {
+        let dev = self.dev_index(obs.device_mode);
+        let qm = self.config.queue_var.memberships(obs.queue_len as f64);
+        let im = self.config.idle_var.memberships(obs.idle_slices as f64);
+        let nq = self.config.queue_var.n_sets();
+        let ni = self.config.idle_var.n_sets();
+        let mut out = Vec::new();
+        for (qi, &qw) in qm.iter().enumerate() {
+            if qw == 0.0 {
+                continue;
+            }
+            for (ii, &iw) in im.iter().enumerate() {
+                let w = qw * iw;
+                if w > 0.0 {
+                    out.push(((dev * nq + qi) * ni + ii, w));
+                }
+            }
+        }
+        debug_assert!(!out.is_empty());
+        out
+    }
+
+    /// Membership-weighted action value.
+    fn q_hat(&self, cells: &[(usize, f64)], a: usize) -> f64 {
+        cells
+            .iter()
+            .map(|&(c, w)| w * self.q[c * self.n_actions + a])
+            .sum()
+    }
+
+    fn legal_actions(&self, mode: DeviceMode) -> Vec<usize> {
+        match mode {
+            DeviceMode::Operational(s) => {
+                let mut acts = vec![s.index()];
+                acts.extend(self.power.commands_from(s).map(PowerStateId::index));
+                acts.sort_unstable();
+                acts
+            }
+            DeviceMode::Transitioning { to, .. } => vec![to.index()],
+        }
+    }
+}
+
+impl PowerManager for FuzzyQDpmAgent {
+    fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
+        let cells = self.cells(obs);
+        let legal = self.legal_actions(obs.device_mode);
+        let eps = self.config.exploration.epsilon_at(self.steps);
+        let a = if legal.len() > 1 && uniform(rng) < eps {
+            legal[uniform_index(rng, legal.len())]
+        } else {
+            *legal
+                .iter()
+                .max_by(|&&x, &&y| self.q_hat(&cells, x).total_cmp(&self.q_hat(&cells, y)))
+                .expect("legal set is non-empty")
+        };
+        self.pending = Some(PendingFuzzy { cells, action: a });
+        PowerStateId::from_index(a)
+    }
+
+    fn observe(&mut self, outcome: &StepOutcome, next_obs: &Observation) {
+        let Some(pending) = self.pending.take() else {
+            return;
+        };
+        let reward = self.config.weights.reward(outcome);
+        let next_cells = self.cells(next_obs);
+        let next_legal = self.legal_actions(next_obs.device_mode);
+        let bootstrap = next_legal
+            .iter()
+            .map(|&b| self.q_hat(&next_cells, b))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let target = reward + self.config.discount * bootstrap;
+        let q_taken = self.q_hat(&pending.cells, pending.action);
+        let delta = target - q_taken;
+        let gamma = self.config.learning_rate.rate(self.steps, 1);
+        for &(c, w) in &pending.cells {
+            self.q[c * self.n_actions + pending.action] += gamma * w * delta;
+        }
+        self.steps += 1;
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdpm_device::presets;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn membership_shapes() {
+        let tri = FuzzySet::Triangle { left: 0.0, peak: 5.0, right: 10.0 };
+        assert_eq!(tri.membership(0.0), 0.0);
+        assert_eq!(tri.membership(5.0), 1.0);
+        assert!((tri.membership(2.5) - 0.5).abs() < 1e-12);
+        assert_eq!(tri.membership(10.0), 0.0);
+
+        let ls = FuzzySet::LeftShoulder { full: 2.0, zero: 6.0 };
+        assert_eq!(ls.membership(1.0), 1.0);
+        assert!((ls.membership(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(ls.membership(7.0), 0.0);
+
+        let rs = FuzzySet::RightShoulder { zero: 2.0, full: 6.0 };
+        assert_eq!(rs.membership(1.0), 0.0);
+        assert!((rs.membership(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(rs.membership(7.0), 1.0);
+    }
+
+    #[test]
+    fn degenerate_sets_rejected() {
+        assert!(FuzzySet::Triangle { left: 1.0, peak: 1.0, right: 2.0 }.validate().is_err());
+        assert!(FuzzyVariable::new(vec![]).is_err());
+        assert!(FuzzyVariable::low_medium_high(0.0).is_err());
+    }
+
+    #[test]
+    fn memberships_normalize() {
+        let v = FuzzyVariable::low_medium_high(8.0).unwrap();
+        for x in [0.0, 1.0, 3.7, 4.0, 6.2, 8.0, 50.0] {
+            let m = v.memberships(x);
+            let sum: f64 = m.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "sum {sum} at {x}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_snaps_to_edge_sets() {
+        let v = FuzzyVariable::new(vec![FuzzySet::Triangle {
+            left: 2.0,
+            peak: 3.0,
+            right: 4.0,
+        }])
+        .unwrap();
+        assert_eq!(v.memberships(-5.0), vec![1.0]);
+        assert_eq!(v.memberships(100.0), vec![1.0]);
+    }
+
+    #[test]
+    fn agent_cells_cover_observation() {
+        let power = presets::three_state_generic();
+        let agent = FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+        let obs = Observation {
+            device_mode: DeviceMode::Operational(power.highest_power_state()),
+            queue_len: 3,
+            idle_slices: 10,
+            sr_mode_hint: None,
+        };
+        let cells = agent.cells(&obs);
+        let total: f64 = cells.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(cells.iter().all(|&(c, _)| c < agent.n_cells()));
+    }
+
+    #[test]
+    fn decide_observe_learns_direction() {
+        // Reward shaping: staying in the cheap state must grow its Q-hat.
+        let power = presets::three_state_generic();
+        let mut agent = FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+        let sleep = power.state_by_name("sleep").unwrap();
+        let obs = Observation {
+            device_mode: DeviceMode::Operational(sleep),
+            queue_len: 0,
+            idle_slices: 20,
+            sr_mode_hint: None,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let _ = agent.decide(&obs, &mut rng);
+            agent.observe(
+                &StepOutcome { energy: 0.05, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 },
+                &obs,
+            );
+        }
+        let cells = agent.cells(&obs);
+        // Q of staying asleep should approach -0.05 / (1 - 0.95) = -1.0
+        // and beat the (unexplored, still-zero... wake actions get explored
+        // too) — just check it's converging near the analytic value.
+        let q_stay = agent.q_hat(&cells, sleep.index());
+        assert!(q_stay < -0.5, "q_stay {q_stay} should be strongly negative");
+        assert!(q_stay > -1.5, "q_stay {q_stay} should approach -1.0");
+    }
+
+    #[test]
+    fn fuzzy_table_is_compact() {
+        let power = presets::three_state_generic();
+        let agent = FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+        // 11 device modes x 3 queue sets x 4 idle sets = 132 cells x 3 actions.
+        assert_eq!(agent.n_cells(), 132);
+        assert_eq!(agent.table_bytes(), 132 * 3 * 8);
+    }
+
+    #[test]
+    fn noisy_observations_hit_same_cells() {
+        // The robustness mechanism: queue 3 vs 4 (a +-1 misread) share
+        // cells, just with different weights.
+        let power = presets::three_state_generic();
+        let agent = FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+        let mk = |q: usize| Observation {
+            device_mode: DeviceMode::Operational(power.highest_power_state()),
+            queue_len: q,
+            idle_slices: 0,
+            sr_mode_hint: None,
+        };
+        let c3: std::collections::HashSet<usize> =
+            agent.cells(&mk(3)).into_iter().map(|(c, _)| c).collect();
+        let c4: std::collections::HashSet<usize> =
+            agent.cells(&mk(4)).into_iter().map(|(c, _)| c).collect();
+        assert!(!c3.is_disjoint(&c4), "adjacent readings should share cells");
+    }
+}

@@ -1,0 +1,318 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::rng_util::{uniform, uniform_index};
+use crate::{CoreError, Exploration, LearningRate, QTable};
+
+/// Watkins Q-learning over a discrete state/action space — the algorithmic
+/// core of Q-DPM.
+///
+/// Implements the paper's Eqn. (3) verbatim (reward convention, so the
+/// greedy action is the arg-max):
+///
+/// ```text
+/// Q(s,a) <- (1 - gamma) * Q(s,a) + gamma * ( c(s,a,s') + beta * max_b Q(s',b) )
+/// ```
+///
+/// with `gamma` from a [`LearningRate`] schedule and epsilon-greedy (or
+/// Boltzmann) exploration per Section 2 of the paper. The learner is
+/// domain-agnostic; `qdpm`'s power-management agents wrap it with a state
+/// encoder and a reward definition.
+///
+/// # Example
+///
+/// ```
+/// use qdpm_core::{Exploration, LearningRate, QLearner};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), qdpm_core::CoreError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut learner = QLearner::new(
+///     4,                               // states
+///     2,                               // actions
+///     0.9,                             // discount beta
+///     LearningRate::Constant(0.5),
+///     Exploration::EpsilonGreedy { epsilon: 0.1 },
+/// )?;
+/// let a = learner.select_action(0, &[0, 1], &mut rng);
+/// learner.update(0, a, 1.0, 1, &[0, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QLearner {
+    table: QTable,
+    discount: f64,
+    learning_rate: LearningRate,
+    exploration: Exploration,
+    steps: u64,
+}
+
+impl QLearner {
+    /// Creates a learner with a zero-initialized table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] when the discount is outside `[0, 1)` or a
+    /// schedule parameter is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_states` or `n_actions` is zero.
+    pub fn new(
+        n_states: usize,
+        n_actions: usize,
+        discount: f64,
+        learning_rate: LearningRate,
+        exploration: Exploration,
+    ) -> Result<Self, CoreError> {
+        if !(discount.is_finite() && (0.0..1.0).contains(&discount)) {
+            return Err(CoreError::BadDiscount(discount));
+        }
+        learning_rate.validate()?;
+        exploration.validate()?;
+        Ok(QLearner {
+            table: QTable::new(n_states, n_actions),
+            discount,
+            learning_rate,
+            exploration,
+            steps: 0,
+        })
+    }
+
+    /// The discount factor `beta`.
+    #[must_use]
+    pub fn discount(&self) -> f64 {
+        self.discount
+    }
+
+    /// Read access to the Q-table.
+    #[must_use]
+    pub fn table(&self) -> &QTable {
+        &self.table
+    }
+
+    /// Total updates performed.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Selects an action in `s` among `legal` — greedy on the Q-table, with
+    /// the exploration strategy's randomization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legal` is empty or contains an out-of-range action.
+    pub fn select_action(&self, s: usize, legal: &[usize], rng: &mut dyn Rng) -> usize {
+        assert!(!legal.is_empty(), "need at least one legal action");
+        if legal.len() == 1 {
+            return legal[0];
+        }
+        match self.exploration {
+            Exploration::Boltzmann { temperature } => {
+                // Softmax over Q/T, numerically stabilized.
+                let max_q = self.table.max_q(s, legal);
+                let weights: Vec<f64> = legal
+                    .iter()
+                    .map(|&a| ((self.table.get(s, a) - max_q) / temperature).exp())
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                let mut u = uniform(rng) * total;
+                for (i, w) in weights.iter().enumerate() {
+                    u -= w;
+                    if u < 0.0 {
+                        return legal[i];
+                    }
+                }
+                legal[legal.len() - 1]
+            }
+            _ => {
+                let eps = self.exploration.epsilon_at(self.steps);
+                if uniform(rng) < eps {
+                    legal[uniform_index(rng, legal.len())]
+                } else {
+                    self.table.best_action(s, legal)
+                }
+            }
+        }
+    }
+
+    /// The purely greedy action (no exploration), for evaluation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `legal` is empty or contains an out-of-range action.
+    #[must_use]
+    pub fn best_action(&self, s: usize, legal: &[usize]) -> usize {
+        self.table.best_action(s, legal)
+    }
+
+    /// Applies the paper's Eqn. (3) for the observed transition
+    /// `(s, a) --reward--> (next_s with next_legal)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `next_legal` is empty or any index is out of range.
+    pub fn update(&mut self, s: usize, a: usize, reward: f64, next_s: usize, next_legal: &[usize]) {
+        let visits = self.table.record_visit(s, a);
+        let gamma = self.learning_rate.rate(self.steps, visits);
+        let bootstrap = self.table.max_q(next_s, next_legal);
+        let old = self.table.get(s, a);
+        let target = reward + self.discount * bootstrap;
+        self.table.set(s, a, (1.0 - gamma) * old + gamma * target);
+        self.steps += 1;
+    }
+
+    /// Resets the table and step counter (schedules keep their parameters).
+    pub fn reset(&mut self) {
+        self.table.reset();
+        self.steps = 0;
+    }
+
+    /// Replaces the Q-table wholesale (warm-start from a persisted blob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement's dimensions differ from the current
+    /// table's.
+    pub fn replace_table(&mut self, table: QTable) {
+        assert_eq!(
+            (table.n_states(), table.n_actions()),
+            (self.table.n_states(), self.table.n_actions()),
+            "replacement table dimensions must match"
+        );
+        self.table = table;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn learner(discount: f64, rate: f64, eps: f64) -> QLearner {
+        QLearner::new(
+            4,
+            2,
+            discount,
+            LearningRate::Constant(rate),
+            Exploration::EpsilonGreedy { epsilon: eps },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_discount() {
+        assert!(matches!(
+            QLearner::new(2, 2, 1.0, LearningRate::default(), Exploration::default()),
+            Err(CoreError::BadDiscount(_))
+        ));
+        assert!(matches!(
+            QLearner::new(2, 2, -0.1, LearningRate::default(), Exploration::default()),
+            Err(CoreError::BadDiscount(_))
+        ));
+    }
+
+    #[test]
+    fn update_matches_eqn3_by_hand() {
+        let mut l = learner(0.5, 0.25, 0.0);
+        l.table.set(1, 0, 8.0); // max_b Q(s'=1, b) = 8
+        l.table.set(0, 0, 4.0);
+        // Q <- (1-0.25)*4 + 0.25*(2 + 0.5*8) = 3 + 0.25*6 = 4.5
+        l.update(0, 0, 2.0, 1, &[0, 1]);
+        assert!((l.table().get(0, 0) - 4.5).abs() < 1e-12);
+        assert_eq!(l.steps(), 1);
+    }
+
+    #[test]
+    fn zero_epsilon_is_greedy() {
+        let mut l = learner(0.9, 0.1, 0.0);
+        l.table.set(0, 1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            assert_eq!(l.select_action(0, &[0, 1], &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn full_epsilon_explores_both_actions() {
+        let mut l = learner(0.9, 0.1, 1.0);
+        l.table.set(0, 1, 100.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[l.select_action(0, &[0, 1], &mut rng)] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn single_legal_action_skips_exploration() {
+        let l = learner(0.9, 0.1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(l.select_action(0, &[1], &mut rng), 1);
+    }
+
+    #[test]
+    fn boltzmann_prefers_higher_q() {
+        let mut l = QLearner::new(
+            1,
+            2,
+            0.9,
+            LearningRate::default(),
+            Exploration::Boltzmann { temperature: 0.5 },
+        )
+        .unwrap();
+        l.table.set(0, 1, 2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks_1 = (0..1000)
+            .filter(|_| l.select_action(0, &[0, 1], &mut rng) == 1)
+            .count();
+        // exp(0)/exp(4) ratio: action 1 should dominate but not be exclusive.
+        assert!(picks_1 > 900, "picked 1 {picks_1} times");
+        assert!(picks_1 < 1000, "boltzmann should still explore");
+    }
+
+    /// Q-learning on a known 2-state MDP converges to the optimal Q-values.
+    #[test]
+    fn converges_on_two_state_chain() {
+        // States {0, 1}; action 0 = stay, action 1 = move.
+        // Rewards: staying in 1 pays 1, everything else pays 0.
+        // beta = 0.5. Optimal: Q*(1,0) = 1/(1-0.5) = 2,
+        // Q*(0,1) = 0 + 0.5*2 = 1, Q*(0,0) = 0.5*Q*(0, best) = 0.5*1 = 0.5,
+        // Q*(1,1) = 0 + 0.5*1 = ... move from 1 to 0: 0 + 0.5*max_b Q(0,b) = 0.5.
+        let mut l = QLearner::new(
+            2,
+            2,
+            0.5,
+            LearningRate::VisitDecay { omega: 0.7 },
+            Exploration::EpsilonGreedy { epsilon: 0.3 },
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = 0usize;
+        for _ in 0..200_000 {
+            let a = l.select_action(s, &[0, 1], &mut rng);
+            let next = if a == 0 { s } else { 1 - s };
+            let reward = if s == 1 && a == 0 { 1.0 } else { 0.0 };
+            l.update(s, a, reward, next, &[0, 1]);
+            s = next;
+        }
+        let t = l.table();
+        assert!((t.get(1, 0) - 2.0).abs() < 0.05, "Q(1,0) = {}", t.get(1, 0));
+        assert!((t.get(0, 1) - 1.0).abs() < 0.05, "Q(0,1) = {}", t.get(0, 1));
+        assert!((t.get(0, 0) - 0.5).abs() < 0.05, "Q(0,0) = {}", t.get(0, 0));
+        assert!((t.get(1, 1) - 0.5).abs() < 0.05, "Q(1,1) = {}", t.get(1, 1));
+    }
+
+    #[test]
+    fn reset_clears_table_and_steps() {
+        let mut l = learner(0.9, 0.5, 0.0);
+        l.update(0, 0, 1.0, 0, &[0, 1]);
+        l.reset();
+        assert_eq!(l.steps(), 0);
+        assert_eq!(l.table().get(0, 0), 0.0);
+    }
+}

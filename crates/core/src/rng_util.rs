@@ -1,0 +1,45 @@
+//! Small uniform-sampling helpers over `&mut dyn Rng`.
+
+use rand::Rng;
+
+/// Uniform `f64` in `[0, 1)` via the 53-bit mantissa method (kept identical
+/// to the workload crate's sampler so seeds behave consistently).
+#[inline]
+pub(crate) fn uniform(rng: &mut dyn Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform index in `[0, n)`.
+#[inline]
+pub(crate) fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
+    debug_assert!(n > 0);
+    ((uniform(rng) * n as f64) as usize).min(n - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let u = uniform(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_index_in_range() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let i = uniform_index(&mut rng, 5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all indices should appear");
+    }
+}

@@ -1,0 +1,333 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerModel, PowerStateId, TransitionSpec};
+
+/// Instantaneous mode of a runtime [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceMode {
+    /// Resident in a power state; commands are accepted.
+    Operational(PowerStateId),
+    /// Mid-transition; commands are ignored until the transition completes.
+    Transitioning {
+        /// State the transition started from.
+        from: PowerStateId,
+        /// State the transition will land in.
+        to: PowerStateId,
+        /// Slices left until arrival, at least 1.
+        remaining: u32,
+    },
+}
+
+impl DeviceMode {
+    /// The operational state, if not transitioning.
+    #[must_use]
+    pub fn operational_state(&self) -> Option<PowerStateId> {
+        match *self {
+            DeviceMode::Operational(s) => Some(s),
+            DeviceMode::Transitioning { .. } => None,
+        }
+    }
+
+    /// Whether the device is mid-transition.
+    #[must_use]
+    pub fn is_transitioning(&self) -> bool {
+        matches!(self, DeviceMode::Transitioning { .. })
+    }
+}
+
+/// Result of issuing a power command to a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommandOutcome {
+    /// The device was already in the commanded state; nothing happened.
+    AlreadyThere,
+    /// The switch completed within this slice; the transition energy is
+    /// reported here and must be accounted by the caller.
+    Switched {
+        /// Energy of the instantaneous transition.
+        energy: f64,
+    },
+    /// A multi-slice transition began; energy accrues via [`Device::tick`].
+    TransitionStarted {
+        /// Slices until the transition completes.
+        latency: u32,
+    },
+    /// Command ignored: the device is mid-transition (uncontrollable).
+    IgnoredInTransition,
+    /// Command ignored: the model defines no such transition.
+    IgnoredNoSuchTransition,
+}
+
+impl CommandOutcome {
+    /// Energy charged at command time (non-zero only for instant switches).
+    #[must_use]
+    pub fn immediate_energy(&self) -> f64 {
+        match *self {
+            CommandOutcome::Switched { energy } => energy,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Per-slice accounting reported by [`Device::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TickReport {
+    /// Energy drawn during this slice (state residency or transition share).
+    pub energy: f64,
+    /// Whether the device can serve a request during this slice.
+    pub can_serve: bool,
+    /// Mode after the slice elapsed (transitions complete at slice end).
+    pub mode_after: DeviceMode,
+}
+
+/// A runtime power-managed device: a [`PowerModel`] plus its current mode.
+///
+/// The device follows the shared simulation contract (see `DESIGN.md`):
+/// commands are issued at the start of a slice via [`Device::command`], and
+/// [`Device::tick`] then charges the slice's energy and advances any pending
+/// transition. Commands issued mid-transition are ignored, which models the
+/// uncontrollable transient states of real hardware.
+///
+/// # Example
+///
+/// ```
+/// use qdpm_device::{presets, Device};
+///
+/// let mut device = Device::new(presets::three_state_generic());
+/// let sleep = device.model().state_by_name("sleep").unwrap();
+/// device.command(sleep);
+/// while device.mode().is_transitioning() {
+///     device.tick();
+/// }
+/// assert_eq!(device.mode().operational_state(), Some(sleep));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    model: PowerModel,
+    mode: DeviceMode,
+    /// Transition spec backing the current `Transitioning` mode, if any.
+    active_transition: Option<TransitionSpec>,
+}
+
+impl Device {
+    /// Creates a device resident in the model's highest-power state (the
+    /// conventional "everything on" initial condition).
+    #[must_use]
+    pub fn new(model: PowerModel) -> Self {
+        let initial = model.highest_power_state();
+        Device {
+            model,
+            mode: DeviceMode::Operational(initial),
+            active_transition: None,
+        }
+    }
+
+    /// Creates a device starting in a specific state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range for `model`.
+    #[must_use]
+    pub fn with_initial_state(model: PowerModel, initial: PowerStateId) -> Self {
+        assert!(initial.index() < model.n_states(), "initial state out of range");
+        Device {
+            model,
+            mode: DeviceMode::Operational(initial),
+            active_transition: None,
+        }
+    }
+
+    /// The static power model this device animates.
+    #[must_use]
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> DeviceMode {
+        self.mode
+    }
+
+    /// Issues a command targeting power state `target`.
+    ///
+    /// Returns how the command was handled; see [`CommandOutcome`]. Energy of
+    /// zero-latency switches is reported in the outcome and must be added to
+    /// the slice's accounting by the caller.
+    pub fn command(&mut self, target: PowerStateId) -> CommandOutcome {
+        let current = match self.mode {
+            DeviceMode::Transitioning { .. } => return CommandOutcome::IgnoredInTransition,
+            DeviceMode::Operational(s) => s,
+        };
+        if current == target {
+            return CommandOutcome::AlreadyThere;
+        }
+        let Some(spec) = self.model.transition(current, target) else {
+            return CommandOutcome::IgnoredNoSuchTransition;
+        };
+        if spec.latency == 0 {
+            self.mode = DeviceMode::Operational(target);
+            CommandOutcome::Switched { energy: spec.energy }
+        } else {
+            self.mode = DeviceMode::Transitioning {
+                from: current,
+                to: target,
+                remaining: spec.latency,
+            };
+            self.active_transition = Some(spec);
+            CommandOutcome::TransitionStarted { latency: spec.latency }
+        }
+    }
+
+    /// Elapses one time slice: charges residency or transition energy and
+    /// completes transitions whose countdown reaches zero.
+    pub fn tick(&mut self) -> TickReport {
+        match self.mode {
+            DeviceMode::Operational(s) => {
+                let spec = self.model.state(s);
+                TickReport {
+                    energy: spec.power,
+                    can_serve: spec.can_serve,
+                    mode_after: self.mode,
+                }
+            }
+            DeviceMode::Transitioning { from, to, remaining } => {
+                let spec = self
+                    .active_transition
+                    .expect("transitioning device has an active transition spec");
+                let energy = spec.energy_per_step();
+                if remaining <= 1 {
+                    self.mode = DeviceMode::Operational(to);
+                    self.active_transition = None;
+                } else {
+                    self.mode = DeviceMode::Transitioning {
+                        from,
+                        to,
+                        remaining: remaining - 1,
+                    };
+                }
+                TickReport {
+                    energy,
+                    can_serve: false,
+                    mode_after: self.mode,
+                }
+            }
+        }
+    }
+
+    /// Resets the device to a given operational state, cancelling any
+    /// in-flight transition (used when reusing a device across runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range for the model.
+    pub fn reset_to(&mut self, state: PowerStateId) {
+        assert!(state.index() < self.model.n_states(), "state out of range");
+        self.mode = DeviceMode::Operational(state);
+        self.active_transition = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerModel;
+
+    fn model() -> PowerModel {
+        PowerModel::builder("t")
+            .state("on", 1.0, true)
+            .state("off", 0.1, false)
+            .state("nap", 0.5, false)
+            .transition("on", "off", 2, 0.6)
+            .transition("off", "on", 3, 0.9)
+            .transition("on", "nap", 0, 0.05)
+            .transition("nap", "on", 0, 0.05)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn starts_in_highest_power_state() {
+        let d = Device::new(model());
+        assert_eq!(
+            d.mode().operational_state(),
+            d.model().state_by_name("on")
+        );
+    }
+
+    #[test]
+    fn instant_switch_reports_energy() {
+        let mut d = Device::new(model());
+        let nap = d.model().state_by_name("nap").unwrap();
+        let out = d.command(nap);
+        assert_eq!(out, CommandOutcome::Switched { energy: 0.05 });
+        assert_eq!(out.immediate_energy(), 0.05);
+        assert_eq!(d.mode().operational_state(), Some(nap));
+    }
+
+    #[test]
+    fn multi_step_transition_walks_through() {
+        let mut d = Device::new(model());
+        let off = d.model().state_by_name("off").unwrap();
+        let out = d.command(off);
+        assert_eq!(out, CommandOutcome::TransitionStarted { latency: 2 });
+        assert!(d.mode().is_transitioning());
+
+        let t1 = d.tick();
+        assert!((t1.energy - 0.3).abs() < 1e-12);
+        assert!(!t1.can_serve);
+        assert!(d.mode().is_transitioning());
+
+        let t2 = d.tick();
+        assert!((t2.energy - 0.3).abs() < 1e-12);
+        assert_eq!(d.mode().operational_state(), Some(off));
+        // Total transition energy equals the spec.
+        assert!((t1.energy + t2.energy - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commands_ignored_mid_transition() {
+        let mut d = Device::new(model());
+        let off = d.model().state_by_name("off").unwrap();
+        let on = d.model().state_by_name("on").unwrap();
+        d.command(off);
+        assert_eq!(d.command(on), CommandOutcome::IgnoredInTransition);
+    }
+
+    #[test]
+    fn command_to_same_state_is_noop() {
+        let mut d = Device::new(model());
+        let on = d.model().state_by_name("on").unwrap();
+        assert_eq!(d.command(on), CommandOutcome::AlreadyThere);
+    }
+
+    #[test]
+    fn undefined_transition_is_ignored() {
+        let mut d = Device::new(model());
+        let off = d.model().state_by_name("off").unwrap();
+        let nap = d.model().state_by_name("nap").unwrap();
+        d.command(off);
+        d.tick();
+        d.tick();
+        // off -> nap is not defined in the model.
+        assert_eq!(d.command(nap), CommandOutcome::IgnoredNoSuchTransition);
+    }
+
+    #[test]
+    fn residency_energy_matches_state_power() {
+        let mut d = Device::new(model());
+        let t = d.tick();
+        assert_eq!(t.energy, 1.0);
+        assert!(t.can_serve);
+    }
+
+    #[test]
+    fn reset_cancels_transition() {
+        let mut d = Device::new(model());
+        let off = d.model().state_by_name("off").unwrap();
+        let on = d.model().state_by_name("on").unwrap();
+        d.command(off);
+        d.reset_to(on);
+        assert_eq!(d.mode().operational_state(), Some(on));
+        assert_eq!(d.tick().energy, 1.0);
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating device models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// A power model was built with no states.
+    NoStates,
+    /// No state in the power model is able to serve requests.
+    NoServingState,
+    /// A state name appears more than once in the model.
+    DuplicateStateName(String),
+    /// A power value was negative or non-finite.
+    InvalidPower {
+        /// Name of the offending state.
+        state: String,
+        /// The rejected power value.
+        power: f64,
+    },
+    /// A transition's energy was negative or non-finite.
+    InvalidTransitionEnergy {
+        /// Source state name.
+        from: String,
+        /// Destination state name.
+        to: String,
+        /// The rejected energy value.
+        energy: f64,
+    },
+    /// A transition endpoint referenced a state that does not exist.
+    UnknownState(String),
+    /// A service-model parameter was out of range.
+    InvalidServiceModel(String),
+    /// The queue capacity was zero.
+    ZeroQueueCapacity,
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::NoStates => write!(f, "power model has no states"),
+            DeviceError::NoServingState => {
+                write!(f, "power model has no state that can serve requests")
+            }
+            DeviceError::DuplicateStateName(name) => {
+                write!(f, "duplicate power state name `{name}`")
+            }
+            DeviceError::InvalidPower { state, power } => {
+                write!(f, "state `{state}` has invalid power {power}")
+            }
+            DeviceError::InvalidTransitionEnergy { from, to, energy } => {
+                write!(f, "transition `{from}` -> `{to}` has invalid energy {energy}")
+            }
+            DeviceError::UnknownState(name) => write!(f, "unknown power state `{name}`"),
+            DeviceError::InvalidServiceModel(msg) => write!(f, "invalid service model: {msg}"),
+            DeviceError::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = DeviceError::DuplicateStateName("active".into());
+        let msg = err.to_string();
+        assert!(msg.contains("active"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<DeviceError>();
+    }
+}

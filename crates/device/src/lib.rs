@@ -1,0 +1,47 @@
+//! Power-managed device models for the Q-DPM reproduction.
+//!
+//! This crate implements the *Service Provider* (SP) and *Service Queue* (SQ)
+//! side of the classic stochastic dynamic power management (DPM) system
+//! model: a device described by a [`PowerModel`] (a power state machine with
+//! per-state power draw and inter-state transition latency/energy), a
+//! [`ServiceModel`] describing how fast the device drains requests when it is
+//! operational, and a bounded FIFO [`Queue`] holding pending requests.
+//!
+//! The runtime [`Device`] type animates a [`PowerModel`]: it accepts power
+//! commands from a power manager, walks through (possibly multi-step)
+//! transitions, and accounts energy per discrete time slice. All quantities
+//! are expressed *per time slice* so that the simulator in `qdpm-sim` and the
+//! exact DTMDP builder in `qdpm-mdp` share identical semantics.
+//!
+//! # Example
+//!
+//! ```
+//! use qdpm_device::{presets, Device, PowerStateId};
+//!
+//! # fn main() -> Result<(), qdpm_device::DeviceError> {
+//! let model = presets::three_state_generic();
+//! let mut device = Device::new(model);
+//! // Command the device into its lowest-power state.
+//! let sleep = device.model().state_by_name("sleep").unwrap();
+//! device.command(sleep);
+//! let tick = device.tick();
+//! assert!(tick.energy >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod device;
+mod error;
+mod power;
+pub mod presets;
+mod queue;
+mod service;
+
+pub use device::{CommandOutcome, Device, DeviceMode, TickReport};
+pub use error::DeviceError;
+pub use power::{PowerModel, PowerModelBuilder, PowerStateId, PowerStateSpec, TransitionSpec};
+pub use queue::{Queue, QueueStats};
+pub use service::{ServiceModel, Server};
+
+/// Discrete simulation time, measured in slices since the start of a run.
+pub type Step = u64;

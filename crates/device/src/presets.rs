@@ -1,0 +1,195 @@
+//! Ready-made power models drawn from the classic DPM literature.
+//!
+//! The Q-DPM paper keeps its service provider abstract ("synthetic input is
+//! used to drive the simulation"), so these presets reproduce the canonical
+//! devices used by the model-based DPM papers it builds on (Benini, Bogliolo
+//! & De Micheli's survey and the stochastic-control DPM line of work):
+//! a mobile hard disk, an 802.11 WLAN card and a StrongARM SA-1100 processor
+//! core, plus small generic machines convenient for exact-MDP experiments.
+//!
+//! All values are converted to *per-slice* units; each preset documents its
+//! slice duration. Power numbers are in watt-slices (i.e. joules per slice at
+//! the stated slice length), transition energy in joules.
+
+use crate::{PowerModel, ServiceModel};
+
+/// Generic two-state machine (`on`/`off`) with parameterized sleep economics.
+///
+/// Useful for exact-MDP studies: the state space stays tiny. `off_power`
+/// should be well below `on_power`; `latency`/`energy` apply symmetrically to
+/// both directions of the round trip.
+#[must_use]
+pub fn two_state(on_power: f64, off_power: f64, latency: u32, energy: f64) -> PowerModel {
+    PowerModel::builder("two-state")
+        .state("on", on_power, true)
+        .state("off", off_power, false)
+        .transition("on", "off", latency, energy)
+        .transition("off", "on", latency, energy)
+        .build()
+        .expect("two_state preset parameters are valid")
+}
+
+/// Generic three-state machine: `active` (serves), `idle` (fast to leave),
+/// `sleep` (deep, slow round trip). Slice-agnostic teaching model; this is
+/// the default device of the reproduction's Fig. 1 / Fig. 2 experiments.
+#[must_use]
+pub fn three_state_generic() -> PowerModel {
+    PowerModel::builder("three-state-generic")
+        .state("active", 1.0, true)
+        .state("idle", 0.4, false)
+        .state("sleep", 0.05, false)
+        .transition("active", "idle", 0, 0.05)
+        .transition("idle", "active", 0, 0.05)
+        .transition("active", "sleep", 2, 0.8)
+        .transition("sleep", "active", 4, 1.6)
+        .transition("idle", "sleep", 2, 0.7)
+        .build()
+        .expect("three_state_generic preset parameters are valid")
+}
+
+/// IBM Travelstar-class mobile hard disk, 100 ms slices.
+///
+/// Read/write 2.1 W, performance idle 0.9 W, standby (spun down) 0.25 W,
+/// sleep 0.1 W; spin-down ~0.6 s / 0.4 J; spin-up ~2.2 s / 6.0 J — the
+/// canonical numbers quoted in the DPM survey literature, expressed per
+/// 100 ms slice (power values divided by 10).
+#[must_use]
+pub fn ibm_hdd() -> PowerModel {
+    PowerModel::builder("ibm-hdd")
+        .state("active", 0.21, true)
+        .state("idle", 0.09, false)
+        .state("standby", 0.025, false)
+        .state("sleep", 0.01, false)
+        .transition("active", "idle", 0, 0.001)
+        .transition("idle", "active", 0, 0.001)
+        .transition("active", "standby", 6, 0.4)
+        .transition("idle", "standby", 6, 0.4)
+        .transition("standby", "active", 22, 6.0)
+        .transition("standby", "sleep", 3, 0.1)
+        .transition("idle", "sleep", 8, 0.5)
+        .transition("active", "sleep", 8, 0.5)
+        .transition("sleep", "active", 30, 7.0)
+        .build()
+        .expect("ibm_hdd preset parameters are valid")
+}
+
+/// 802.11 WLAN interface, 10 ms slices.
+///
+/// Busy (tx/rx) 1.4 W, listen/idle 0.9 W, doze 45 mW; doze entry/exit a few
+/// slices with beacon-period wake cost. Values per 10 ms slice (power values
+/// divided by 100).
+#[must_use]
+pub fn wlan_card() -> PowerModel {
+    PowerModel::builder("wlan-card")
+        .state("busy", 0.014, true)
+        .state("listen", 0.009, false)
+        .state("doze", 0.00045, false)
+        .transition("busy", "listen", 0, 0.0001)
+        .transition("listen", "busy", 0, 0.0001)
+        .transition("busy", "doze", 1, 0.002)
+        .transition("listen", "doze", 1, 0.002)
+        .transition("doze", "busy", 3, 0.006)
+        .build()
+        .expect("wlan_card preset parameters are valid")
+}
+
+/// StrongARM SA-1100 processor core, 10 ms slices.
+///
+/// Run 400 mW, idle 50 mW, sleep 0.16 mW; sleep wake-up ~160 ms. Per 10 ms
+/// slice (power values divided by 100). This is the "low end processor"
+/// setting the paper's introduction motivates (deeply embedded nodes).
+#[must_use]
+pub fn sa1100() -> PowerModel {
+    PowerModel::builder("sa1100")
+        .state("run", 0.004, true)
+        .state("idle", 0.0005, false)
+        .state("sleep", 0.0000016, false)
+        .transition("run", "idle", 0, 0.00001)
+        .transition("idle", "run", 0, 0.00001)
+        .transition("run", "sleep", 1, 0.0004)
+        .transition("idle", "sleep", 1, 0.0003)
+        .transition("sleep", "run", 16, 0.0032)
+        .build()
+        .expect("sa1100 preset parameters are valid")
+}
+
+/// Default geometric service model paired with [`three_state_generic`]:
+/// mean service time of 1/0.6 ≈ 1.7 slices per request.
+#[must_use]
+pub fn default_service() -> ServiceModel {
+    ServiceModel::geometric(0.6).expect("0.6 is a valid completion probability")
+}
+
+/// Names of all device presets, for sweep harnesses.
+#[must_use]
+pub fn preset_names() -> &'static [&'static str] {
+    &["two-state", "three-state-generic", "ibm-hdd", "wlan-card", "sa1100"]
+}
+
+/// Looks up a preset by name (the `two-state` preset uses default economics:
+/// on 1.0, off 0.1, latency 3, energy 1.2).
+#[must_use]
+pub fn by_name(name: &str) -> Option<PowerModel> {
+    match name {
+        "two-state" => Some(two_state(1.0, 0.1, 3, 1.2)),
+        "three-state-generic" => Some(three_state_generic()),
+        "ibm-hdd" => Some(ibm_hdd()),
+        "wlan-card" => Some(wlan_card()),
+        "sa1100" => Some(sa1100()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for name in preset_names() {
+            let model = by_name(name).unwrap_or_else(|| panic!("missing preset {name}"));
+            assert!(model.n_states() >= 2, "{name} too small");
+            // Every preset must have a serving state and a strictly cheaper
+            // non-serving state, otherwise DPM is pointless.
+            let serving = model.serving_state();
+            let low = model.lowest_power_state();
+            assert!(model.state(low).power < model.state(serving).power, "{name}");
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown() {
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn presets_have_sleep_round_trip() {
+        for name in preset_names() {
+            let model = by_name(name).unwrap();
+            let high = model.highest_power_state();
+            let low = model.lowest_power_state();
+            // A full sleep round trip must exist so a PM can actually manage
+            // power, possibly via intermediate states; check break-even is
+            // computable directly or the low state is reachable somehow.
+            let direct = model.break_even_steps(high, low);
+            let reachable = model.commands_from(high).count() > 0;
+            assert!(direct.is_some() || reachable, "{name} has no usable transitions");
+        }
+    }
+
+    #[test]
+    fn three_state_break_even_is_reasonable() {
+        let m = three_state_generic();
+        let active = m.state_by_name("active").unwrap();
+        let sleep = m.state_by_name("sleep").unwrap();
+        let be = m.break_even_steps(active, sleep).unwrap();
+        // Round trip costs 2.4 J and 6 slices; saving 0.95/slice.
+        // t = (2.4 - 0.3) / 0.95 = 2.21 -> T = max(3, 6) = 6.
+        assert_eq!(be, 6);
+    }
+
+    #[test]
+    fn default_service_is_geometric() {
+        assert_eq!(default_service().completion_probability(), Some(0.6));
+    }
+}

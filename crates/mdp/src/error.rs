@@ -1,0 +1,108 @@
+use std::fmt;
+
+/// Errors produced by MDP construction and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MdpError {
+    /// The MDP had zero states or zero actions.
+    EmptyModel,
+    /// A transition row of a legal state-action pair does not sum to 1.
+    BadTransitionRow {
+        /// State index.
+        state: usize,
+        /// Action index.
+        action: usize,
+        /// Actual row sum.
+        sum: f64,
+    },
+    /// A transition referenced an out-of-range next state.
+    StateOutOfRange {
+        /// The offending next-state index.
+        next: usize,
+        /// Number of states in the model.
+        n_states: usize,
+    },
+    /// A state has no legal action.
+    NoLegalAction {
+        /// State index.
+        state: usize,
+    },
+    /// A cost entry was non-finite.
+    NonFiniteCost {
+        /// State index.
+        state: usize,
+        /// Action index.
+        action: usize,
+    },
+    /// The discount factor was outside `(0, 1)`.
+    BadDiscount(f64),
+    /// A solver hit its iteration cap before converging.
+    NoConvergence {
+        /// Which solver gave up.
+        solver: &'static str,
+        /// The iteration cap that was reached.
+        iterations: usize,
+    },
+    /// A linear system was singular (policy evaluation failed).
+    SingularSystem,
+    /// The linear program was infeasible.
+    LpInfeasible,
+    /// The linear program was unbounded.
+    LpUnbounded,
+    /// The DPM builder was given a workload/service combination it cannot
+    /// compile exactly (e.g. non-geometric service).
+    NotMarkovian(String),
+    /// A constraint bound or weight was invalid.
+    BadParameter(String),
+}
+
+impl fmt::Display for MdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdpError::EmptyModel => write!(f, "mdp needs at least one state and one action"),
+            MdpError::BadTransitionRow { state, action, sum } => write!(
+                f,
+                "transition row for state {state} action {action} sums to {sum}, expected 1"
+            ),
+            MdpError::StateOutOfRange { next, n_states } => {
+                write!(f, "next state {next} out of range for {n_states} states")
+            }
+            MdpError::NoLegalAction { state } => {
+                write!(f, "state {state} has no legal action")
+            }
+            MdpError::NonFiniteCost { state, action } => {
+                write!(f, "non-finite cost at state {state} action {action}")
+            }
+            MdpError::BadDiscount(beta) => {
+                write!(f, "discount factor {beta} outside (0, 1)")
+            }
+            MdpError::NoConvergence { solver, iterations } => {
+                write!(f, "{solver} did not converge within {iterations} iterations")
+            }
+            MdpError::SingularSystem => write!(f, "singular linear system"),
+            MdpError::LpInfeasible => write!(f, "linear program is infeasible"),
+            MdpError::LpUnbounded => write!(f, "linear program is unbounded"),
+            MdpError::NotMarkovian(msg) => write!(f, "model is not markovian: {msg}"),
+            MdpError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MdpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_location() {
+        let e = MdpError::BadTransitionRow { state: 3, action: 1, sum: 0.7 };
+        assert!(e.to_string().contains("state 3"));
+        assert!(e.to_string().contains("action 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<MdpError>();
+    }
+}

@@ -1,0 +1,215 @@
+//! Minimal dense linear algebra: just enough for policy evaluation.
+//!
+//! Implemented in-repo (no external linear-algebra crate) per the
+//! reproduction's dependency policy. Systems here are small (hundreds of
+//! unknowns), so an LU factorization with partial pivoting is plenty.
+
+use crate::MdpError;
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of order `n`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solves `A x = b` in place via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::SingularSystem`] when no pivot above `1e-12` can
+    /// be found.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `b.len() != rows`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MdpError> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column at/below row.
+            let (pivot_row, pivot_val) = (col..n)
+                .map(|r| (r, a[r * n + col]))
+                .max_by(|l, r| l.1.abs().total_cmp(&r.1.abs()))
+                .expect("non-empty range");
+            if pivot_val.abs() < 1e-12 {
+                return Err(MdpError::SingularSystem);
+            }
+            if pivot_row != col {
+                for k in 0..n {
+                    a.swap(col * n + k, pivot_row * n + k);
+                }
+                x.swap(col, pivot_row);
+            }
+            let inv = 1.0 / a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] * inv;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for k in (col + 1)..n {
+                    a[r * n + k] -= factor * a[col * n + k];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            x[col] /= a[col * n + col];
+            for r in 0..col {
+                x[r] -= a[r * n + col] * x[col];
+            }
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(3);
+        let x = a.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_hand_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivot() {
+        // First pivot is zero: forces a row swap.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = a.solve(&[2.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), MdpError::SingularSystem);
+    }
+
+    #[test]
+    fn mul_vec_matches_hand() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn solve_then_multiply_round_trip() {
+        let a = Matrix::from_rows(
+            3,
+            3,
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 5.0],
+        );
+        let b = [7.0, -2.0, 3.5];
+        let x = a.solve(&b).unwrap();
+        let back = a.mul_vec(&x);
+        for (bi, yi) in b.iter().zip(&back) {
+            assert!((bi - yi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let _ = Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Deterministic sample models for tests and benchmarks.
+//!
+//! Random MDPs here use an in-repo SplitMix64 stream (not `rand`) so the
+//! same seed yields the same model everywhere, including in benches that
+//! must not perturb the `rand` dependency graph.
+
+use crate::{Mdp, MdpError};
+
+/// Tiny deterministic PRNG (SplitMix64).
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Generates a fully-connected random MDP: every action legal, each
+/// transition row touching `branching` random states, costs uniform in
+/// `[0, 1)`. Deterministic in `seed`.
+///
+/// # Errors
+///
+/// Returns [`MdpError::EmptyModel`] when a dimension is zero.
+///
+/// # Panics
+///
+/// Panics if `branching == 0`.
+pub fn random_mdp(
+    n_states: usize,
+    n_actions: usize,
+    branching: usize,
+    seed: u64,
+) -> Result<Mdp, MdpError> {
+    assert!(branching > 0, "branching must be at least 1");
+    let mut rng = SplitMix64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut b = Mdp::builder(n_states, n_actions)?;
+    for s in 0..n_states {
+        for a in 0..n_actions {
+            // Draw `branching` distinct-ish targets with random weights.
+            let mut weights = Vec::with_capacity(branching);
+            let mut total = 0.0;
+            for _ in 0..branching {
+                let target = rng.next_below(n_states);
+                let w = rng.next_f64() + 1e-3;
+                weights.push((target, w));
+                total += w;
+            }
+            // Merge duplicates and normalize.
+            weights.sort_unstable_by_key(|&(t, _)| t);
+            let mut row: Vec<(usize, f64)> = Vec::with_capacity(branching);
+            for (t, w) in weights {
+                match row.last_mut() {
+                    Some((lt, lw)) if *lt == t => *lw += w / total,
+                    _ => row.push((t, w / total)),
+                }
+            }
+            // Normalization: make the row sum exactly 1 against fp drift.
+            let sum: f64 = row.iter().map(|&(_, p)| p).sum();
+            if let Some(last) = row.last_mut() {
+                last.1 += 1.0 - sum;
+            }
+            b.set_action(s, a, row, rng.next_f64(), rng.next_f64());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp::lp_solve_discounted;
+    use crate::solvers::{policy_iteration, value_iteration, SolveOptions};
+    use crate::CostWeights;
+
+    #[test]
+    fn random_mdp_is_deterministic_in_seed() {
+        let a = random_mdp(10, 3, 4, 42).unwrap();
+        let b = random_mdp(10, 3, 4, 42).unwrap();
+        assert_eq!(a, b);
+        let c = random_mdp(10, 3, 4, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_mdp_validates() {
+        // build() inside random_mdp re-checks all row sums.
+        for seed in 0..20 {
+            let m = random_mdp(15, 4, 3, seed).unwrap();
+            assert_eq!(m.n_states(), 15);
+        }
+    }
+
+    #[test]
+    fn three_solvers_agree_on_random_models() {
+        for seed in 0..8 {
+            let m = random_mdp(12, 3, 4, seed).unwrap();
+            let cost = m.combined_cost(CostWeights::new(1.0, 0.5).unwrap());
+            let vi =
+                value_iteration(&m, &cost, SolveOptions::with_discount(0.9).unwrap()).unwrap();
+            let pi = policy_iteration(&m, &cost, 0.9).unwrap();
+            let lp = lp_solve_discounted(&m, &cost, 0.9).unwrap();
+            for s in 0..m.n_states() {
+                assert!(
+                    (vi.values[s] - pi.values[s]).abs() < 1e-6,
+                    "seed {seed} state {s}: vi {} pi {}",
+                    vi.values[s],
+                    pi.values[s]
+                );
+                assert!(
+                    (vi.values[s] - lp.values[s]).abs() < 1e-5,
+                    "seed {seed} state {s}: vi {} lp {}",
+                    vi.values[s],
+                    lp.values[s]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,450 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use qdpm_core::{Observation, PowerManager, RewardWeights, StepOutcome};
+use qdpm_device::{Device, PowerModel, Queue, Server, ServiceModel, Step};
+use qdpm_workload::RequestGenerator;
+
+use crate::{RunStats, SeriesRecorder, SimError, WindowPoint};
+
+/// Observation noise injected between the system and the power manager
+/// (the "noisy environment" of the Fuzzy Q-DPM experiment, F4).
+///
+/// Noise corrupts only what the PM *sees*; energy/latency accounting uses
+/// the true state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservationNoise {
+    /// Probability that the reported queue length is off by one (direction
+    /// uniform, clamped at 0).
+    pub queue_misread_prob: f64,
+    /// Maximum uniform jitter added to the reported idle time, in slices.
+    pub idle_jitter: u64,
+}
+
+impl ObservationNoise {
+    /// No noise.
+    #[must_use]
+    pub fn none() -> Self {
+        ObservationNoise {
+            queue_misread_prob: 0.0,
+            idle_jitter: 0,
+        }
+    }
+}
+
+impl Default for ObservationNoise {
+    fn default() -> Self {
+        ObservationNoise::none()
+    }
+}
+
+/// Configuration of a [`Simulator`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Queue capacity.
+    pub queue_cap: usize,
+    /// Reward/cost weights (shared by metrics and learning agents).
+    pub weights: RewardWeights,
+    /// Master seed; the simulator derives independent streams for the
+    /// workload, the policy, the service process and observation noise, so
+    /// different policies face *identical* arrival sequences.
+    pub seed: u64,
+    /// Whether the hidden requester mode is exposed to the PM
+    /// (`sr_mode_hint`); true only for white-box model-based baselines.
+    pub expose_sr_mode: bool,
+    /// Observation noise (F4).
+    pub noise: ObservationNoise,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            queue_cap: 8,
+            weights: RewardWeights::default(),
+            seed: 42,
+            expose_sr_mode: false,
+            noise: ObservationNoise::none(),
+        }
+    }
+}
+
+/// Discrete-time DPM simulator: drives a [`PowerManager`] against a device,
+/// queue and workload under the exact step semantics shared with the MDP
+/// builder (`DESIGN.md` §3).
+///
+/// Per slice, in order: PM decides; command takes effect; arrivals enqueue;
+/// service completes (geometric); energy and performance are accounted;
+/// transition countdowns advance; the PM receives the outcome.
+///
+/// # Example
+///
+/// ```
+/// use qdpm_core::{QDpmAgent, QDpmConfig};
+/// use qdpm_device::presets;
+/// use qdpm_sim::{SimConfig, Simulator};
+/// use qdpm_workload::WorkloadSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let power = presets::three_state_generic();
+/// let agent = QDpmAgent::new(&power, QDpmConfig::default())?;
+/// let mut sim = Simulator::new(
+///     power.clone(),
+///     presets::default_service(),
+///     WorkloadSpec::bernoulli(0.05)?.build(),
+///     Box::new(agent),
+///     SimConfig::default(),
+/// )?;
+/// let stats = sim.run(10_000);
+/// assert_eq!(stats.steps, 10_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    device: Device,
+    queue: Queue,
+    server: Server,
+    generator: Box<dyn RequestGenerator>,
+    pm: Box<dyn PowerManager>,
+    weights: RewardWeights,
+    expose_sr_mode: bool,
+    noise: ObservationNoise,
+    rng_workload: StdRng,
+    rng_policy: StdRng,
+    rng_service: StdRng,
+    rng_noise: StdRng,
+    now: Step,
+    idle_slices: u64,
+    stats: RunStats,
+    recorder: Option<SeriesRecorder>,
+}
+
+#[inline]
+fn uniform(rng: &mut dyn Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Simulator {
+    /// Assembles a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the queue capacity is zero.
+    pub fn new(
+        power: PowerModel,
+        service: ServiceModel,
+        generator: Box<dyn RequestGenerator>,
+        pm: Box<dyn PowerManager>,
+        config: SimConfig,
+    ) -> Result<Self, SimError> {
+        let queue = Queue::new(config.queue_cap)?;
+        Ok(Simulator {
+            device: Device::new(power),
+            queue,
+            server: Server::new(service),
+            generator,
+            pm,
+            weights: config.weights,
+            expose_sr_mode: config.expose_sr_mode,
+            noise: config.noise,
+            rng_workload: StdRng::seed_from_u64(config.seed),
+            rng_policy: StdRng::seed_from_u64(config.seed.wrapping_add(0x9e37_79b9)),
+            rng_service: StdRng::seed_from_u64(config.seed.wrapping_add(0x3c6e_f372)),
+            rng_noise: StdRng::seed_from_u64(config.seed.wrapping_add(0x1446_14e5)),
+            now: 0,
+            idle_slices: 0,
+            stats: RunStats::new(),
+            recorder: None,
+        })
+    }
+
+    /// Attaches a windowed series recorder (Fig. 1/2 curves). The always-on
+    /// reference is the device's highest-power state.
+    pub fn attach_recorder(&mut self, window: Step) {
+        let p_on = self
+            .device
+            .model()
+            .state(self.device.model().highest_power_state())
+            .power;
+        self.recorder = Some(SeriesRecorder::new(window, p_on));
+    }
+
+    /// Takes the recorded series, flushing a partial window.
+    #[must_use]
+    pub fn take_series(&mut self) -> Vec<WindowPoint> {
+        self.recorder.take().map(SeriesRecorder::finish).unwrap_or_default()
+    }
+
+    /// Current slice index.
+    #[must_use]
+    pub fn now(&self) -> Step {
+        self.now
+    }
+
+    /// Statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Read access to the power manager.
+    #[must_use]
+    pub fn pm(&self) -> &dyn PowerManager {
+        self.pm.as_ref()
+    }
+
+    /// Mutable access to the power manager (e.g. to freeze exploration).
+    #[must_use]
+    pub fn pm_mut(&mut self) -> &mut dyn PowerManager {
+        self.pm.as_mut()
+    }
+
+    /// The true (noise-free) observation at the start of the current slice.
+    #[must_use]
+    pub fn observation(&self) -> Observation {
+        Observation {
+            device_mode: self.device.mode(),
+            queue_len: self.queue.len(),
+            idle_slices: self.idle_slices,
+            sr_mode_hint: self.expose_sr_mode.then(|| self.generator.mode()),
+        }
+    }
+
+    /// Applies observation noise for the PM's view.
+    fn noisy(&mut self, obs: Observation) -> Observation {
+        let mut out = obs;
+        if self.noise.queue_misread_prob > 0.0
+            && uniform(&mut self.rng_noise) < self.noise.queue_misread_prob
+        {
+            let up = uniform(&mut self.rng_noise) < 0.5;
+            out.queue_len = if up {
+                out.queue_len + 1
+            } else {
+                out.queue_len.saturating_sub(1)
+            };
+        }
+        if self.noise.idle_jitter > 0 {
+            let j = (uniform(&mut self.rng_noise) * (2 * self.noise.idle_jitter + 1) as f64)
+                as u64;
+            out.idle_slices = (out.idle_slices + j).saturating_sub(self.noise.idle_jitter);
+        }
+        out
+    }
+
+    /// Advances the simulation by one slice and returns its outcome.
+    pub fn step(&mut self) -> StepOutcome {
+        // 1. Decide (PM sees the possibly-noisy observation).
+        let obs = self.noisy(self.observation());
+        let command = self.pm.decide(&obs, &mut self.rng_policy);
+
+        // 2. Command takes effect; instant switches pay their energy now.
+        let cmd_energy = self.device.command(command).immediate_energy();
+
+        // 3. Arrivals.
+        let arrivals = self.generator.next_arrivals(&mut self.rng_workload);
+        let mut dropped = 0u32;
+        for _ in 0..arrivals {
+            if !self.queue.push(self.now) {
+                dropped += 1;
+            }
+        }
+        self.idle_slices = if arrivals > 0 { 0 } else { self.idle_slices + 1 };
+
+        // 4. Device elapses the slice (residency/transition energy).
+        let tick = self.device.tick();
+
+        // 5. Service.
+        let mut completed = 0u32;
+        let mut wait_of_completed = 0u64;
+        if tick.can_serve && !self.queue.is_empty() {
+            let u = uniform(&mut self.rng_service);
+            if self.server.advance(u) {
+                wait_of_completed = self
+                    .queue
+                    .pop(self.now)
+                    .expect("non-empty queue pops successfully");
+                completed = 1;
+            }
+        }
+
+        // 6. Accounting and feedback.
+        let outcome = StepOutcome {
+            energy: cmd_energy + tick.energy,
+            queue_len: self.queue.len(),
+            dropped,
+            completed,
+            arrivals,
+        };
+        self.now += 1;
+        self.stats.record(&outcome, &self.weights, wait_of_completed);
+        if let Some(rec) = &mut self.recorder {
+            rec.record(&outcome, &self.weights);
+        }
+        let next_obs = self.noisy(self.observation());
+        self.pm.observe(&outcome, &next_obs);
+        outcome
+    }
+
+    /// Runs `steps` slices and returns the statistics of that stretch.
+    pub fn run(&mut self, steps: Step) -> RunStats {
+        let before = self.stats.clone();
+        for _ in 0..steps {
+            self.step();
+        }
+        diff_stats(&self.stats, &before)
+    }
+}
+
+/// Subtracts two cumulative statistics (run-stretch accounting).
+fn diff_stats(after: &RunStats, before: &RunStats) -> RunStats {
+    RunStats {
+        steps: after.steps - before.steps,
+        total_energy: after.total_energy - before.total_energy,
+        total_cost: after.total_cost - before.total_cost,
+        arrivals: after.arrivals - before.arrivals,
+        completed: after.completed - before.completed,
+        dropped: after.dropped - before.dropped,
+        queue_len_sum: after.queue_len_sum - before.queue_len_sum,
+        total_wait: after.total_wait - before.total_wait,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::AlwaysOn;
+    use qdpm_device::presets;
+    use qdpm_workload::WorkloadSpec;
+
+    fn sim_with(p_arrival: f64, seed: u64) -> Simulator {
+        let power = presets::three_state_generic();
+        let pm = AlwaysOn::new(&power);
+        Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(p_arrival).unwrap().build(),
+            Box::new(pm),
+            SimConfig { seed, ..SimConfig::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn always_on_energy_is_exact() {
+        let mut sim = sim_with(0.0, 1);
+        let stats = sim.run(1000);
+        // Highest-power state draws 1.0 per slice, no transitions.
+        assert!((stats.total_energy - 1000.0).abs() < 1e-9);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.dropped, 0);
+    }
+
+    #[test]
+    fn conservation_arrivals_completed_dropped_queued() {
+        let mut sim = sim_with(0.3, 7);
+        let stats = sim.run(5000);
+        let queued = sim.observation().queue_len as u64;
+        assert_eq!(stats.arrivals, stats.completed + stats.dropped + queued);
+    }
+
+    #[test]
+    fn same_seed_same_workload_across_policies() {
+        // Two different policy RNG consumption patterns must not change
+        // the arrival sequence.
+        let mut a = sim_with(0.3, 99);
+        let mut b = sim_with(0.3, 99);
+        let sa = a.run(2000);
+        // run b in two chunks to desync any shared state hypothetically
+        let sb1 = b.run(1000);
+        let sb2 = b.run(1000);
+        assert_eq!(sa.arrivals, sb1.arrivals + sb2.arrivals);
+    }
+
+    #[test]
+    fn idle_slices_resets_on_arrival() {
+        let power = presets::three_state_generic();
+        let pm = AlwaysOn::new(&power);
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::Trace { arrivals: vec![0, 0, 1, 0] }.build(),
+            Box::new(pm),
+            SimConfig::default(),
+        )
+        .unwrap();
+        sim.step();
+        sim.step();
+        assert_eq!(sim.observation().idle_slices, 2);
+        sim.step(); // arrival
+        assert_eq!(sim.observation().idle_slices, 0);
+        sim.step();
+        assert_eq!(sim.observation().idle_slices, 1);
+    }
+
+    #[test]
+    fn recorder_produces_windows() {
+        let mut sim = sim_with(0.2, 3);
+        sim.attach_recorder(100);
+        sim.run(1000);
+        let series = sim.take_series();
+        assert_eq!(series.len(), 10);
+        assert!(series.iter().all(|p| p.energy_per_slice > 0.0));
+    }
+
+    #[test]
+    fn noise_perturbs_only_observation() {
+        let power = presets::three_state_generic();
+        let pm = AlwaysOn::new(&power);
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.5).unwrap().build(),
+            Box::new(pm),
+            SimConfig {
+                noise: ObservationNoise { queue_misread_prob: 1.0, idle_jitter: 3 },
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        // Energy accounting must stay exact despite noise.
+        let stats = sim.run(500);
+        assert!((stats.total_energy - 500.0).abs() < 1e-9);
+    }
+
+
+    #[test]
+    fn deterministic_service_takes_exact_slices() {
+        // One arrival at slice 0; deterministic 3-slice service while
+        // always-on: completion should land exactly at slice 2 (service
+        // progresses during slices 0, 1, 2).
+        let power = presets::three_state_generic();
+        let pm = AlwaysOn::new(&power);
+        let mut sim = Simulator::new(
+            power,
+            qdpm_device::ServiceModel::deterministic(3).unwrap(),
+            WorkloadSpec::Trace { arrivals: vec![1, 0, 0, 0, 0] }.build(),
+            Box::new(pm),
+            SimConfig::default(),
+        )
+        .unwrap();
+        let o0 = sim.step();
+        assert_eq!(o0.completed, 0);
+        let o1 = sim.step();
+        assert_eq!(o1.completed, 0);
+        let o2 = sim.step();
+        assert_eq!(o2.completed, 1, "deterministic(3) completes on slice 3");
+        assert_eq!(sim.stats().completed, 1);
+        assert_eq!(sim.stats().total_wait, 2);
+    }
+
+    #[test]
+    fn run_returns_stretch_stats() {
+        let mut sim = sim_with(0.1, 5);
+        let first = sim.run(100);
+        let second = sim.run(100);
+        assert_eq!(first.steps, 100);
+        assert_eq!(second.steps, 100);
+        assert_eq!(sim.stats().steps, 200);
+    }
+}

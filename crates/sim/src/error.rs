@@ -1,0 +1,89 @@
+use std::fmt;
+
+use qdpm_core::CoreError;
+use qdpm_device::DeviceError;
+use qdpm_mdp::MdpError;
+use qdpm_workload::WorkloadError;
+
+/// Errors produced while assembling or running simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A device-model error.
+    Device(DeviceError),
+    /// A workload error.
+    Workload(WorkloadError),
+    /// An MDP construction/solve error (model-based baselines).
+    Mdp(MdpError),
+    /// A Q-DPM configuration error.
+    Core(CoreError),
+    /// A simulation parameter was invalid.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Device(e) => write!(f, "device: {e}"),
+            SimError::Workload(e) => write!(f, "workload: {e}"),
+            SimError::Mdp(e) => write!(f, "mdp: {e}"),
+            SimError::Core(e) => write!(f, "core: {e}"),
+            SimError::BadConfig(msg) => write!(f, "bad simulation config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Device(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+            SimError::Mdp(e) => Some(e),
+            SimError::Core(e) => Some(e),
+            SimError::BadConfig(_) => None,
+        }
+    }
+}
+
+impl From<DeviceError> for SimError {
+    fn from(e: DeviceError) -> Self {
+        SimError::Device(e)
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+impl From<MdpError> for SimError {
+    fn from(e: MdpError) -> Self {
+        SimError::Mdp(e)
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: SimError = DeviceError::NoStates.into();
+        assert!(matches!(e, SimError::Device(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: SimError = WorkloadError::EmptyTrace.into();
+        assert!(e.to_string().contains("workload"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-time DPM simulation engine, baseline power managers, metrics
+//! and experiment runners for the Q-DPM reproduction.
+//!
+//! The [`Simulator`] drives any [`qdpm_core::PowerManager`] against a
+//! power-managed device, a bounded service queue and a synthetic workload
+//! under the exact step semantics shared with the DTMDP builder in
+//! `qdpm-mdp` (see `DESIGN.md` §3) — so the "theoretically optimal policy"
+//! computed from the model and the policies measured here are directly
+//! comparable.
+//!
+//! Provided baselines ([`policies`]):
+//!
+//! * [`AlwaysOn`] — the energy-reduction reference;
+//! * [`GreedyOff`] — sleep immediately when idle;
+//! * [`FixedTimeout`] / [`AdaptiveTimeout`] — the classic heuristics;
+//! * [`Oracle`] — clairvoyant per-idle-period lower bound;
+//! * [`MdpPolicyController`] — executes an exact (deterministic or
+//!   randomized) MDP policy;
+//! * [`ModelBasedAdaptive`] — the full estimator + change-detector +
+//!   re-optimizer pipeline the paper compares against in Fig. 2.
+//!
+//! The [`experiment`] module packages the paper's evaluation: Fig. 1
+//! convergence, Fig. 2 rapid response, and the robustness sweep.
+
+mod adaptive;
+mod engine;
+mod error;
+pub mod experiment;
+mod metrics;
+pub mod policies;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveSolver, ModelBasedAdaptive};
+pub use engine::{ObservationNoise, SimConfig, Simulator};
+pub use error::SimError;
+pub use metrics::{RunStats, SeriesRecorder, WindowPoint};
+pub use policies::{
+    AdaptiveTimeout, AlwaysOn, FixedTimeout, GreedyOff, MdpPolicyController, Oracle,
+};

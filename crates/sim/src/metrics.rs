@@ -1,0 +1,301 @@
+use serde::{Deserialize, Serialize};
+
+use qdpm_core::{RewardWeights, StepOutcome};
+use qdpm_device::Step;
+
+/// Aggregate statistics of a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Slices simulated.
+    pub steps: Step,
+    /// Total energy consumed.
+    pub total_energy: f64,
+    /// Total weighted cost (energy + weighted perf, the learner's
+    /// negated-reward).
+    pub total_cost: f64,
+    /// Requests that arrived.
+    pub arrivals: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests dropped by a full queue.
+    pub dropped: u64,
+    /// Sum of end-of-slice queue lengths (for the average).
+    pub queue_len_sum: f64,
+    /// Sum of per-request waiting times of completed requests, in slices.
+    pub total_wait: u64,
+}
+
+impl RunStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        RunStats::default()
+    }
+
+    /// Folds one slice's outcome into the totals. `wait_of_completed` is
+    /// the waiting time recorded when a request completed this slice.
+    pub fn record(&mut self, outcome: &StepOutcome, weights: &RewardWeights, wait_of_completed: u64) {
+        self.steps += 1;
+        self.total_energy += outcome.energy;
+        self.total_cost += -weights.reward(outcome);
+        self.arrivals += u64::from(outcome.arrivals);
+        self.completed += u64::from(outcome.completed);
+        self.dropped += u64::from(outcome.dropped);
+        self.queue_len_sum += outcome.queue_len as f64;
+        self.total_wait += wait_of_completed;
+    }
+
+    /// Mean energy per slice (average power).
+    #[must_use]
+    pub fn avg_power(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_energy / self.steps as f64
+        }
+    }
+
+    /// Mean weighted cost per slice (the quantity the optimal gain bounds).
+    #[must_use]
+    pub fn avg_cost(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_cost / self.steps as f64
+        }
+    }
+
+    /// Mean end-of-slice queue length.
+    #[must_use]
+    pub fn avg_queue_len(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.queue_len_sum / self.steps as f64
+        }
+    }
+
+    /// Mean waiting time of completed requests, in slices.
+    #[must_use]
+    pub fn mean_wait(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.total_wait as f64 / self.completed as f64
+        }
+    }
+
+    /// Fraction of arrivals dropped.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Energy reduction relative to an always-on baseline drawing
+    /// `always_on_power` per slice — the paper's headline y-axis.
+    #[must_use]
+    pub fn energy_reduction_vs(&self, always_on_power: f64) -> f64 {
+        let baseline = always_on_power * self.steps as f64;
+        if baseline <= 0.0 {
+            0.0
+        } else {
+            (baseline - self.total_energy) / baseline
+        }
+    }
+}
+
+/// One point of a windowed time series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowPoint {
+    /// Slice index at the window's end (exclusive).
+    pub end: Step,
+    /// Mean energy per slice within the window.
+    pub energy_per_slice: f64,
+    /// Mean weighted cost per slice within the window.
+    pub cost_per_slice: f64,
+    /// Mean queue length within the window.
+    pub avg_queue: f64,
+    /// Requests dropped within the window.
+    pub dropped: u64,
+    /// Energy reduction vs always-on within the window.
+    pub energy_reduction: f64,
+}
+
+/// Records fixed-width windowed series during a run — the data behind the
+/// paper's Fig. 1 and Fig. 2 curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesRecorder {
+    window: Step,
+    always_on_power: f64,
+    points: Vec<WindowPoint>,
+    // accumulators of the open window
+    acc_steps: Step,
+    acc_energy: f64,
+    acc_cost: f64,
+    acc_queue: f64,
+    acc_dropped: u64,
+    now: Step,
+}
+
+impl SeriesRecorder {
+    /// Creates a recorder with the given window width (slices) and the
+    /// always-on reference power for reduction computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(window: Step, always_on_power: f64) -> Self {
+        assert!(window > 0, "window must be positive");
+        SeriesRecorder {
+            window,
+            always_on_power,
+            points: Vec::new(),
+            acc_steps: 0,
+            acc_energy: 0.0,
+            acc_cost: 0.0,
+            acc_queue: 0.0,
+            acc_dropped: 0,
+            now: 0,
+        }
+    }
+
+    /// Folds one slice's outcome into the open window.
+    pub fn record(&mut self, outcome: &StepOutcome, weights: &RewardWeights) {
+        self.now += 1;
+        self.acc_steps += 1;
+        self.acc_energy += outcome.energy;
+        self.acc_cost += -weights.reward(outcome);
+        self.acc_queue += outcome.queue_len as f64;
+        self.acc_dropped += u64::from(outcome.dropped);
+        if self.acc_steps == self.window {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.acc_steps == 0 {
+            return;
+        }
+        let n = self.acc_steps as f64;
+        let baseline = self.always_on_power * n;
+        self.points.push(WindowPoint {
+            end: self.now,
+            energy_per_slice: self.acc_energy / n,
+            cost_per_slice: self.acc_cost / n,
+            avg_queue: self.acc_queue / n,
+            dropped: self.acc_dropped,
+            energy_reduction: if baseline > 0.0 {
+                (baseline - self.acc_energy) / baseline
+            } else {
+                0.0
+            },
+        });
+        self.acc_steps = 0;
+        self.acc_energy = 0.0;
+        self.acc_cost = 0.0;
+        self.acc_queue = 0.0;
+        self.acc_dropped = 0;
+    }
+
+    /// Completed windows so far.
+    #[must_use]
+    pub fn points(&self) -> &[WindowPoint] {
+        &self.points
+    }
+
+    /// Flushes any partial window and returns all points.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<WindowPoint> {
+        self.flush();
+        self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(energy: f64, q: usize, dropped: u32) -> StepOutcome {
+        StepOutcome {
+            energy,
+            queue_len: q,
+            dropped,
+            completed: 0,
+            arrivals: 1,
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let w = RewardWeights::default();
+        let mut s = RunStats::new();
+        s.record(&outcome(2.0, 3, 0), &w, 0);
+        s.record(&outcome(1.0, 1, 1), &w, 5);
+        assert_eq!(s.steps, 2);
+        assert!((s.avg_power() - 1.5).abs() < 1e-12);
+        assert!((s.avg_queue_len() - 2.0).abs() < 1e-12);
+        assert_eq!(s.dropped, 1);
+        assert_eq!(s.arrivals, 2);
+        assert_eq!(s.total_wait, 5);
+    }
+
+    #[test]
+    fn energy_reduction_formula() {
+        let w = RewardWeights::default();
+        let mut s = RunStats::new();
+        for _ in 0..10 {
+            s.record(&outcome(0.25, 0, 0), &w, 0);
+        }
+        // always-on at 1.0: reduction = (10 - 2.5) / 10 = 0.75.
+        assert!((s.energy_reduction_vs(1.0) - 0.75).abs() < 1e-12);
+        assert_eq!(s.energy_reduction_vs(0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_wait_and_drop_rate() {
+        let w = RewardWeights::default();
+        let mut s = RunStats::new();
+        let done = StepOutcome {
+            energy: 1.0,
+            queue_len: 0,
+            dropped: 0,
+            completed: 1,
+            arrivals: 0,
+        };
+        s.record(&done, &w, 4);
+        s.record(&done, &w, 2);
+        assert!((s.mean_wait() - 3.0).abs() < 1e-12);
+        assert_eq!(s.drop_rate(), 0.0);
+    }
+
+    #[test]
+    fn recorder_windows_align() {
+        let w = RewardWeights::default();
+        let mut r = SeriesRecorder::new(5, 1.0);
+        for i in 0..12 {
+            r.record(&outcome(if i < 5 { 1.0 } else { 0.5 }, 0, 0), &w);
+        }
+        let pts = r.finish();
+        assert_eq!(pts.len(), 3); // two full windows + partial flush
+        assert_eq!(pts[0].end, 5);
+        assert!((pts[0].energy_per_slice - 1.0).abs() < 1e-12);
+        assert!((pts[0].energy_reduction - 0.0).abs() < 1e-12);
+        assert!((pts[1].energy_per_slice - 0.5).abs() < 1e-12);
+        assert!((pts[1].energy_reduction - 0.5).abs() < 1e-12);
+        assert_eq!(pts[2].end, 12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunStats::new();
+        assert_eq!(s.avg_power(), 0.0);
+        assert_eq!(s.avg_cost(), 0.0);
+        assert_eq!(s.mean_wait(), 0.0);
+        assert_eq!(s.drop_rate(), 0.0);
+    }
+}

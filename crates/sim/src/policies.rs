@@ -1,0 +1,545 @@
+//! Baseline power managers: the heuristics and model-based controllers the
+//! paper's Q-DPM is measured against.
+
+use rand::Rng;
+
+use qdpm_core::{Observation, PowerManager, StepOutcome};
+use qdpm_device::{DeviceMode, PowerModel, PowerStateId, Step};
+use qdpm_mdp::{DeterministicPolicy, DpmStateSpace, StochasticPolicy};
+
+#[inline]
+fn uniform(rng: &mut dyn Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Keeps the device in its serving state forever: the energy-reduction
+/// reference ("0% reduction" line of Fig. 1/2) and latency gold standard.
+#[derive(Debug, Clone)]
+pub struct AlwaysOn {
+    serve: PowerStateId,
+}
+
+impl AlwaysOn {
+    /// Creates the policy for a device model.
+    #[must_use]
+    pub fn new(power: &PowerModel) -> Self {
+        AlwaysOn {
+            serve: power.serving_state(),
+        }
+    }
+}
+
+impl PowerManager for AlwaysOn {
+    fn decide(&mut self, _obs: &Observation, _rng: &mut dyn Rng) -> PowerStateId {
+        self.serve
+    }
+
+    fn name(&self) -> &str {
+        "always-on"
+    }
+}
+
+/// Sleeps the instant the queue is empty and wakes on work: the aggressive
+/// greedy heuristic (optimal only when transitions are free).
+#[derive(Debug, Clone)]
+pub struct GreedyOff {
+    serve: PowerStateId,
+    sleep: PowerStateId,
+}
+
+impl GreedyOff {
+    /// Creates the policy using the device's serving and lowest-power
+    /// states.
+    #[must_use]
+    pub fn new(power: &PowerModel) -> Self {
+        GreedyOff {
+            serve: power.serving_state(),
+            sleep: power.lowest_power_state(),
+        }
+    }
+}
+
+impl PowerManager for GreedyOff {
+    fn decide(&mut self, obs: &Observation, _rng: &mut dyn Rng) -> PowerStateId {
+        match obs.device_mode {
+            DeviceMode::Transitioning { to, .. } => to,
+            DeviceMode::Operational(_) => {
+                if obs.queue_len > 0 {
+                    self.serve
+                } else {
+                    self.sleep
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "greedy-off"
+    }
+}
+
+/// Classic fixed-timeout policy: sleep after `timeout` idle slices, wake on
+/// work — the heuristic every DPM survey starts from.
+#[derive(Debug, Clone)]
+pub struct FixedTimeout {
+    timeout: u64,
+    serve: PowerStateId,
+    sleep: PowerStateId,
+}
+
+impl FixedTimeout {
+    /// Creates the policy with an explicit timeout in slices.
+    #[must_use]
+    pub fn new(power: &PowerModel, timeout: u64) -> Self {
+        FixedTimeout {
+            timeout,
+            serve: power.serving_state(),
+            sleep: power.lowest_power_state(),
+        }
+    }
+
+    /// Creates the 2-competitive variant: timeout = break-even time
+    /// (Karlin's ski-rental argument).
+    #[must_use]
+    pub fn break_even(power: &PowerModel) -> Self {
+        let serve = power.serving_state();
+        let sleep = power.lowest_power_state();
+        let timeout = power.break_even_steps(serve, sleep).unwrap_or(u64::MAX);
+        FixedTimeout { timeout, serve, sleep }
+    }
+
+    /// The configured timeout in slices.
+    #[must_use]
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+}
+
+impl PowerManager for FixedTimeout {
+    fn decide(&mut self, obs: &Observation, _rng: &mut dyn Rng) -> PowerStateId {
+        match obs.device_mode {
+            DeviceMode::Transitioning { to, .. } => to,
+            DeviceMode::Operational(here) => {
+                if obs.queue_len > 0 {
+                    self.serve
+                } else if obs.idle_slices >= self.timeout {
+                    self.sleep
+                } else {
+                    here
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "fixed-timeout"
+    }
+}
+
+/// Adaptive timeout (Douglis-style): multiplicative increase when a sleep
+/// proves premature (woken before break-even), gentle decrease otherwise.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTimeout {
+    timeout: u64,
+    min_timeout: u64,
+    max_timeout: u64,
+    break_even: u64,
+    serve: PowerStateId,
+    sleep: PowerStateId,
+    sleep_started: Option<Step>,
+    now: Step,
+}
+
+impl AdaptiveTimeout {
+    /// Creates the policy; the initial timeout is the break-even time.
+    #[must_use]
+    pub fn new(power: &PowerModel) -> Self {
+        let serve = power.serving_state();
+        let sleep = power.lowest_power_state();
+        let break_even = power.break_even_steps(serve, sleep).unwrap_or(16).max(1);
+        AdaptiveTimeout {
+            timeout: break_even,
+            min_timeout: 1,
+            max_timeout: break_even.saturating_mul(16).max(16),
+            break_even,
+            serve,
+            sleep,
+            sleep_started: None,
+            now: 0,
+        }
+    }
+
+    /// The current (adapted) timeout.
+    #[must_use]
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+}
+
+impl PowerManager for AdaptiveTimeout {
+    fn decide(&mut self, obs: &Observation, _rng: &mut dyn Rng) -> PowerStateId {
+        match obs.device_mode {
+            DeviceMode::Transitioning { to, .. } => to,
+            DeviceMode::Operational(here) => {
+                if obs.queue_len > 0 {
+                    // Waking: judge the sleep episode that now ends.
+                    // Multiplicative in both directions so the expected
+                    // log-drift is non-positive under memoryless arrivals
+                    // (additive decrease lets rare premature sleeps ratchet
+                    // the timeout up until the policy stops sleeping).
+                    if let Some(started) = self.sleep_started.take() {
+                        let slept = self.now.saturating_sub(started);
+                        if slept < self.break_even {
+                            self.timeout =
+                                (self.timeout * 2).clamp(self.min_timeout, self.max_timeout);
+                        } else {
+                            self.timeout = (self.timeout * 3 / 4)
+                                .clamp(self.min_timeout, self.max_timeout);
+                        }
+                    }
+                    self.serve
+                } else if obs.idle_slices >= self.timeout {
+                    if here != self.sleep && self.sleep_started.is_none() {
+                        self.sleep_started = Some(self.now);
+                    }
+                    self.sleep
+                } else {
+                    here
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, _outcome: &StepOutcome, _next_obs: &Observation) {
+        self.now += 1;
+    }
+
+    fn name(&self) -> &str {
+        "adaptive-timeout"
+    }
+}
+
+/// Clairvoyant per-idle-period oracle: knows every future arrival and
+/// sleeps only through gaps longer than break-even.
+///
+/// Two wake disciplines:
+///
+/// * **reactive** (default) — wakes when work arrives; this is the classic
+///   *energy*-optimal per-gap lower bound of the DPM literature (no online
+///   policy without future knowledge beats it on energy);
+/// * **pre-wake** ([`Oracle::with_prewake`]) — starts the wake transition
+///   exactly `wake_latency` slices before the next arrival, eliminating
+///   wake-up latency at the cost of those extra powered slices (the
+///   latency-free oracle).
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Sorted slice indices at which arrivals occur.
+    arrivals: Vec<Step>,
+    cursor: usize,
+    serve: PowerStateId,
+    sleep: PowerStateId,
+    /// Gap threshold when pre-waking (round trip inside the gap).
+    break_even_prewake: u64,
+    /// Gap threshold when waking reactively (only spin-down in the gap).
+    break_even_reactive: u64,
+    wake_latency: u64,
+    prewake: bool,
+    now: Step,
+}
+
+impl Oracle {
+    /// Builds the (reactive, energy-optimal) oracle from a per-slice
+    /// arrival trace — the same trace the simulation will replay.
+    #[must_use]
+    pub fn from_trace(power: &PowerModel, trace: &[u32]) -> Self {
+        let serve = power.serving_state();
+        let sleep = power.lowest_power_state();
+        let break_even_prewake = power.break_even_steps(serve, sleep).unwrap_or(u64::MAX);
+        let break_even_reactive =
+            power.reactive_break_even_steps(serve, sleep).unwrap_or(u64::MAX);
+        let wake_latency = power
+            .transition(sleep, serve)
+            .map(|t| u64::from(t.latency))
+            .unwrap_or(0);
+        let arrivals = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a > 0)
+            .map(|(i, _)| i as Step)
+            .collect();
+        Oracle {
+            arrivals,
+            cursor: 0,
+            serve,
+            sleep,
+            break_even_prewake,
+            break_even_reactive,
+            wake_latency,
+            prewake: false,
+            now: 0,
+        }
+    }
+
+    /// Switches to the latency-free pre-waking discipline.
+    #[must_use]
+    pub fn with_prewake(mut self) -> Self {
+        self.prewake = true;
+        self
+    }
+
+    fn next_arrival_at_or_after(&mut self, t: Step) -> Option<Step> {
+        while self.cursor < self.arrivals.len() && self.arrivals[self.cursor] < t {
+            self.cursor += 1;
+        }
+        self.arrivals.get(self.cursor).copied()
+    }
+}
+
+impl PowerManager for Oracle {
+    fn decide(&mut self, obs: &Observation, _rng: &mut dyn Rng) -> PowerStateId {
+        let now = self.now;
+        match obs.device_mode {
+            DeviceMode::Transitioning { to, .. } => to,
+            DeviceMode::Operational(here) => {
+                if obs.queue_len > 0 {
+                    return self.serve;
+                }
+                let Some(next) = self.next_arrival_at_or_after(now) else {
+                    return self.sleep; // silence forever
+                };
+                let gap = next.saturating_sub(now);
+                if here == self.sleep {
+                    if self.prewake && gap <= self.wake_latency {
+                        // Pre-wake exactly in time to serve the arrival.
+                        self.serve
+                    } else {
+                        self.sleep
+                    }
+                } else {
+                    let threshold = if self.prewake {
+                        self.break_even_prewake.max(self.wake_latency + 1)
+                    } else {
+                        self.break_even_reactive
+                    };
+                    if gap >= threshold {
+                        self.sleep
+                    } else {
+                        here
+                    }
+                }
+            }
+        }
+    }
+
+    fn observe(&mut self, _outcome: &StepOutcome, _next_obs: &Observation) {
+        self.now += 1;
+    }
+
+    fn name(&self) -> &str {
+        "oracle"
+    }
+}
+
+/// Executes a precomputed MDP policy (the paper's "optimal policy derived
+/// by analytical techniques", Fig. 1's reference curve).
+///
+/// White-box: requires `sr_mode_hint` when the workload has more than one
+/// hidden mode (enable `expose_sr_mode` in the sim config).
+#[derive(Debug, Clone)]
+pub struct MdpPolicyController {
+    space: DpmStateSpace,
+    policy: PolicyKind,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+enum PolicyKind {
+    Deterministic(DeterministicPolicy),
+    Stochastic(StochasticPolicy),
+}
+
+impl MdpPolicyController {
+    /// Wraps a deterministic optimal policy.
+    #[must_use]
+    pub fn deterministic(space: DpmStateSpace, policy: DeterministicPolicy) -> Self {
+        MdpPolicyController {
+            space,
+            policy: PolicyKind::Deterministic(policy),
+            name: "mdp-optimal".to_string(),
+        }
+    }
+
+    /// Wraps a randomized (constrained-optimal) policy.
+    #[must_use]
+    pub fn stochastic(space: DpmStateSpace, policy: StochasticPolicy) -> Self {
+        MdpPolicyController {
+            space,
+            policy: PolicyKind::Stochastic(policy),
+            name: "mdp-constrained".to_string(),
+        }
+    }
+
+    /// Renames the controller for reports.
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl PowerManager for MdpPolicyController {
+    fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
+        let sr = obs.sr_mode_hint.unwrap_or(0).min(self.space.n_sr_modes() - 1);
+        let q = obs.queue_len.min(self.space.queue_cap());
+        let s = self.space.index_of(sr, obs.device_mode, q);
+        let a = match &self.policy {
+            PolicyKind::Deterministic(p) => p.action(s),
+            PolicyKind::Stochastic(p) => p.sample(s, uniform(rng)),
+        };
+        PowerStateId::from_index(a)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdpm_device::presets;
+    use qdpm_workload::MarkovArrivalModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn obs(power: &PowerModel, state: &str, q: usize, idle: u64) -> Observation {
+        Observation {
+            device_mode: DeviceMode::Operational(power.state_by_name(state).unwrap()),
+            queue_len: q,
+            idle_slices: idle,
+            sr_mode_hint: None,
+        }
+    }
+
+    #[test]
+    fn always_on_never_moves() {
+        let power = presets::three_state_generic();
+        let mut pm = AlwaysOn::new(&power);
+        let mut rng = StdRng::seed_from_u64(0);
+        let active = power.state_by_name("active").unwrap();
+        assert_eq!(pm.decide(&obs(&power, "sleep", 0, 100), &mut rng), active);
+    }
+
+    #[test]
+    fn greedy_off_sleeps_immediately() {
+        let power = presets::three_state_generic();
+        let mut pm = GreedyOff::new(&power);
+        let mut rng = StdRng::seed_from_u64(0);
+        let sleep = power.state_by_name("sleep").unwrap();
+        let active = power.state_by_name("active").unwrap();
+        assert_eq!(pm.decide(&obs(&power, "active", 0, 0), &mut rng), sleep);
+        assert_eq!(pm.decide(&obs(&power, "sleep", 2, 0), &mut rng), active);
+    }
+
+    #[test]
+    fn fixed_timeout_waits_for_threshold() {
+        let power = presets::three_state_generic();
+        let mut pm = FixedTimeout::new(&power, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let active = power.state_by_name("active").unwrap();
+        let sleep = power.state_by_name("sleep").unwrap();
+        assert_eq!(pm.decide(&obs(&power, "active", 0, 4), &mut rng), active);
+        assert_eq!(pm.decide(&obs(&power, "active", 0, 5), &mut rng), sleep);
+        // Work always wakes.
+        assert_eq!(pm.decide(&obs(&power, "sleep", 1, 9), &mut rng), active);
+    }
+
+    #[test]
+    fn break_even_timeout_uses_model() {
+        let power = presets::three_state_generic();
+        let pm = FixedTimeout::break_even(&power);
+        assert_eq!(pm.timeout(), 6);
+    }
+
+    #[test]
+    fn adaptive_timeout_grows_on_premature_sleep() {
+        let power = presets::three_state_generic();
+        let mut pm = AdaptiveTimeout::new(&power);
+        let mut rng = StdRng::seed_from_u64(0);
+        let t0 = pm.timeout();
+        // Simulate: idle long enough to sleep at slice 0...
+        let _ = pm.decide(&obs(&power, "active", 0, t0), &mut rng);
+        // ...then a request arrives immediately (premature sleep).
+        let dummy = StepOutcome { energy: 0.0, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 };
+        pm.observe(&dummy, &obs(&power, "sleep", 0, 0));
+        let _ = pm.decide(&obs(&power, "sleep", 1, 0), &mut rng);
+        assert!(pm.timeout() > t0, "timeout {} should grow", pm.timeout());
+    }
+
+    #[test]
+    fn oracle_sleeps_through_long_gap_only() {
+        let power = presets::three_state_generic();
+        // Arrivals at slices 2 and 30: short gap then long gap.
+        let mut trace = vec![0u32; 40];
+        trace[2] = 1;
+        trace[30] = 1;
+        let mut pm = Oracle::from_trace(&power, &trace).with_prewake();
+        let mut rng = StdRng::seed_from_u64(0);
+        let active = power.state_by_name("active").unwrap();
+        let sleep = power.state_by_name("sleep").unwrap();
+        // At slice 0, gap to arrival@2 is 2 < break-even 6: stay active.
+        assert_eq!(pm.decide(&obs(&power, "active", 0, 0), &mut rng), active);
+        let dummy = StepOutcome { energy: 0.0, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 };
+        pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 1
+        pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 2
+        pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 3
+        // At slice 3 the next arrival is 30: gap 27 >= 6 -> sleep.
+        assert_eq!(pm.decide(&obs(&power, "active", 0, 1), &mut rng), sleep);
+        // Jump to slice 26: gap 4 <= wake latency 4 -> wake.
+        for _ in 3..26 {
+            pm.observe(&dummy, &obs(&power, "sleep", 0, 0));
+        }
+        assert_eq!(pm.decide(&obs(&power, "sleep", 0, 20), &mut rng), active);
+    }
+
+    #[test]
+    fn mdp_controller_follows_policy() {
+        let power = presets::three_state_generic();
+        let service = presets::default_service();
+        let arrivals = MarkovArrivalModel::bernoulli(0.1).unwrap();
+        let model = qdpm_mdp::build_dpm_mdp(&power, &service, &arrivals, 4, 20.0).unwrap();
+        let cost = model.mdp.combined_cost(qdpm_mdp::CostWeights::default());
+        let sol = qdpm_mdp::solvers::policy_iteration(&model.mdp, &cost, 0.95).unwrap();
+        let mut pm = MdpPolicyController::deterministic(model.space.clone(), sol.policy.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let o = obs(&power, "active", 2, 0);
+        let s = model.space.index_of(0, o.device_mode, 2);
+        assert_eq!(pm.decide(&o, &mut rng).index(), sol.policy.action(s));
+    }
+
+    #[test]
+    fn stochastic_controller_samples_distribution() {
+        let power = presets::two_state(1.0, 0.1, 1, 0.2);
+        let space = DpmStateSpace::new(&power, 1, 2);
+        // 50/50 between actions 0 and 1 everywhere.
+        let probs = vec![0.5; space.n_states() * 2];
+        let policy = StochasticPolicy::new(probs, 2).unwrap();
+        let mut pm = MdpPolicyController::stochastic(space, policy);
+        let mut rng = StdRng::seed_from_u64(12);
+        let o = obs(&power, "on", 0, 0);
+        let mut counts = [0usize; 2];
+        for _ in 0..1000 {
+            counts[pm.decide(&o, &mut rng).index()] += 1;
+        }
+        assert!(counts[0] > 350 && counts[1] > 350, "{counts:?}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let power = presets::three_state_generic();
+        assert_eq!(AlwaysOn::new(&power).name(), "always-on");
+        assert_eq!(GreedyOff::new(&power).name(), "greedy-off");
+        assert_eq!(FixedTimeout::new(&power, 3).name(), "fixed-timeout");
+        assert_eq!(AdaptiveTimeout::new(&power).name(), "adaptive-timeout");
+    }
+}

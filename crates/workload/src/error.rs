@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced while constructing workload generators or specs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A probability parameter was outside `[0, 1]` (or an open variant
+    /// thereof, stated in the message).
+    InvalidProbability {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A Markov-modulated spec had inconsistent dimensions.
+    DimensionMismatch(String),
+    /// A transition matrix row does not sum to 1 (within tolerance).
+    NotStochastic {
+        /// Row index of the offending row.
+        row: usize,
+        /// The row's actual sum.
+        sum: f64,
+    },
+    /// A Pareto shape/scale parameter was out of range.
+    InvalidPareto(String),
+    /// A periodic generator was given period 0.
+    ZeroPeriod,
+    /// A piecewise workload was given no segments or a zero-length segment.
+    EmptySegments,
+    /// A trace replay was given an empty trace.
+    EmptyTrace,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidProbability { what, value } => {
+                write!(f, "{what} probability {value} out of range")
+            }
+            WorkloadError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            WorkloadError::NotStochastic { row, sum } => {
+                write!(f, "transition matrix row {row} sums to {sum}, expected 1")
+            }
+            WorkloadError::InvalidPareto(msg) => write!(f, "invalid pareto parameters: {msg}"),
+            WorkloadError::ZeroPeriod => write!(f, "period must be at least 1"),
+            WorkloadError::EmptySegments => {
+                write!(f, "piecewise workload needs at least one non-empty segment")
+            }
+            WorkloadError::EmptyTrace => write!(f, "trace replay needs a non-empty trace"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = WorkloadError::NotStochastic { row: 2, sum: 0.9 };
+        assert!(e.to_string().contains("row 2"));
+        let e = WorkloadError::InvalidProbability { what: "arrival", value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<WorkloadError>();
+    }
+}

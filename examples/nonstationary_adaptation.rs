@@ -1,0 +1,51 @@
+//! Nonstationary adaptation (the Fig. 2 story, interactively).
+//!
+//! A piecewise-stationary workload switches rate four times. Q-DPM keeps
+//! adapting every slice; the model-based pipeline must detect the switch,
+//! re-estimate, and re-optimize — and runs a stale policy in the meantime.
+//!
+//! Run with: `cargo run --release --example nonstationary_adaptation`
+
+use qdpm::device::presets;
+use qdpm::sim::experiment::{run_rapid_response, RapidResponseParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let params = RapidResponseParams {
+        segments: vec![(40_000, 0.02), (40_000, 0.25), (40_000, 0.05), (40_000, 0.15)],
+        window: 4_000,
+        ..RapidResponseParams::default()
+    };
+    let report = run_rapid_response(&power, &service, &params)?;
+
+    println!("switch points at slices: {:?}", report.switch_points);
+    println!("model-based pipeline re-optimized {} times\n", report.model_based_resolves);
+    println!(
+        "{:>8} {:>12} {:>14} {:>14}",
+        "slice", "q-dpm", "model-based", "clairvoyant"
+    );
+    for ((q, m), c) in report
+        .qdpm
+        .iter()
+        .zip(&report.model_based)
+        .zip(&report.clairvoyant)
+    {
+        let marker = report
+            .switch_points
+            .iter()
+            .any(|&s| s >= q.end.saturating_sub(params.window) && s < q.end);
+        println!(
+            "{:>8} {:>12.4} {:>14.4} {:>14.4} {}",
+            q.end,
+            q.cost_per_slice,
+            m.cost_per_slice,
+            c.cost_per_slice,
+            if marker { "<-- switch" } else { "" }
+        );
+    }
+    println!("\ncost = energy + weighted latency, per slice (lower is better).");
+    println!("Watch the model-based column stay high after each switch while");
+    println!("Q-DPM recovers within a couple of windows.");
+    Ok(())
+}

@@ -1,0 +1,102 @@
+//! QoS-guaranteed Q-DPM (the paper's future-work item, implemented).
+//!
+//! The constrained problem: minimize energy subject to a bound on average
+//! queueing delay. We compare plain Q-DPM (fixed reward trade-off), the
+//! QoS agent (adaptive Lagrange multiplier), and the constrained-LP
+//! randomized optimum.
+//!
+//! Run with: `cargo run --release --example qos_guaranteed`
+
+use qdpm::core::{QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent};
+use qdpm::device::presets;
+use qdpm::mdp::{build_dpm_mdp, lp};
+use qdpm::sim::{policies, SimConfig, Simulator};
+use qdpm::workload::{MarkovArrivalModel, WorkloadSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let arrival_p = 0.15;
+    let target_queue = 0.6; // average queue-length bound (Little's law proxy)
+    let horizon = 300_000;
+    let p_on = power.state(power.highest_power_state()).power;
+    let spec = WorkloadSpec::bernoulli(arrival_p)?;
+
+    println!("constraint: average queue length <= {target_queue}\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>11} {:>9}",
+        "policy", "avg power", "reduction", "avg queue", "ok?"
+    );
+
+    // Plain Q-DPM (no constraint awareness).
+    let agent = QDpmAgent::new(&power, QDpmConfig::default())?;
+    let mut sim = Simulator::new(
+        power.clone(),
+        service,
+        spec.build(),
+        Box::new(agent),
+        SimConfig { seed: 5, ..SimConfig::default() },
+    )?;
+    let s = sim.run(horizon);
+    print_row("q-dpm (plain)", &s, p_on, target_queue);
+
+    // QoS-guaranteed Q-DPM.
+    let qos = QosQDpmAgent::new(
+        &power,
+        QosConfig { perf_target: target_queue, ..QosConfig::default() },
+    )?;
+    let mut sim = Simulator::new(
+        power.clone(),
+        service,
+        spec.build(),
+        Box::new(qos),
+        SimConfig { seed: 5, ..SimConfig::default() },
+    )?;
+    let s = sim.run(horizon);
+    print_row("qos-q-dpm", &s, p_on, target_queue);
+
+    // Constrained-LP randomized optimum (model known). The long discount
+    // (0.99) matches the agents; shorter horizons make tight bounds
+    // infeasible because the uniform initial distribution includes
+    // full-queue states whose drain dominates the discounted average.
+    let arrivals = MarkovArrivalModel::bernoulli(arrival_p)?;
+    let model = build_dpm_mdp(&power, &service, &arrivals, 8, 20.0)?;
+    match lp::lp_solve_constrained(&model.mdp, 0.99, target_queue) {
+        Ok(sol) => {
+            println!(
+                "  (constrained LP predicts {:.4} energy/slice at queue {:.3}, {} pivots)",
+                sol.energy_per_slice, sol.perf_per_slice, sol.pivots
+            );
+            let controller =
+                policies::MdpPolicyController::stochastic(model.space.clone(), sol.policy);
+            let mut sim = Simulator::new(
+                power.clone(),
+                service,
+                spec.build(),
+                Box::new(controller),
+                SimConfig { seed: 5, ..SimConfig::default() },
+            )?;
+            let s = sim.run(horizon);
+            print_row("constrained-lp", &s, p_on, target_queue);
+        }
+        Err(qdpm::mdp::MdpError::LpInfeasible) => {
+            println!("  (constrained LP: bound {target_queue} infeasible at this discount)");
+        }
+        Err(e) => return Err(e.into()),
+    }
+
+    println!("\nThe QoS agent trades away some energy saving to respect the");
+    println!("bound, tracking the randomized LP optimum without a model.");
+    Ok(())
+}
+
+fn print_row(name: &str, s: &qdpm::sim::RunStats, p_on: f64, target: f64) {
+    println!(
+        "{:<18} {:>10.4} {:>11.1}% {:>11.3} {:>9}",
+        name,
+        s.avg_power(),
+        100.0 * s.energy_reduction_vs(p_on),
+        s.avg_queue_len(),
+        if s.avg_queue_len() <= target * 1.15 { "yes" } else { "NO" }
+    );
+}

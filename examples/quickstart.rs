@@ -1,0 +1,56 @@
+//! Quickstart: train a Q-DPM agent on a generic three-state device and
+//! compare its energy/latency against the classic heuristics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use qdpm::core::{PowerManager, QDpmAgent, QDpmConfig};
+use qdpm::device::presets;
+use qdpm::sim::{policies, SimConfig, Simulator};
+use qdpm::workload::WorkloadSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let spec = WorkloadSpec::bernoulli(0.05)?;
+    let horizon = 200_000;
+    let p_on = power.state(power.highest_power_state()).power;
+
+    println!("device: {} ({} states)", power.name(), power.n_states());
+    println!("workload: bernoulli p=0.05, horizon {horizon} slices\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>10} {:>8}",
+        "policy", "avg power", "reduction", "mean wait", "drops"
+    );
+
+    let run = |pm: Box<dyn PowerManager>| -> Result<(), Box<dyn std::error::Error>> {
+        let name = pm.name().to_string();
+        let mut sim = Simulator::new(
+            power.clone(),
+            service,
+            spec.build(),
+            pm,
+            SimConfig { seed: 42, ..SimConfig::default() },
+        )?;
+        let stats = sim.run(horizon);
+        println!(
+            "{:<18} {:>10.4} {:>11.1}% {:>10.2} {:>8}",
+            name,
+            stats.avg_power(),
+            100.0 * stats.energy_reduction_vs(p_on),
+            stats.mean_wait(),
+            stats.dropped
+        );
+        Ok(())
+    };
+
+    run(Box::new(policies::AlwaysOn::new(&power)))?;
+    run(Box::new(policies::GreedyOff::new(&power)))?;
+    run(Box::new(policies::FixedTimeout::break_even(&power)))?;
+    run(Box::new(policies::AdaptiveTimeout::new(&power)))?;
+    run(Box::new(QDpmAgent::new(&power, QDpmConfig::default())?))?;
+
+    println!("\nQ-DPM learns online; the first slices are exploratory, so");
+    println!("longer horizons close the gap to the model-based optimum");
+    println!("(see `cargo run -p qdpm-bench --bin fig1`).");
+    Ok(())
+}

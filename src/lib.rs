@@ -1,0 +1,54 @@
+//! # qdpm — reproduction of *Q-DPM: An Efficient Model-Free Dynamic Power
+//! Management Technique* (Li, Wu, Yao, Yan — DATE 2005)
+//!
+//! Q-DPM replaces the model-based dynamic power management (DPM) pipeline —
+//! workload parameter estimator, mode-switch detector, and offline policy
+//! optimizer (classically a linear program) — with a single tabular
+//! Q-learning agent that learns its power policy online, per time slice,
+//! from its own reinforcement signal.
+//!
+//! This workspace implements the paper's technique *and* every substrate it
+//! is evaluated against:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`] (`qdpm-core`) | the Q-DPM agent: Q-table, Watkins learner (Eqn. 3), state encoder, epsilon-greedy exploration; QoS-constrained and Fuzzy extensions |
+//! | [`device`] (`qdpm-device`) | power state machines, service models, bounded queues, literature device presets |
+//! | [`workload`] (`qdpm-workload`) | synthetic requesters (Bernoulli, MMPP, bursty, Pareto, periodic, traces), piecewise-stationary composition, online estimators & change detection |
+//! | [`mdp`] (`qdpm-mdp`) | exact DTMDP compilation of a DPM system, value/policy iteration, average-cost solver, occupation-measure LP on an in-repo simplex |
+//! | [`sim`] (`qdpm-sim`) | the discrete-time simulator, baseline power managers (timeouts, oracle, model-based adaptive pipeline), metrics, experiment runners |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use qdpm::core::{QDpmAgent, QDpmConfig};
+//! use qdpm::device::presets;
+//! use qdpm::sim::{SimConfig, Simulator};
+//! use qdpm::workload::WorkloadSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let power = presets::three_state_generic();
+//! let agent = QDpmAgent::new(&power, QDpmConfig::default())?;
+//! let mut sim = Simulator::new(
+//!     power.clone(),
+//!     presets::default_service(),
+//!     WorkloadSpec::bernoulli(0.05)?.build(),
+//!     Box::new(agent),
+//!     SimConfig::default(),
+//! )?;
+//! let stats = sim.run(50_000);
+//! let p_on = power.state(power.highest_power_state()).power;
+//! println!("energy reduction vs always-on: {:.1}%",
+//!          100.0 * stats.energy_reduction_vs(p_on));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! binaries regenerating every figure and table of the paper.
+
+pub use qdpm_core as core;
+pub use qdpm_device as device;
+pub use qdpm_mdp as mdp;
+pub use qdpm_sim as sim;
+pub use qdpm_workload as workload;

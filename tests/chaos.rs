@@ -1,0 +1,86 @@
+//! Failure injection: a hostile power manager that issues arbitrary (often
+//! illegal) commands every slice. The device must ignore what its state
+//! machine forbids, the simulator must keep all invariants, and nothing may
+//! panic.
+
+use qdpm::core::{Observation, PowerManager};
+use qdpm::device::{presets, PowerStateId};
+use qdpm::sim::{SimConfig, Simulator};
+use qdpm::workload::WorkloadSpec;
+use rand::Rng;
+
+/// Commands a uniformly random power state each slice — legal or not.
+#[derive(Debug)]
+struct ChaosMonkey {
+    n_states: usize,
+}
+
+impl PowerManager for ChaosMonkey {
+    fn decide(&mut self, _obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        PowerStateId::from_index(((u * self.n_states as f64) as usize).min(self.n_states - 1))
+    }
+
+    fn name(&self) -> &str {
+        "chaos-monkey"
+    }
+}
+
+#[test]
+fn random_commands_never_break_invariants() {
+    for (name, power) in [
+        ("three-state", presets::three_state_generic()),
+        ("ibm-hdd", presets::ibm_hdd()),
+        ("wlan", presets::wlan_card()),
+    ] {
+        let lo = power.state(power.lowest_power_state()).power;
+        let monkey = ChaosMonkey { n_states: power.n_states() };
+        let mut sim = Simulator::new(
+            power.clone(),
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.3).unwrap().build(),
+            Box::new(monkey),
+            SimConfig { seed: 1313, ..SimConfig::default() },
+        )
+        .unwrap();
+        let steps = 100_000u64;
+        let stats = sim.run(steps);
+        let queued = sim.observation().queue_len as u64;
+        // Conservation and physics hold under arbitrary command streams.
+        assert_eq!(
+            stats.arrivals,
+            stats.completed + stats.dropped + queued,
+            "{name}: conservation broken"
+        );
+        assert!(
+            stats.total_energy >= lo * steps as f64 - 1e-9,
+            "{name}: impossible (sub-minimum) energy"
+        );
+        assert!(stats.total_energy.is_finite(), "{name}: non-finite energy");
+        assert!(stats.queue_len_sum.is_finite());
+    }
+}
+
+#[test]
+fn chaos_against_zero_and_saturated_load() {
+    let power = presets::three_state_generic();
+    for p in [0.0, 1.0] {
+        let monkey = ChaosMonkey { n_states: power.n_states() };
+        let mut sim = Simulator::new(
+            power.clone(),
+            presets::default_service(),
+            WorkloadSpec::bernoulli(p).unwrap().build(),
+            Box::new(monkey),
+            SimConfig { seed: 77, ..SimConfig::default() },
+        )
+        .unwrap();
+        let stats = sim.run(20_000);
+        let queued = sim.observation().queue_len as u64;
+        assert_eq!(stats.arrivals, stats.completed + stats.dropped + queued);
+        if p == 0.0 {
+            assert_eq!(stats.arrivals, 0);
+        } else {
+            assert_eq!(stats.arrivals, 20_000);
+        }
+    }
+}

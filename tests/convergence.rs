@@ -1,0 +1,86 @@
+//! F1 (paper Fig. 1): Q-DPM converges toward the analytically optimal
+//! policy on a stationary workload, despite knowing nothing of the model.
+
+use qdpm::device::presets;
+use qdpm::sim::experiment::{run_convergence, tail_mean_cost, ConvergenceParams};
+
+#[test]
+fn qdpm_converges_to_near_optimal_cost() {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let params = ConvergenceParams {
+        arrival_p: 0.05,
+        horizon: 300_000,
+        window: 5_000,
+        ..ConvergenceParams::default()
+    };
+    let report = run_convergence(&power, &service, &params).unwrap();
+
+    // Orientation: optimum strictly beats always-on for this light load.
+    assert!(report.optimal_gain > 0.0);
+    assert!(
+        report.always_on_gain > 1.5 * report.optimal_gain,
+        "DPM should matter: always-on {} vs optimal {}",
+        report.always_on_gain,
+        report.optimal_gain
+    );
+
+    // Convergence: the tail of the learning curve sits near the optimum.
+    let tail = tail_mean_cost(&report.qdpm, 10);
+    assert!(
+        tail / report.optimal_gain < 1.35,
+        "tail cost {tail} vs optimal {} (ratio {})",
+        report.optimal_gain,
+        tail / report.optimal_gain
+    );
+
+    // Improvement over time: late windows beat early windows decisively.
+    let early = tail_mean_cost(&report.qdpm[..5], 5);
+    assert!(
+        tail < early,
+        "learning should reduce cost: early {early}, late {tail}"
+    );
+}
+
+#[test]
+fn measured_optimal_tracks_analytic_gain() {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let params = ConvergenceParams {
+        arrival_p: 0.1,
+        horizon: 150_000,
+        window: 5_000,
+        ..ConvergenceParams::default()
+    };
+    let report = run_convergence(&power, &service, &params).unwrap();
+    let measured = tail_mean_cost(&report.optimal, 20);
+    assert!(
+        (measured - report.optimal_gain).abs() / report.optimal_gain < 0.1,
+        "measured {measured} vs gain {}",
+        report.optimal_gain
+    );
+}
+
+#[test]
+fn convergence_holds_across_loads() {
+    // "After studying many cases, we conclude that Q-DPM can approximate
+    // the theoretically optimal policy at reasonable speed."
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    for (p, max_ratio) in [(0.02, 1.4), (0.1, 1.35), (0.3, 1.3)] {
+        let params = ConvergenceParams {
+            arrival_p: p,
+            horizon: 250_000,
+            window: 5_000,
+            seed: 17,
+            ..ConvergenceParams::default()
+        };
+        let report = run_convergence(&power, &service, &params).unwrap();
+        let tail = tail_mean_cost(&report.qdpm, 10);
+        assert!(
+            tail / report.optimal_gain < max_ratio,
+            "p={p}: tail {tail} vs optimal {} exceeds ratio {max_ratio}",
+            report.optimal_gain
+        );
+    }
+}

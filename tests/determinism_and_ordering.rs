@@ -1,0 +1,152 @@
+//! Reproducibility and sanity-ordering properties of the whole stack.
+
+use qdpm::core::{PowerManager, QDpmAgent, QDpmConfig};
+use qdpm::device::presets;
+use qdpm::sim::{policies, RunStats, SimConfig, Simulator};
+use qdpm::workload::{RequestGenerator, TraceRecorder, WorkloadSpec};
+use rand::SeedableRng;
+
+fn run_policy(pm: Box<dyn PowerManager>, seed: u64, spec: &WorkloadSpec, steps: u64) -> RunStats {
+    let power = presets::three_state_generic();
+    let mut sim = Simulator::new(
+        power,
+        presets::default_service(),
+        spec.build(),
+        pm,
+        SimConfig { seed, ..SimConfig::default() },
+    )
+    .unwrap();
+    sim.run(steps)
+}
+
+#[test]
+fn identical_seeds_are_bit_identical() {
+    let power = presets::three_state_generic();
+    let spec = WorkloadSpec::bernoulli(0.1).unwrap();
+    let a = run_policy(
+        Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        99,
+        &spec,
+        50_000,
+    );
+    let b = run_policy(
+        Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        99,
+        &spec,
+        50_000,
+    );
+    assert_eq!(a, b, "same seed must reproduce exactly");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let power = presets::three_state_generic();
+    let spec = WorkloadSpec::bernoulli(0.1).unwrap();
+    let a = run_policy(
+        Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        1,
+        &spec,
+        50_000,
+    );
+    let b = run_policy(
+        Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        2,
+        &spec,
+        50_000,
+    );
+    assert_ne!(a.total_energy, b.total_energy);
+}
+
+#[test]
+fn workload_stream_isolated_from_policy_randomness() {
+    // Policies consuming different amounts of policy-RNG must still see
+    // the identical arrival sequence under one seed.
+    let power = presets::three_state_generic();
+    let spec = WorkloadSpec::bernoulli(0.2).unwrap();
+    let on = run_policy(Box::new(policies::AlwaysOn::new(&power)), 7, &spec, 30_000);
+    let q = run_policy(
+        Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        7,
+        &spec,
+        30_000,
+    );
+    assert_eq!(on.arrivals, q.arrivals, "arrival streams must match");
+}
+
+#[test]
+fn oracle_dominates_online_heuristics_on_bursty_trace() {
+    let power = presets::three_state_generic();
+    let steps: u64 = 120_000;
+    // Record a bursty trace so the oracle sees the exact future.
+    let mut gen = WorkloadSpec::OnOff {
+        p_on_to_off: 0.02,
+        p_off_to_on: 0.004,
+        p_arrival_on: 0.6,
+    }
+    .build();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(55);
+    let rec = TraceRecorder::capture(gen.as_mut(), &mut rng, steps);
+    let trace: Vec<u32> = {
+        let mut replay = rec.into_replay().unwrap();
+        let mut dummy = rand::rngs::StdRng::seed_from_u64(0);
+        (0..steps).map(|_| replay.next_arrivals(&mut dummy)).collect()
+    };
+    let spec = WorkloadSpec::Trace { arrivals: trace.clone() };
+
+    let oracle = run_policy(
+        Box::new(policies::Oracle::from_trace(&power, &trace)),
+        3,
+        &spec,
+        steps,
+    );
+    let prewake = run_policy(
+        Box::new(policies::Oracle::from_trace(&power, &trace).with_prewake()),
+        3,
+        &spec,
+        steps,
+    );
+    let timeout = run_policy(
+        Box::new(policies::FixedTimeout::break_even(&power)),
+        3,
+        &spec,
+        steps,
+    );
+    let greedy = run_policy(Box::new(policies::GreedyOff::new(&power)), 3, &spec, steps);
+    let on = run_policy(Box::new(policies::AlwaysOn::new(&power)), 3, &spec, steps);
+
+    // The reactive oracle is the per-gap energy lower bound.
+    assert!(
+        oracle.total_energy <= timeout.total_energy * 1.01,
+        "oracle {} vs timeout {}",
+        oracle.total_energy,
+        timeout.total_energy
+    );
+    assert!(
+        oracle.total_energy <= greedy.total_energy * 1.01,
+        "oracle {} vs greedy {}",
+        oracle.total_energy,
+        greedy.total_energy
+    );
+    assert!(oracle.total_energy < on.total_energy, "oracle must beat always-on");
+    // The pre-waking oracle trades energy for latency.
+    assert!(
+        prewake.mean_wait() < oracle.mean_wait(),
+        "pre-wake wait {} vs reactive wait {}",
+        prewake.mean_wait(),
+        oracle.mean_wait()
+    );
+    assert!(
+        prewake.total_energy >= oracle.total_energy,
+        "pre-waking cannot save energy over reactive"
+    );
+}
+
+#[test]
+fn always_on_has_reference_latency() {
+    let power = presets::three_state_generic();
+    let spec = WorkloadSpec::bernoulli(0.1).unwrap();
+    let on = run_policy(Box::new(policies::AlwaysOn::new(&power)), 4, &spec, 50_000);
+    let greedy = run_policy(Box::new(policies::GreedyOff::new(&power)), 4, &spec, 50_000);
+    assert!(on.mean_wait() < greedy.mean_wait());
+    assert_eq!(on.dropped, 0, "always-on should keep up at this load");
+}

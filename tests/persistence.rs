@@ -1,0 +1,120 @@
+//! Q-table persistence: an embedded node checkpoints its learned table and
+//! warm-starts after a reboot instead of re-exploring from scratch.
+
+use qdpm::core::{CoreError, QDpmAgent, QDpmConfig};
+use qdpm::device::presets;
+use qdpm::sim::{SimConfig, Simulator};
+use qdpm::workload::WorkloadSpec;
+
+fn sim_with(agent: QDpmAgent, seed: u64) -> Simulator {
+    let power = presets::three_state_generic();
+    Simulator::new(
+        power,
+        presets::default_service(),
+        WorkloadSpec::bernoulli(0.05).unwrap().build(),
+        Box::new(agent),
+        SimConfig { seed, ..SimConfig::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn warm_start_skips_the_learning_transient() {
+    let power = presets::three_state_generic();
+
+    // Train a first "boot" of the node with a hand-rolled environment loop
+    // (the agent stays typed, so we can checkpoint it afterwards). The loop
+    // follows the engine's step contract: decide, command, arrivals,
+    // service, feedback.
+    let trained = {
+        use qdpm::core::{Observation, PowerManager, StepOutcome};
+        use qdpm::device::{Device, Queue, Server};
+        use qdpm::workload::RequestGenerator;
+        use rand::{Rng as _, SeedableRng};
+
+        let mut agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+        let mut device = Device::new(power.clone());
+        let mut queue = Queue::new(8).unwrap();
+        let mut server = Server::new(presets::default_service());
+        let mut gen = WorkloadSpec::bernoulli(0.05).unwrap().build();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut idle: u64 = 0;
+        let observe = |device: &Device, queue: &Queue, idle: u64| Observation {
+            device_mode: device.mode(),
+            queue_len: queue.len(),
+            idle_slices: idle,
+            sr_mode_hint: None,
+        };
+        for now in 0..150_000u64 {
+            let obs = observe(&device, &queue, idle);
+            let cmd = agent.decide(&obs, &mut rng);
+            let cmd_energy = device.command(cmd).immediate_energy();
+            let arrivals = gen.next_arrivals(&mut rng);
+            let mut dropped = 0;
+            for _ in 0..arrivals {
+                if !queue.push(now) {
+                    dropped += 1;
+                }
+            }
+            idle = if arrivals > 0 { 0 } else { idle + 1 };
+            let tick = device.tick();
+            let mut completed = 0;
+            if tick.can_serve && !queue.is_empty() {
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                if server.advance(u) {
+                    queue.pop(now);
+                    completed = 1;
+                }
+            }
+            let outcome = StepOutcome {
+                energy: cmd_energy + tick.energy,
+                queue_len: queue.len(),
+                dropped,
+                completed,
+                arrivals,
+            };
+            agent.observe(&outcome, &observe(&device, &queue, idle));
+        }
+        agent.export_table()
+    };
+
+    // "Reboot": a fresh agent importing the checkpoint...
+    let mut warm = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    warm.import_table(&trained).unwrap();
+    let mut warm_sim = sim_with(warm, 3);
+    let warm_cost = warm_sim.run(20_000).avg_cost();
+
+    // ...versus a cold agent on the identical workload.
+    let cold = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    let mut cold_sim = sim_with(cold, 3);
+    let cold_cost = cold_sim.run(20_000).avg_cost();
+
+    assert!(
+        warm_cost < cold_cost * 0.8,
+        "warm start {warm_cost} should clearly beat cold start {cold_cost}"
+    );
+}
+
+#[test]
+fn import_validates_dimensions() {
+    let power = presets::three_state_generic();
+    let small = QDpmAgent::new(&power, QDpmConfig { queue_cap: 4, ..QDpmConfig::default() })
+        .unwrap();
+    let blob = small.export_table();
+    let mut big =
+        QDpmAgent::new(&power, QDpmConfig { queue_cap: 16, ..QDpmConfig::default() }).unwrap();
+    assert!(matches!(
+        big.import_table(&blob),
+        Err(CoreError::CorruptTable(_))
+    ));
+}
+
+#[test]
+fn export_import_is_lossless() {
+    let power = presets::three_state_generic();
+    let agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    let blob = agent.export_table();
+    let mut clone = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    clone.import_table(&blob).unwrap();
+    assert_eq!(clone.export_table(), blob);
+}

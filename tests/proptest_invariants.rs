@@ -1,0 +1,220 @@
+//! Property-based invariants across the whole stack.
+
+use proptest::prelude::*;
+use qdpm::core::{PowerManager, QDpmAgent, QDpmConfig};
+use qdpm::device::presets;
+use qdpm::mdp::{build_dpm_mdp, lp, sample, solvers, CostWeights};
+use qdpm::sim::{policies, SimConfig, Simulator};
+use qdpm::workload::{MarkovArrivalModel, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Request conservation: arrivals = completed + dropped + still queued,
+    /// for arbitrary seeds, rates and policies.
+    #[test]
+    fn conservation_holds(seed in 0u64..1000, p in 0.0f64..=1.0, policy_id in 0usize..3) {
+        let power = presets::three_state_generic();
+        let pm: Box<dyn PowerManager> = match policy_id {
+            0 => Box::new(policies::AlwaysOn::new(&power)),
+            1 => Box::new(policies::GreedyOff::new(&power)),
+            _ => Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        };
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(p).unwrap().build(),
+            pm,
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        let stats = sim.run(3_000);
+        let queued = sim.observation().queue_len as u64;
+        prop_assert_eq!(stats.arrivals, stats.completed + stats.dropped + queued);
+    }
+
+    /// Energy is bounded per slice by the device's physics: at least the
+    /// lowest state power, at most the highest power plus the worst
+    /// per-slice transition energy.
+    #[test]
+    fn energy_within_physical_bounds(seed in 0u64..500, p in 0.0f64..=0.5) {
+        let power = presets::three_state_generic();
+        let lo = power.state(power.lowest_power_state()).power;
+        // Upper bound: max state power + max per-step transition energy.
+        let mut hi: f64 = power.state(power.highest_power_state()).power;
+        let mut max_trans: f64 = 0.0;
+        for (a, _) in power.states() {
+            for b in power.commands_from(a) {
+                let t = power.transition(a, b).unwrap();
+                max_trans = max_trans.max(t.energy_per_step());
+            }
+        }
+        hi += max_trans;
+
+        let pm = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(p).unwrap().build(),
+            Box::new(pm),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        let steps = 2_000u64;
+        let stats = sim.run(steps);
+        prop_assert!(stats.total_energy >= lo * steps as f64 - 1e-9);
+        prop_assert!(stats.total_energy <= hi * steps as f64 + 1e-9);
+    }
+
+    /// VI, PI and LP agree on random MDPs (cross-solver consistency).
+    #[test]
+    fn solvers_agree_on_random_mdps(seed in 0u64..60) {
+        let m = sample::random_mdp(10, 3, 3, seed).unwrap();
+        let cost = m.combined_cost(CostWeights::new(1.0, 0.3).unwrap());
+        let vi = solvers::value_iteration(
+            &m, &cost, solvers::SolveOptions::with_discount(0.9).unwrap()).unwrap();
+        let pi = solvers::policy_iteration(&m, &cost, 0.9).unwrap();
+        let lp = lp::lp_solve_discounted(&m, &cost, 0.9).unwrap();
+        for s in 0..m.n_states() {
+            prop_assert!((vi.values[s] - pi.values[s]).abs() < 1e-6);
+            prop_assert!((vi.values[s] - lp.values[s]).abs() < 1e-5);
+        }
+    }
+
+    /// The optimal policy's gain is monotone in the arrival rate (more
+    /// work can never make the optimum cheaper).
+    #[test]
+    fn optimal_gain_monotone_in_rate(p1 in 0.01f64..0.5, delta in 0.01f64..0.4) {
+        let power = presets::three_state_generic();
+        let service = presets::default_service();
+        let p2 = (p1 + delta).min(0.95);
+        let gain = |p: f64| {
+            let arrivals = MarkovArrivalModel::bernoulli(p).unwrap();
+            let model = build_dpm_mdp(&power, &service, &arrivals, 6, 20.0).unwrap();
+            let cost = model.mdp.combined_cost(CostWeights::default());
+            solvers::relative_value_iteration(&model.mdp, &cost, 1e-8, 300_000)
+                .unwrap()
+                .gain
+        };
+        prop_assert!(gain(p2) >= gain(p1) - 1e-6);
+    }
+
+    /// The constrained LP's performance never exceeds its bound, and its
+    /// energy is monotone (tighter bound -> at least as much energy).
+    #[test]
+    fn constrained_lp_honors_bound(bound in 0.3f64..3.0) {
+        let power = presets::three_state_generic();
+        let service = presets::default_service();
+        let arrivals = MarkovArrivalModel::bernoulli(0.15).unwrap();
+        let model = build_dpm_mdp(&power, &service, &arrivals, 6, 20.0).unwrap();
+        match lp::lp_solve_constrained(&model.mdp, 0.95, bound) {
+            Ok(sol) => {
+                prop_assert!(sol.perf_per_slice <= bound + 1e-6);
+                let looser = lp::lp_solve_constrained(&model.mdp, 0.95, bound * 2.0).unwrap();
+                prop_assert!(looser.energy_per_slice <= sol.energy_per_slice + 1e-6);
+            }
+            Err(qdpm::mdp::MdpError::LpInfeasible) => {
+                // Very tight bounds may be infeasible; that is a valid
+                // outcome, not a failure.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error {e}"))),
+        }
+    }
+
+    /// Q-table values stay bounded by reward/(1-beta) under bounded
+    /// rewards (no divergence).
+    #[test]
+    fn q_values_bounded(seed in 0u64..200) {
+        let power = presets::three_state_generic();
+        let agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+        let discount = 0.99; // QDpmConfig::default() discount
+        // Max |reward| per slice: energy <= 1.6ish + 0.1*(8 + 20) = bounded.
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.5).unwrap().build(),
+            Box::new(agent),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        sim.run(5_000);
+        // Inspect the (type-erased) agent indirectly through its behavior:
+        // run a fresh typed agent to check table bounds directly.
+        let power = presets::three_state_generic();
+        let mut agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+        let mut sim2 = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.5).unwrap().build(),
+            Box::new(policies::AlwaysOn::new(&presets::three_state_generic())),
+            SimConfig { seed, ..SimConfig::default() },
+        ).unwrap();
+        // Feed the agent synthetic transitions drawn from the sim's
+        // observation stream.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        for _ in 0..2_000 {
+            let obs = sim2.observation();
+            let _ = agent.decide(&obs, &mut rng);
+            let outcome = sim2.step();
+            agent.observe(&outcome, &sim2.observation());
+        }
+        let table = agent.learner().table();
+        let r_max = 1.0 * 1.6 + 0.1 * (8.0 + 20.0);
+        let bound = r_max / (1.0 - discount) + 1e-6;
+        for s in 0..table.n_states() {
+            for a in 0..table.n_actions() {
+                prop_assert!(table.get(s, a).abs() <= bound,
+                    "Q({s},{a}) = {} exceeds bound {bound}", table.get(s, a));
+            }
+        }
+    }
+
+    /// Q-table binary codec: lossless round trip for arbitrary shapes and
+    /// values; any single-byte corruption is detected.
+    #[test]
+    fn qtable_codec_round_trip(
+        n_states in 1usize..40,
+        n_actions in 1usize..6,
+        seed in 0u64..1000,
+        flip_at in 0usize..200,
+    ) {
+        use qdpm::core::QTable;
+        let mut table = QTable::new(n_states, n_actions);
+        // Deterministic pseudo-random fill.
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        for s in 0..n_states {
+            for a in 0..n_actions {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                table.set(s, a, (x as i64 as f64) * 1e-12);
+                if x % 3 == 0 {
+                    table.record_visit(s, a);
+                }
+            }
+        }
+        let blob = table.to_bytes();
+        let back = QTable::from_bytes(&blob).unwrap();
+        prop_assert_eq!(&back, &table);
+
+        // Flip one byte somewhere: must be rejected (checksum or header).
+        let mut corrupted = blob.clone();
+        let pos = flip_at % corrupted.len();
+        corrupted[pos] ^= 0x55;
+        prop_assert!(QTable::from_bytes(&corrupted).is_err());
+    }
+
+    /// Drift generators respect their stated rate bounds for any seed.
+    #[test]
+    fn drift_generators_bounded(seed in 0u64..300) {
+        use qdpm::workload::{RandomWalkRate, SinusoidalRate, RequestGenerator};
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut sine = SinusoidalRate::new(0.4, 0.35, 500).unwrap();
+        let mut walk = RandomWalkRate::new(0.2, 0.03, 0.02, 0.6).unwrap();
+        for _ in 0..2_000 {
+            prop_assert!((0.0..=1.0).contains(&sine.current_rate()));
+            prop_assert!((0.02..=0.6).contains(&walk.current_rate()));
+            sine.next_arrivals(&mut rng);
+            walk.next_arrivals(&mut rng);
+        }
+    }
+}
+

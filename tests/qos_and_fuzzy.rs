@@ -1,0 +1,118 @@
+//! F3/F4 (paper future work, implemented): QoS-guaranteed Q-DPM honors its
+//! latency bound; Fuzzy Q-DPM degrades gracefully under observation noise.
+
+use qdpm::core::{FuzzyConfig, FuzzyQDpmAgent, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent};
+use qdpm::device::presets;
+use qdpm::sim::{ObservationNoise, SimConfig, Simulator};
+use qdpm::workload::WorkloadSpec;
+
+#[test]
+fn qos_agent_respects_queue_bound() {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let target = 0.8;
+    let qos = QosQDpmAgent::new(
+        &power,
+        QosConfig { perf_target: target, ..QosConfig::default() },
+    )
+    .unwrap();
+    let mut sim = Simulator::new(
+        power.clone(),
+        service,
+        WorkloadSpec::bernoulli(0.15).unwrap().build(),
+        Box::new(qos),
+        SimConfig { seed: 5, ..SimConfig::default() },
+    )
+    .unwrap();
+    // Discard the learning transient, then measure.
+    sim.run(150_000);
+    let steady = sim.run(150_000);
+    assert!(
+        steady.avg_queue_len() <= target * 1.2,
+        "steady-state queue {} exceeds target {target}",
+        steady.avg_queue_len()
+    );
+}
+
+#[test]
+fn qos_agent_saves_energy_versus_always_on() {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let qos = QosQDpmAgent::new(
+        &power,
+        QosConfig { perf_target: 1.0, ..QosConfig::default() },
+    )
+    .unwrap();
+    let mut sim = Simulator::new(
+        power.clone(),
+        service,
+        WorkloadSpec::bernoulli(0.05).unwrap().build(),
+        Box::new(qos),
+        SimConfig { seed: 6, ..SimConfig::default() },
+    )
+    .unwrap();
+    sim.run(100_000);
+    let steady = sim.run(100_000);
+    let p_on = power.state(power.highest_power_state()).power;
+    assert!(
+        steady.energy_reduction_vs(p_on) > 0.2,
+        "reduction {} too small",
+        steady.energy_reduction_vs(p_on)
+    );
+}
+
+/// Steady-state cost on the heavy-tailed (Pareto) workload where idle time
+/// carries real signal — the F4 scenario. Both agents observe idle time:
+/// crisp through threshold buckets, fuzzy through overlapping memberships.
+fn cost_under_noise(fuzzy: bool, noise_p: f64) -> f64 {
+    let power = presets::three_state_generic();
+    let service = presets::default_service();
+    let pm: Box<dyn qdpm::core::PowerManager> = if fuzzy {
+        Box::new(FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap())
+    } else {
+        Box::new(
+            QDpmAgent::new(
+                &power,
+                QDpmConfig {
+                    idle_thresholds: vec![2, 4, 8, 16, 32],
+                    ..QDpmConfig::default()
+                },
+            )
+            .unwrap(),
+        )
+    };
+    let mut sim = Simulator::new(
+        power,
+        service,
+        WorkloadSpec::Pareto { alpha: 1.6, xm: 4.0 }.build(),
+        pm,
+        SimConfig {
+            seed: 31,
+            noise: ObservationNoise { queue_misread_prob: noise_p, idle_jitter: 4 },
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    sim.run(150_000);
+    sim.run(150_000).avg_cost()
+}
+
+#[test]
+fn fuzzy_agent_wins_on_heavy_tail_without_noise() {
+    let crisp = cost_under_noise(false, 0.0);
+    let fuzzy = cost_under_noise(true, 0.0);
+    assert!(
+        fuzzy < crisp,
+        "fuzzy {fuzzy} should beat crisp {crisp} where features are continuous"
+    );
+}
+
+#[test]
+fn fuzzy_agent_keeps_winning_under_heavy_noise() {
+    let crisp = cost_under_noise(false, 0.7);
+    let fuzzy = cost_under_noise(true, 0.7);
+    assert!(
+        fuzzy < crisp * 1.02,
+        "noisy: fuzzy {fuzzy} should stay at or below crisp {crisp}"
+    );
+}
