@@ -24,7 +24,13 @@ fn fixture() -> (Observation, StepOutcome) {
             idle_slices: 7,
             sr_mode_hint: None,
         },
-        StepOutcome { energy: 1.0, queue_len: 2, dropped: 0, completed: 1, arrivals: 1 },
+        StepOutcome {
+            energy: 1.0,
+            queue_len: 2,
+            dropped: 0,
+            completed: 1,
+            arrivals: 1,
+        },
     )
 }
 
@@ -36,14 +42,21 @@ fn bench_exploration_variants(c: &mut Criterion) {
         ("eps_greedy", Exploration::EpsilonGreedy { epsilon: 0.05 }),
         (
             "decaying_eps",
-            Exploration::DecayingEpsilon { epsilon0: 0.3, decay: 0.9999, min_epsilon: 0.01 },
+            Exploration::DecayingEpsilon {
+                epsilon0: 0.3,
+                decay: 0.9999,
+                min_epsilon: 0.01,
+            },
         ),
         ("boltzmann", Exploration::Boltzmann { temperature: 0.5 }),
     ];
     for (name, exploration) in variants {
         let mut agent = QDpmAgent::new(
             &power,
-            QDpmConfig { exploration, ..QDpmConfig::default() },
+            QDpmConfig {
+                exploration,
+                ..QDpmConfig::default()
+            },
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
@@ -70,7 +83,10 @@ fn bench_learning_rate_variants(c: &mut Criterion) {
     for (name, learning_rate) in variants {
         let mut agent = QDpmAgent::new(
             &power,
-            QDpmConfig { learning_rate, ..QDpmConfig::default() },
+            QDpmConfig {
+                learning_rate,
+                ..QDpmConfig::default()
+            },
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
@@ -96,7 +112,10 @@ fn bench_encoder_resolution(c: &mut Criterion) {
     ] {
         let mut agent = QDpmAgent::new(
             &power,
-            QDpmConfig { idle_thresholds, ..QDpmConfig::default() },
+            QDpmConfig {
+                idle_thresholds,
+                ..QDpmConfig::default()
+            },
         )
         .unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
@@ -127,8 +146,7 @@ fn bench_fuzzy_vs_crisp_step(c: &mut Criterion) {
         });
     }
     {
-        let mut agent =
-            FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+        let mut agent = FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         group.bench_function("fuzzy", |b| {
             b.iter(|| {

@@ -41,7 +41,11 @@ fn bench_solvers(c: &mut Criterion) {
                 solvers::value_iteration(
                     black_box(&model.mdp),
                     &cost,
-                    solvers::SolveOptions { discount: 0.95, tol: 1e-9, max_iter: 1_000_000 },
+                    solvers::SolveOptions {
+                        discount: 0.95,
+                        tol: 1e-9,
+                        max_iter: 1_000_000,
+                    },
                 )
                 .unwrap()
             })
@@ -60,7 +64,13 @@ fn bench_qdpm_step(c: &mut Criterion) {
         idle_slices: 3,
         sr_mode_hint: None,
     };
-    let outcome = StepOutcome { energy: 1.0, queue_len: 1, dropped: 0, completed: 0, arrivals: 1 };
+    let outcome = StepOutcome {
+        energy: 1.0,
+        queue_len: 1,
+        dropped: 0,
+        completed: 0,
+        arrivals: 1,
+    };
     c.bench_function("qdpm_decide_plus_learn", |b| {
         b.iter(|| {
             let a = agent.decide(black_box(&obs), &mut rng);
@@ -84,5 +94,10 @@ fn bench_mdp_compilation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers, bench_qdpm_step, bench_mdp_compilation);
+criterion_group!(
+    benches,
+    bench_solvers,
+    bench_qdpm_step,
+    bench_mdp_compilation
+);
 criterion_main!(benches);

@@ -32,14 +32,10 @@ fn bench_throughput(c: &mut Criterion) {
     let mmpp = WorkloadSpec::two_mode_mmpp(0.02, 0.5, 0.01).unwrap();
 
     for policy in ["always_on", "fixed_timeout", "q_dpm"] {
-        group.bench_with_input(
-            BenchmarkId::new("bernoulli", policy),
-            &policy,
-            |b, &p| {
-                let mut sim = sim_for(p, &bernoulli);
-                b.iter(|| black_box(sim.run(STEPS)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("bernoulli", policy), &policy, |b, &p| {
+            let mut sim = sim_for(p, &bernoulli);
+            b.iter(|| black_box(sim.run(STEPS)))
+        });
     }
     group.bench_function(BenchmarkId::new("mmpp", "q_dpm"), |b| {
         let mut sim = sim_for("q_dpm", &mmpp);

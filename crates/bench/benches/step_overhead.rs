@@ -8,8 +8,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use qdpm_bench::standard_device;
-use qdpm_core::{Observation, PowerManager, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent, StepOutcome};
 use qdpm_core::{FuzzyConfig, FuzzyQDpmAgent};
+use qdpm_core::{
+    Observation, PowerManager, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent, StepOutcome,
+};
 use qdpm_device::DeviceMode;
 use qdpm_sim::{policies, AdaptiveConfig, ModelBasedAdaptive};
 use rand::SeedableRng;
@@ -23,7 +25,13 @@ fn fixture() -> (Observation, StepOutcome) {
             idle_slices: 4,
             sr_mode_hint: None,
         },
-        StepOutcome { energy: 1.0, queue_len: 1, dropped: 0, completed: 0, arrivals: 1 },
+        StepOutcome {
+            energy: 1.0,
+            queue_len: 1,
+            dropped: 0,
+            completed: 0,
+            arrivals: 1,
+        },
     )
 }
 
@@ -33,7 +41,10 @@ fn bench_per_slice(c: &mut Criterion) {
     let mut group = c.benchmark_group("per_slice_overhead");
 
     let mut cases: Vec<(&str, Box<dyn PowerManager>)> = vec![
-        ("q_dpm", Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap())),
+        (
+            "q_dpm",
+            Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        ),
         (
             "qos_q_dpm",
             Box::new(QosQDpmAgent::new(&power, QosConfig::default()).unwrap()),
@@ -42,7 +53,10 @@ fn bench_per_slice(c: &mut Criterion) {
             "fuzzy_q_dpm",
             Box::new(FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap()),
         ),
-        ("fixed_timeout", Box::new(policies::FixedTimeout::break_even(&power))),
+        (
+            "fixed_timeout",
+            Box::new(policies::FixedTimeout::break_even(&power)),
+        ),
         (
             "model_based_estimator",
             Box::new(

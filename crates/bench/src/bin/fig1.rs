@@ -8,8 +8,7 @@
 
 use qdpm_bench::{save_results, standard_device};
 use qdpm_sim::experiment::{
-    convergence_ratios_over_seeds, mean_and_sd, run_convergence, tail_mean_cost,
-    ConvergenceParams,
+    convergence_ratios_over_seeds, mean_and_sd, run_convergence, tail_mean_cost, ConvergenceParams,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "replication over 5 seeds: tail/optimal ratio {:.3} +/- {:.3} ({:?})",
         mean,
         sd,
-        ratios.iter().map(|r| (r * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        ratios
+            .iter()
+            .map(|r| (r * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     );
     Ok(())
 }

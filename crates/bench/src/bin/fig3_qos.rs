@@ -29,14 +29,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // QoS agent.
         let qos = QosQDpmAgent::new(
             &power,
-            QosConfig { perf_target: target, ..QosConfig::default() },
+            QosConfig {
+                perf_target: target,
+                ..QosConfig::default()
+            },
         )?;
         let mut sim = Simulator::new(
             power.clone(),
             service,
             spec.build(),
             Box::new(qos),
-            SimConfig { seed: 5, ..SimConfig::default() },
+            SimConfig {
+                seed: 5,
+                ..SimConfig::default()
+            },
         )?;
         sim.run(150_000);
         let qs = sim.run(horizon);
@@ -48,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             spec.build(),
             Box::new(plain),
-            SimConfig { seed: 5, ..SimConfig::default() },
+            SimConfig {
+                seed: 5,
+                ..SimConfig::default()
+            },
         )?;
         sim.run(150_000);
         let ps = sim.run(horizon);
@@ -65,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     service,
                     spec.build(),
                     Box::new(controller),
-                    SimConfig { seed: 5, ..SimConfig::default() },
+                    SimConfig {
+                        seed: 5,
+                        ..SimConfig::default()
+                    },
                 )?;
                 let ls = sim.run(horizon);
                 (ls.avg_power(), ls.avg_queue_len())

@@ -27,9 +27,17 @@ fn steady_cost(
     let mut sim = Simulator::new(
         power,
         service,
-        WorkloadSpec::Pareto { alpha: 1.6, xm: 4.0 }.build(),
+        WorkloadSpec::Pareto {
+            alpha: 1.6,
+            xm: 4.0,
+        }
+        .build(),
         pm,
-        SimConfig { seed: 31, noise, ..SimConfig::default() },
+        SimConfig {
+            seed: 31,
+            noise,
+            ..SimConfig::default()
+        },
     )?;
     sim.run(150_000);
     Ok(sim.run(150_000).avg_cost())
@@ -42,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     out.push_str("queue_misread_prob\tcrisp_cost\tfuzzy_cost\tfuzzy_advantage\n");
 
     for noise_p in [0.0, 0.2, 0.4, 0.6, 0.8] {
-        let noise = ObservationNoise { queue_misread_prob: noise_p, idle_jitter: 4 };
+        let noise = ObservationNoise {
+            queue_misread_prob: noise_p,
+            idle_jitter: 4,
+        };
         let crisp = steady_cost(
             Box::new(QDpmAgent::new(
                 &power,

@@ -22,7 +22,10 @@ fn steady_cost(config: QDpmConfig) -> Result<f64, Box<dyn std::error::Error>> {
         service,
         WorkloadSpec::bernoulli(0.08)?.build(),
         Box::new(agent),
-        SimConfig { seed: 13, ..SimConfig::default() },
+        SimConfig {
+            seed: 13,
+            ..SimConfig::default()
+        },
     )?;
     sim.run(200_000);
     Ok(sim.run(120_000).avg_cost())
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("baseline (const lr 0.1, eps 0.05)", base.clone()),
         (
             "lr const 0.5",
-            QDpmConfig { learning_rate: LearningRate::Constant(0.5), ..base.clone() },
+            QDpmConfig {
+                learning_rate: LearningRate::Constant(0.5),
+                ..base.clone()
+            },
         ),
         (
             "lr visit-decay 0.7",
@@ -81,11 +87,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
         (
             "encoder + idle buckets",
-            QDpmConfig { idle_thresholds: vec![2, 8, 32], ..base.clone() },
+            QDpmConfig {
+                idle_thresholds: vec![2, 8, 32],
+                ..base.clone()
+            },
         ),
         (
             "discount 0.95 (short horizon)",
-            QDpmConfig { discount: 0.95, ..base.clone() },
+            QDpmConfig {
+                discount: 0.95,
+                ..base.clone()
+            },
         ),
         (
             "perf weight 0.5",

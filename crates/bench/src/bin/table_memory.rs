@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for queue_cap in [4usize, 8, 16, 32, 64] {
         let agent = QDpmAgent::new(
             &power,
-            QDpmConfig { queue_cap, ..QDpmConfig::default() },
+            QDpmConfig {
+                queue_cap,
+                ..QDpmConfig::default()
+            },
         )?;
         let qdpm_bytes = agent.table_bytes();
 

@@ -14,8 +14,8 @@
 use std::time::Instant;
 
 use qdpm_bench::{save_results, standard_device};
-use qdpm_core::{PowerManager, QDpmAgent, QDpmConfig, StepOutcome};
 use qdpm_core::Observation;
+use qdpm_core::{PowerManager, QDpmAgent, QDpmConfig, StepOutcome};
 use qdpm_device::DeviceMode;
 use qdpm_mdp::{build_dpm_mdp, lp, solvers, CostWeights};
 use qdpm_workload::MarkovArrivalModel;
@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut out = String::new();
     out.push_str("# table_overhead (T1): policy refresh cost, microseconds\n");
-    out.push_str("queue_cap\tn_states\tlp_us\tlp_pivots\tpi_us\tvi_us\tqdpm_step_us\tlp_over_qstep\n");
+    out.push_str(
+        "queue_cap\tn_states\tlp_us\tlp_pivots\tpi_us\tvi_us\tqdpm_step_us\tlp_over_qstep\n",
+    );
 
     for queue_cap in [4usize, 8, 16, 32, 48] {
         let model = build_dpm_mdp(&power, &service, &arrivals, queue_cap, 20.0)?;
@@ -47,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             solvers::value_iteration(
                 &model.mdp,
                 &cost,
-                solvers::SolveOptions { discount: 0.95, tol: 1e-9, max_iter: 1_000_000 },
+                solvers::SolveOptions {
+                    discount: 0.95,
+                    tol: 1e-9,
+                    max_iter: 1_000_000,
+                },
             )
             .unwrap()
         });
@@ -55,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // One Q-DPM step: decide + observe on a hot table (amortized).
         let mut agent = QDpmAgent::new(
             &power,
-            QDpmConfig { queue_cap, ..QDpmConfig::default() },
+            QDpmConfig {
+                queue_cap,
+                ..QDpmConfig::default()
+            },
         )?;
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let obs = Observation {
@@ -64,7 +73,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             idle_slices: 0,
             sr_mode_hint: None,
         };
-        let outcome = StepOutcome { energy: 1.0, queue_len: 1, dropped: 0, completed: 0, arrivals: 1 };
+        let outcome = StepOutcome {
+            energy: 1.0,
+            queue_len: 1,
+            dropped: 0,
+            completed: 0,
+            arrivals: 1,
+        };
         // Warm up, then time a batch.
         for _ in 0..1_000 {
             let _ = agent.decide(&obs, &mut rng);

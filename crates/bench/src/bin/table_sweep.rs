@@ -13,7 +13,10 @@ use qdpm_sim::experiment::run_sweep;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let devices = vec![
         ("three-state".to_string(), presets::three_state_generic()),
-        ("two-state".to_string(), presets::two_state(1.0, 0.1, 3, 1.2)),
+        (
+            "two-state".to_string(),
+            presets::two_state(1.0, 0.1, 3, 1.2),
+        ),
         ("ibm-hdd".to_string(), presets::ibm_hdd()),
     ];
     let arrival_ps = [0.02, 0.05, 0.1, 0.2, 0.4];

@@ -58,7 +58,10 @@ fn run_variant(
         scenario.service,
         WorkloadSpec::bernoulli(scenario.arrival_p)?.build(),
         pm,
-        SimConfig { seed: 17, ..SimConfig::default() },
+        SimConfig {
+            seed: 17,
+            ..SimConfig::default()
+        },
     )?;
     let learning = sim.run(scenario.train);
     let steady = sim.run(scenario.evaluate);
@@ -221,8 +224,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 steady,
                 steady / optimum
             ));
-            eprintln!("{} / {name}: learn {learning:.4} steady {steady:.4} ({:.3}x opt)",
-                scenario.name, steady / optimum);
+            eprintln!(
+                "{} / {name}: learn {learning:.4} steady {steady:.4} ({:.3}x opt)",
+                scenario.name,
+                steady / optimum
+            );
         }
     }
     print!("{out}");

@@ -6,7 +6,7 @@
 //! TSV to stdout and mirror it into `results/` at the workspace root.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use qdpm_device::{presets, PowerModel, ServiceModel};
 
@@ -17,13 +17,57 @@ pub fn standard_device() -> (PowerModel, ServiceModel) {
     (presets::three_state_generic(), presets::default_service())
 }
 
-/// Writes `content` to `results/<name>` (best effort) and returns the path.
+/// Walks up from `start` to the *nearest* ancestor whose `Cargo.toml`
+/// declares a `[workspace]` table — this crate's workspace root, wherever
+/// the crate ends up nested. (If the repo itself were vendored inside a
+/// larger workspace, the inner qdpm root still wins, which is where
+/// `results/` belongs.)
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start
+        .ancestors()
+        .find(|dir| {
+            fs::read_to_string(dir.join("Cargo.toml"))
+                .is_ok_and(|manifest| manifest_declares_workspace(&manifest))
+        })
+        .map(Path::to_path_buf)
+}
+
+/// Line-anchored check for a `[workspace]` (or `[workspace.*]`) table
+/// header, so commented-out headers or the literal string inside some
+/// other value don't count.
+fn manifest_declares_workspace(manifest: &str) -> bool {
+    manifest.lines().any(|line| {
+        let line = line.trim();
+        line == "[workspace]" || line.starts_with("[workspace.")
+    })
+}
+
+/// The directory results files are mirrored into: `$QDPM_RESULTS_DIR` when
+/// set, else `<workspace root>/results`, else `./results` as a last resort
+/// (e.g. binaries run outside any Cargo checkout).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("QDPM_RESULTS_DIR") {
+        return PathBuf::from(dir);
+    }
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("results")
+}
+
+/// Writes `content` to [`results_dir`]`/<name>` (best effort) and returns
+/// the path.
 pub fn save_results(name: &str, content: &str) -> Option<PathBuf> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
-    fs::create_dir_all(&dir).ok()?;
-    let path = dir.canonicalize().unwrap_or(dir).join(name);
+    save_results_in(&results_dir(), name, content)
+}
+
+/// [`save_results`] with an explicit target directory (created on demand).
+pub fn save_results_in(dir: &Path, name: &str, content: &str) -> Option<PathBuf> {
+    fs::create_dir_all(dir).ok()?;
+    let path = dir
+        .canonicalize()
+        .unwrap_or_else(|_| dir.to_path_buf())
+        .join(name);
     fs::write(&path, content).ok()?;
     Some(path)
 }
@@ -31,10 +75,7 @@ pub fn save_results(name: &str, content: &str) -> Option<PathBuf> {
 /// Renders a two-column-per-series aligned table of windowed points for
 /// quick eyeballing in a terminal.
 #[must_use]
-pub fn format_series_columns(
-    headers: &[&str],
-    columns: &[&[qdpm_sim::WindowPoint]],
-) -> String {
+pub fn format_series_columns(headers: &[&str], columns: &[&[qdpm_sim::WindowPoint]]) -> String {
     let mut out = String::from("end");
     for h in headers {
         out.push_str(&format!("\t{h}_cost\t{h}_reduction"));
@@ -63,6 +104,63 @@ mod tests {
         let (power, service) = standard_device();
         assert!(power.n_states() >= 3);
         assert!(service.completion_probability().is_some());
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_manifest_dir() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("this crate lives inside the qdpm workspace");
+        // The root manifest declares the workspace and its members; the
+        // old `../..` scheme only matched the original nesting depth.
+        let manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap();
+        assert!(manifest_declares_workspace(&manifest));
+        assert!(manifest.contains("crates/bench"));
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn find_workspace_root_skips_package_only_manifests() {
+        // Environment-independent: whatever the temp dir's ancestors hold,
+        // a directory with a package-only Cargo.toml must never be
+        // reported as the workspace root itself.
+        let dir = std::env::temp_dir().join("qdpm-bench-package-only-selftest");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("Cargo.toml"),
+            "[package]\nname = \"not-a-workspace\"\n",
+        )
+        .unwrap();
+        assert_ne!(find_workspace_root(&dir), Some(dir.clone()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn workspace_detection_is_line_anchored() {
+        assert!(manifest_declares_workspace("[workspace]\nmembers = []\n"));
+        assert!(manifest_declares_workspace("  [workspace.dependencies]\n"));
+        assert!(!manifest_declares_workspace("# [workspace]\n[package]\n"));
+        assert!(!manifest_declares_workspace(
+            "description = \"mentions [workspace] in prose\"\n"
+        ));
+        assert!(!manifest_declares_workspace("[workspace-tools]\n"));
+    }
+
+    #[test]
+    fn save_results_in_round_trips_and_creates_the_dir() {
+        // Hermetic: an explicit temp target, independent of the
+        // QDPM_RESULTS_DIR environment and of the checkout's results/.
+        let dir = std::env::temp_dir().join("qdpm-bench-save-results-selftest");
+        let _ = fs::remove_dir_all(&dir);
+        let name = "selftest.tsv";
+        let path = save_results_in(&dir, name, "end\tcost\n0\t1.0\n").expect("save_results_in");
+        assert!(path.ends_with(name));
+        assert_eq!(
+            fs::read_to_string(&path).unwrap(),
+            "end\tcost\n0\t1.0\n",
+            "content must round-trip"
+        );
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

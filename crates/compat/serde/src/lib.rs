@@ -1,0 +1,42 @@
+//! Vendored marker-trait subset of `serde`.
+//!
+//! The workspace builds hermetically (no crates.io access), and nothing in
+//! the repo performs actual serialization yet — types only *derive*
+//! `Serialize`/`Deserialize` so that persistence formats can be added
+//! later without touching every struct. This shim supplies the two traits
+//! as markers plus derive macros that emit the marker impls.
+//!
+//! When a real serialization backend lands, this crate is the single
+//! switch-over point: replace the path dependency with upstream `serde`
+//! and everything re-derives for real.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(impl Serialize for $t {}
+          impl Deserialize for $t {})*
+    };
+}
+
+impl_markers!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {}
+impl Serialize for &str {}

@@ -1,0 +1,55 @@
+//! Derive macros for the vendored `serde` shim: emit marker-trait impls.
+//!
+//! No `syn`/`quote` (hermetic build) — the input item is scanned token by
+//! token for the `struct`/`enum` name. Doc comments arrive as
+//! `#[doc = "..."]` whose payload is a literal, so the ident scan cannot
+//! be confused by prose. Generic derive targets are rejected with a
+//! compile error rather than silently mis-expanded; none exist in this
+//! workspace today.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword.
+fn derive_target(input: TokenStream) -> Result<String, String> {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        let TokenTree::Ident(id) = &tt else { continue };
+        let kw = id.to_string();
+        if kw != "struct" && kw != "enum" {
+            continue;
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            return Err(format!("expected a type name after `{kw}`"));
+        };
+        if let Some(TokenTree::Punct(p)) = iter.next() {
+            if p.as_char() == '<' {
+                return Err(format!(
+                    "the vendored serde shim cannot derive for generic type `{name}`"
+                ));
+            }
+        }
+        return Ok(name.to_string());
+    }
+    Err("expected a `struct` or `enum` item".to_string())
+}
+
+fn emit(trait_name: &str, input: TokenStream) -> TokenStream {
+    match derive_target(input) {
+        Ok(name) => format!("impl ::serde::{trait_name} for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("::core::compile_error!({msg:?});")
+            .parse()
+            .expect("generated error parses"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit("Serialize", input)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit("Deserialize", input)
+}

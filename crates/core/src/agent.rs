@@ -48,12 +48,20 @@ impl RewardWeights {
     /// Returns [`CoreError::BadRewardWeight`] for a negative or non-finite
     /// weight.
     pub fn new(energy: f64, perf: f64, drop_penalty: f64) -> Result<Self, CoreError> {
-        for (what, v) in [("energy", energy), ("perf", perf), ("drop_penalty", drop_penalty)] {
+        for (what, v) in [
+            ("energy", energy),
+            ("perf", perf),
+            ("drop_penalty", drop_penalty),
+        ] {
             if !(v.is_finite() && v >= 0.0) {
                 return Err(CoreError::BadRewardWeight { what, value: v });
             }
         }
-        Ok(RewardWeights { energy, perf, drop_penalty })
+        Ok(RewardWeights {
+            energy,
+            perf,
+            drop_penalty,
+        })
     }
 
     /// The scalar reward of one slice.
@@ -252,7 +260,13 @@ impl QDpmConfig {
         } else {
             crate::IdleBuckets::Thresholds(self.idle_thresholds.clone())
         };
-        DpmStateEncoder::new(power, crate::QueueBuckets::Exact { cap: self.queue_cap }, idle)
+        DpmStateEncoder::new(
+            power,
+            crate::QueueBuckets::Exact {
+                cap: self.queue_cap,
+            },
+            idle,
+        )
     }
 }
 
@@ -455,7 +469,11 @@ mod tests {
         let active = power.state_by_name("active").unwrap();
         let sleep = power.state_by_name("sleep").unwrap();
         let obs = Observation {
-            device_mode: DeviceMode::Transitioning { from: active, to: sleep, remaining: 1 },
+            device_mode: DeviceMode::Transitioning {
+                from: active,
+                to: sleep,
+                remaining: 1,
+            },
             queue_len: 2,
             idle_slices: 0,
             sr_mode_hint: None,

@@ -187,7 +187,11 @@ impl DpmStateEncoder {
     fn dev_index(&self, mode: DeviceMode) -> usize {
         match mode {
             DeviceMode::Operational(s) => s.index(),
-            DeviceMode::Transitioning { from, to, remaining } => {
+            DeviceMode::Transitioning {
+                from,
+                to,
+                remaining,
+            } => {
                 let key = (from.index(), to.index(), remaining);
                 self.n_power_states
                     + self
@@ -257,12 +261,20 @@ mod tests {
         let active = power.state_by_name("active").unwrap();
         let sleep = power.state_by_name("sleep").unwrap();
         let t1 = enc.encode(&obs(
-            DeviceMode::Transitioning { from: active, to: sleep, remaining: 1 },
+            DeviceMode::Transitioning {
+                from: active,
+                to: sleep,
+                remaining: 1,
+            },
             0,
             0,
         ));
         let t2 = enc.encode(&obs(
-            DeviceMode::Transitioning { from: active, to: sleep, remaining: 2 },
+            DeviceMode::Transitioning {
+                from: active,
+                to: sleep,
+                remaining: 2,
+            },
             0,
             0,
         ));
@@ -316,12 +328,9 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         let power = presets::three_state_generic();
-        assert!(DpmStateEncoder::new(
-            &power,
-            QueueBuckets::Log { n: 1 },
-            IdleBuckets::None
-        )
-        .is_err());
+        assert!(
+            DpmStateEncoder::new(&power, QueueBuckets::Log { n: 1 }, IdleBuckets::None).is_err()
+        );
         assert!(DpmStateEncoder::new(
             &power,
             QueueBuckets::Exact { cap: 4 },

@@ -23,7 +23,9 @@ use serde::{Deserialize, Serialize};
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
 
 use crate::rng_util::{uniform, uniform_index};
-use crate::{CoreError, Exploration, LearningRate, Observation, PowerManager, RewardWeights, StepOutcome};
+use crate::{
+    CoreError, Exploration, LearningRate, Observation, PowerManager, RewardWeights, StepOutcome,
+};
 
 /// A one-dimensional fuzzy set with triangular/shoulder membership.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -97,7 +99,9 @@ impl FuzzySet {
         if ok {
             Ok(())
         } else {
-            Err(CoreError::BadFuzzy(format!("degenerate fuzzy set {self:?}")))
+            Err(CoreError::BadFuzzy(format!(
+                "degenerate fuzzy set {self:?}"
+            )))
         }
     }
 }
@@ -119,7 +123,9 @@ impl FuzzyVariable {
     /// Returns [`CoreError::BadFuzzy`] on an empty family or degenerate set.
     pub fn new(sets: Vec<FuzzySet>) -> Result<Self, CoreError> {
         if sets.is_empty() {
-            return Err(CoreError::BadFuzzy("variable needs at least one set".into()));
+            return Err(CoreError::BadFuzzy(
+                "variable needs at least one set".into(),
+            ));
         }
         for s in &sets {
             s.validate()?;
@@ -137,9 +143,19 @@ impl FuzzyVariable {
             return Err(CoreError::BadFuzzy(format!("max {max} must be positive")));
         }
         FuzzyVariable::new(vec![
-            FuzzySet::LeftShoulder { full: 0.0, zero: max / 2.0 },
-            FuzzySet::Triangle { left: 0.0, peak: max / 2.0, right: max },
-            FuzzySet::RightShoulder { zero: max / 2.0, full: max },
+            FuzzySet::LeftShoulder {
+                full: 0.0,
+                zero: max / 2.0,
+            },
+            FuzzySet::Triangle {
+                left: 0.0,
+                peak: max / 2.0,
+                right: max,
+            },
+            FuzzySet::RightShoulder {
+                zero: max / 2.0,
+                full: max,
+            },
         ])
     }
 
@@ -200,7 +216,9 @@ impl FuzzyConfig {
     /// Returns [`CoreError::BadFuzzy`] when `queue_cap == 0`.
     pub fn standard(queue_cap: usize) -> Result<Self, CoreError> {
         if queue_cap == 0 {
-            return Err(CoreError::BadFuzzy("queue capacity must be positive".into()));
+            return Err(CoreError::BadFuzzy(
+                "queue capacity must be positive".into(),
+            ));
         }
         let cap = queue_cap as f64;
         Ok(FuzzyConfig {
@@ -209,15 +227,39 @@ impl FuzzyConfig {
             exploration: Exploration::EpsilonGreedy { epsilon: 0.05 },
             weights: RewardWeights::default(),
             queue_var: FuzzyVariable::new(vec![
-                FuzzySet::LeftShoulder { full: 0.0, zero: 1.0 },
-                FuzzySet::Triangle { left: 0.0, peak: (cap / 4.0).max(1.0), right: (cap * 0.625).max(2.0) },
-                FuzzySet::RightShoulder { zero: (cap / 4.0).max(1.0), full: (cap * 0.75).max(2.0) },
+                FuzzySet::LeftShoulder {
+                    full: 0.0,
+                    zero: 1.0,
+                },
+                FuzzySet::Triangle {
+                    left: 0.0,
+                    peak: (cap / 4.0).max(1.0),
+                    right: (cap * 0.625).max(2.0),
+                },
+                FuzzySet::RightShoulder {
+                    zero: (cap / 4.0).max(1.0),
+                    full: (cap * 0.75).max(2.0),
+                },
             ])?,
             idle_var: FuzzyVariable::new(vec![
-                FuzzySet::LeftShoulder { full: 1.0, zero: 4.0 },
-                FuzzySet::Triangle { left: 1.0, peak: 6.0, right: 16.0 },
-                FuzzySet::Triangle { left: 6.0, peak: 16.0, right: 40.0 },
-                FuzzySet::RightShoulder { zero: 16.0, full: 40.0 },
+                FuzzySet::LeftShoulder {
+                    full: 1.0,
+                    zero: 4.0,
+                },
+                FuzzySet::Triangle {
+                    left: 1.0,
+                    peak: 6.0,
+                    right: 16.0,
+                },
+                FuzzySet::Triangle {
+                    left: 6.0,
+                    peak: 16.0,
+                    right: 40.0,
+                },
+                FuzzySet::RightShoulder {
+                    zero: 16.0,
+                    full: 40.0,
+                },
             ])?,
         })
     }
@@ -299,7 +341,11 @@ impl FuzzyQDpmAgent {
     fn dev_index(&self, mode: DeviceMode) -> usize {
         match mode {
             DeviceMode::Operational(s) => s.index(),
-            DeviceMode::Transitioning { from, to, remaining } => {
+            DeviceMode::Transitioning {
+                from,
+                to,
+                remaining,
+            } => {
                 let key = (from.index(), to.index(), remaining);
                 self.power.n_states()
                     + self
@@ -407,18 +453,28 @@ mod tests {
 
     #[test]
     fn membership_shapes() {
-        let tri = FuzzySet::Triangle { left: 0.0, peak: 5.0, right: 10.0 };
+        let tri = FuzzySet::Triangle {
+            left: 0.0,
+            peak: 5.0,
+            right: 10.0,
+        };
         assert_eq!(tri.membership(0.0), 0.0);
         assert_eq!(tri.membership(5.0), 1.0);
         assert!((tri.membership(2.5) - 0.5).abs() < 1e-12);
         assert_eq!(tri.membership(10.0), 0.0);
 
-        let ls = FuzzySet::LeftShoulder { full: 2.0, zero: 6.0 };
+        let ls = FuzzySet::LeftShoulder {
+            full: 2.0,
+            zero: 6.0,
+        };
         assert_eq!(ls.membership(1.0), 1.0);
         assert!((ls.membership(4.0) - 0.5).abs() < 1e-12);
         assert_eq!(ls.membership(7.0), 0.0);
 
-        let rs = FuzzySet::RightShoulder { zero: 2.0, full: 6.0 };
+        let rs = FuzzySet::RightShoulder {
+            zero: 2.0,
+            full: 6.0,
+        };
         assert_eq!(rs.membership(1.0), 0.0);
         assert!((rs.membership(4.0) - 0.5).abs() < 1e-12);
         assert_eq!(rs.membership(7.0), 1.0);
@@ -426,7 +482,13 @@ mod tests {
 
     #[test]
     fn degenerate_sets_rejected() {
-        assert!(FuzzySet::Triangle { left: 1.0, peak: 1.0, right: 2.0 }.validate().is_err());
+        assert!(FuzzySet::Triangle {
+            left: 1.0,
+            peak: 1.0,
+            right: 2.0
+        }
+        .validate()
+        .is_err());
         assert!(FuzzyVariable::new(vec![]).is_err());
         assert!(FuzzyVariable::low_medium_high(0.0).is_err());
     }
@@ -485,7 +547,13 @@ mod tests {
         for _ in 0..500 {
             let _ = agent.decide(&obs, &mut rng);
             agent.observe(
-                &StepOutcome { energy: 0.05, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 },
+                &StepOutcome {
+                    energy: 0.05,
+                    queue_len: 0,
+                    dropped: 0,
+                    completed: 0,
+                    arrivals: 0,
+                },
                 &obs,
             );
         }

@@ -96,9 +96,8 @@ impl QosQDpmAgent {
         if config.window == 0 {
             return Err(CoreError::BadConstraint("window must be positive".into()));
         }
-        if !(config.lambda_step.is_finite() && config.lambda_step > 0.0)
-            || !(config.lambda_max.is_finite() && config.lambda_max > 0.0)
-        {
+        let lambda_ok = |x: f64| x.is_finite() && x > 0.0;
+        if !lambda_ok(config.lambda_step) || !lambda_ok(config.lambda_max) {
             return Err(CoreError::BadConstraint(
                 "lambda step and max must be positive".into(),
             ));
@@ -159,8 +158,7 @@ impl PowerManager for QosQDpmAgent {
     }
 
     fn observe(&mut self, outcome: &StepOutcome, next_obs: &Observation) {
-        let perf = outcome.queue_len as f64
-            + self.config.drop_weight * f64::from(outcome.dropped);
+        let perf = outcome.queue_len as f64 + self.config.drop_weight * f64::from(outcome.dropped);
         // Fast timescale: Lagrangian Q-update.
         if let Some((s, a)) = self.pending.take() {
             let reward = -(outcome.energy + self.lambda * perf);
@@ -207,17 +205,26 @@ mod tests {
         let power = presets::three_state_generic();
         assert!(QosQDpmAgent::new(
             &power,
-            QosConfig { perf_target: -1.0, ..QosConfig::default() }
+            QosConfig {
+                perf_target: -1.0,
+                ..QosConfig::default()
+            }
         )
         .is_err());
         assert!(QosQDpmAgent::new(
             &power,
-            QosConfig { window: 0, ..QosConfig::default() }
+            QosConfig {
+                window: 0,
+                ..QosConfig::default()
+            }
         )
         .is_err());
         assert!(QosQDpmAgent::new(
             &power,
-            QosConfig { lambda_step: 0.0, ..QosConfig::default() }
+            QosConfig {
+                lambda_step: 0.0,
+                ..QosConfig::default()
+            }
         )
         .is_err());
     }
@@ -227,7 +234,11 @@ mod tests {
         let power = presets::three_state_generic();
         let mut agent = QosQDpmAgent::new(
             &power,
-            QosConfig { perf_target: 0.5, window: 10, ..QosConfig::default() },
+            QosConfig {
+                perf_target: 0.5,
+                window: 10,
+                ..QosConfig::default()
+            },
         )
         .unwrap();
         let start = agent.lambda();
@@ -237,11 +248,21 @@ mod tests {
             let o = obs(&power, 5);
             let _ = agent.decide(&o, &mut rng);
             agent.observe(
-                &StepOutcome { energy: 1.0, queue_len: 5, dropped: 0, completed: 0, arrivals: 1 },
+                &StepOutcome {
+                    energy: 1.0,
+                    queue_len: 5,
+                    dropped: 0,
+                    completed: 0,
+                    arrivals: 1,
+                },
                 &o,
             );
         }
-        assert!(agent.lambda() > start, "lambda {} should rise", agent.lambda());
+        assert!(
+            agent.lambda() > start,
+            "lambda {} should rise",
+            agent.lambda()
+        );
     }
 
     #[test]
@@ -249,7 +270,11 @@ mod tests {
         let power = presets::three_state_generic();
         let mut agent = QosQDpmAgent::new(
             &power,
-            QosConfig { perf_target: 2.0, window: 10, ..QosConfig::default() },
+            QosConfig {
+                perf_target: 2.0,
+                window: 10,
+                ..QosConfig::default()
+            },
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
@@ -257,11 +282,21 @@ mod tests {
             let o = obs(&power, 0);
             let _ = agent.decide(&o, &mut rng);
             agent.observe(
-                &StepOutcome { energy: 1.0, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 },
+                &StepOutcome {
+                    energy: 1.0,
+                    queue_len: 0,
+                    dropped: 0,
+                    completed: 0,
+                    arrivals: 0,
+                },
                 &o,
             );
         }
-        assert!(agent.lambda() < 1.0, "lambda {} should fall", agent.lambda());
+        assert!(
+            agent.lambda() < 1.0,
+            "lambda {} should fall",
+            agent.lambda()
+        );
         assert!(agent.lambda() >= 0.0);
     }
 
@@ -284,7 +319,13 @@ mod tests {
             let o = obs(&power, 8);
             let _ = agent.decide(&o, &mut rng);
             agent.observe(
-                &StepOutcome { energy: 1.0, queue_len: 8, dropped: 1, completed: 0, arrivals: 1 },
+                &StepOutcome {
+                    energy: 1.0,
+                    queue_len: 8,
+                    dropped: 1,
+                    completed: 0,
+                    arrivals: 1,
+                },
                 &o,
             );
         }
@@ -296,7 +337,12 @@ mod tests {
         let power = presets::three_state_generic();
         let mut agent = QosQDpmAgent::new(
             &power,
-            QosConfig { perf_target: 1.0, window: 1, drop_weight: 50.0, ..QosConfig::default() },
+            QosConfig {
+                perf_target: 1.0,
+                window: 1,
+                drop_weight: 50.0,
+                ..QosConfig::default()
+            },
         )
         .unwrap();
         let mut rng = StdRng::seed_from_u64(0);
@@ -304,7 +350,13 @@ mod tests {
         let _ = agent.decide(&o, &mut rng);
         let before = agent.lambda();
         agent.observe(
-            &StepOutcome { energy: 1.0, queue_len: 0, dropped: 1, completed: 0, arrivals: 1 },
+            &StepOutcome {
+                energy: 1.0,
+                queue_len: 0,
+                dropped: 1,
+                completed: 0,
+                arrivals: 1,
+            },
             &o,
         );
         // One drop in a 1-slice window: avg perf 50 >> target.

@@ -28,7 +28,10 @@ impl QTable {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(n_states: usize, n_actions: usize) -> Self {
-        assert!(n_states > 0 && n_actions > 0, "table dimensions must be positive");
+        assert!(
+            n_states > 0 && n_actions > 0,
+            "table dimensions must be positive"
+        );
         QTable {
             n_states,
             n_actions,
@@ -141,8 +144,7 @@ impl QTable {
     /// Exact heap footprint of the Q-values and visit counters, in bytes.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        self.q.len() * std::mem::size_of::<f64>()
-            + self.visits.len() * std::mem::size_of::<u32>()
+        self.q.len() * std::mem::size_of::<f64>() + self.visits.len() * std::mem::size_of::<u32>()
     }
 
     /// Resets all values and visit counts to zero.
@@ -236,7 +238,12 @@ impl QTable {
         for chunk in body[14 + n * 8..].chunks_exact(4) {
             visits.push(u32::from_le_bytes(chunk.try_into().expect("4 bytes")));
         }
-        Ok(QTable { n_states, n_actions, q, visits })
+        Ok(QTable {
+            n_states,
+            n_actions,
+            q,
+            visits,
+        })
     }
 }
 

@@ -65,9 +65,7 @@ impl LearningRate {
         match *self {
             LearningRate::Constant(g) => g,
             LearningRate::GlobalDecay { c } => c / (c + t as f64),
-            LearningRate::VisitDecay { omega } => {
-                1.0 / f64::from(visits.max(1)).powf(omega)
-            }
+            LearningRate::VisitDecay { omega } => 1.0 / f64::from(visits.max(1)).powf(omega),
         }
     }
 }
@@ -125,7 +123,11 @@ impl Exploration {
                     )));
                 }
             }
-            Exploration::DecayingEpsilon { epsilon0, decay, min_epsilon } => {
+            Exploration::DecayingEpsilon {
+                epsilon0,
+                decay,
+                min_epsilon,
+            } => {
                 if !unit(epsilon0) || !unit(min_epsilon) {
                     return Err(CoreError::BadExploration(format!(
                         "epsilon bounds ({epsilon0}, {min_epsilon}) not in [0, 1]"
@@ -155,7 +157,11 @@ impl Exploration {
     pub fn epsilon_at(&self, t: u64) -> f64 {
         match *self {
             Exploration::EpsilonGreedy { epsilon } => epsilon,
-            Exploration::DecayingEpsilon { epsilon0, decay, min_epsilon } => {
+            Exploration::DecayingEpsilon {
+                epsilon0,
+                decay,
+                min_epsilon,
+            } => {
                 let e = epsilon0 * decay.powf(t as f64);
                 e.max(min_epsilon)
             }
@@ -233,9 +239,15 @@ mod tests {
 
     #[test]
     fn exploration_validation() {
-        assert!(Exploration::EpsilonGreedy { epsilon: 1.5 }.validate().is_err());
-        assert!(Exploration::Boltzmann { temperature: 0.0 }.validate().is_err());
-        assert!(Exploration::Boltzmann { temperature: 0.5 }.validate().is_ok());
+        assert!(Exploration::EpsilonGreedy { epsilon: 1.5 }
+            .validate()
+            .is_err());
+        assert!(Exploration::Boltzmann { temperature: 0.0 }
+            .validate()
+            .is_err());
+        assert!(Exploration::Boltzmann { temperature: 0.5 }
+            .validate()
+            .is_ok());
         assert!(Exploration::DecayingEpsilon {
             epsilon0: 0.5,
             decay: 0.0,

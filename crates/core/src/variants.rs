@@ -152,7 +152,8 @@ impl SarsaLearner {
             let gamma = self.learning_rate.rate(self.steps, visits);
             let old = self.table.get(p.s, p.a);
             let target = p.reward + self.discount * bootstrap_q;
-            self.table.set(p.s, p.a, (1.0 - gamma) * old + gamma * target);
+            self.table
+                .set(p.s, p.a, (1.0 - gamma) * old + gamma * target);
             self.steps += 1;
         }
     }
@@ -190,7 +191,12 @@ impl TabularLearner for SarsaLearner {
                 self.apply_pending(q);
             }
         }
-        self.pending = Some(PendingSarsa { s, a, reward, next_s });
+        self.pending = Some(PendingSarsa {
+            s,
+            a,
+            reward,
+            next_s,
+        });
     }
 
     fn steps(&self) -> u64 {
@@ -462,7 +468,10 @@ impl TabularLearner for QLambdaLearner {
         }
         // Watkins cut: if the action was exploratory (not greedy in s),
         // the off-policy backup chain is broken — drop all traces.
-        if a != self.table.best_action(s, &all_actions(self.table.n_actions())) {
+        if a != self
+            .table
+            .best_action(s, &all_actions(self.table.n_actions()))
+        {
             // Note: greedy w.r.t. the full action set; legality is the
             // caller's concern and exploratory moves are rare.
             self.traces.clear();
@@ -481,8 +490,7 @@ impl TabularLearner for QLambdaLearner {
     }
 
     fn memory_bytes(&self) -> usize {
-        self.table.memory_bytes()
-            + self.traces.len() * std::mem::size_of::<((usize, usize), f64)>()
+        self.table.memory_bytes() + self.traces.len() * std::mem::size_of::<((usize, usize), f64)>()
     }
 
     fn algorithm(&self) -> &'static str {
@@ -528,7 +536,11 @@ mod tests {
         // On-policy values are perturbed by exploration, but the greedy
         // ranking must be right: stay in 1 beats leaving.
         assert!(l.table().get(1, 0) > l.table().get(1, 1));
-        assert!(l.table().get(1, 0) > 1.0, "Q(1,stay) = {}", l.table().get(1, 0));
+        assert!(
+            l.table().get(1, 0) > 1.0,
+            "Q(1,stay) = {}",
+            l.table().get(1, 0)
+        );
         assert_eq!(l.best_action(1, &[0, 1]), 0);
         assert_eq!(l.algorithm(), "sarsa");
     }
@@ -544,7 +556,11 @@ mod tests {
         )
         .unwrap();
         train(&mut l, 200_000, 5);
-        assert!((l.combined_q(1, 0) - 2.0).abs() < 0.1, "Q(1,0) = {}", l.combined_q(1, 0));
+        assert!(
+            (l.combined_q(1, 0) - 2.0).abs() < 0.1,
+            "Q(1,0) = {}",
+            l.combined_q(1, 0)
+        );
         assert_eq!(l.best_action(1, &[0, 1]), 0);
         assert_eq!(l.algorithm(), "double-q");
     }
@@ -561,7 +577,11 @@ mod tests {
         )
         .unwrap();
         train(&mut l, 200_000, 7);
-        assert!((l.table().get(1, 0) - 2.0).abs() < 0.15, "Q(1,0) = {}", l.table().get(1, 0));
+        assert!(
+            (l.table().get(1, 0) - 2.0).abs() < 0.15,
+            "Q(1,0) = {}",
+            l.table().get(1, 0)
+        );
         assert_eq!(l.best_action(1, &[0, 1]), 0);
     }
 
@@ -672,8 +692,7 @@ mod tests {
 
     #[test]
     fn memory_accounting_scales() {
-        let q = QLearner::new(10, 3, 0.9, LearningRate::default(), Exploration::default())
-            .unwrap();
+        let q = QLearner::new(10, 3, 0.9, LearningRate::default(), Exploration::default()).unwrap();
         let d = DoubleQLearner::new(10, 3, 0.9, LearningRate::default(), Exploration::default())
             .unwrap();
         assert_eq!(d.memory_bytes(), 2 * TabularLearner::memory_bytes(&q));

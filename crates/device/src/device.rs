@@ -128,7 +128,10 @@ impl Device {
     /// Panics if `initial` is out of range for `model`.
     #[must_use]
     pub fn with_initial_state(model: PowerModel, initial: PowerStateId) -> Self {
-        assert!(initial.index() < model.n_states(), "initial state out of range");
+        assert!(
+            initial.index() < model.n_states(),
+            "initial state out of range"
+        );
         Device {
             model,
             mode: DeviceMode::Operational(initial),
@@ -166,7 +169,9 @@ impl Device {
         };
         if spec.latency == 0 {
             self.mode = DeviceMode::Operational(target);
-            CommandOutcome::Switched { energy: spec.energy }
+            CommandOutcome::Switched {
+                energy: spec.energy,
+            }
         } else {
             self.mode = DeviceMode::Transitioning {
                 from: current,
@@ -174,7 +179,9 @@ impl Device {
                 remaining: spec.latency,
             };
             self.active_transition = Some(spec);
-            CommandOutcome::TransitionStarted { latency: spec.latency }
+            CommandOutcome::TransitionStarted {
+                latency: spec.latency,
+            }
         }
     }
 
@@ -190,7 +197,11 @@ impl Device {
                     mode_after: self.mode,
                 }
             }
-            DeviceMode::Transitioning { from, to, remaining } => {
+            DeviceMode::Transitioning {
+                from,
+                to,
+                remaining,
+            } => {
                 let spec = self
                     .active_transition
                     .expect("transitioning device has an active transition spec");
@@ -248,10 +259,7 @@ mod tests {
     #[test]
     fn starts_in_highest_power_state() {
         let d = Device::new(model());
-        assert_eq!(
-            d.mode().operational_state(),
-            d.model().state_by_name("on")
-        );
+        assert_eq!(d.mode().operational_state(), d.model().state_by_name("on"));
     }
 
     #[test]

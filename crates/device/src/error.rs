@@ -47,7 +47,10 @@ impl fmt::Display for DeviceError {
                 write!(f, "state `{state}` has invalid power {power}")
             }
             DeviceError::InvalidTransitionEnergy { from, to, energy } => {
-                write!(f, "transition `{from}` -> `{to}` has invalid energy {energy}")
+                write!(
+                    f,
+                    "transition `{from}` -> `{to}` has invalid energy {energy}"
+                )
             }
             DeviceError::UnknownState(name) => write!(f, "unknown power state `{name}`"),
             DeviceError::InvalidServiceModel(msg) => write!(f, "invalid service model: {msg}"),

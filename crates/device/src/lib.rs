@@ -41,7 +41,7 @@ pub use device::{CommandOutcome, Device, DeviceMode, TickReport};
 pub use error::DeviceError;
 pub use power::{PowerModel, PowerModelBuilder, PowerStateId, PowerStateSpec, TransitionSpec};
 pub use queue::{Queue, QueueStats};
-pub use service::{ServiceModel, Server};
+pub use service::{Server, ServiceModel};
 
 /// Discrete simulation time, measured in slices since the start of a run.
 pub type Step = u64;

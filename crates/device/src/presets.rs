@@ -123,7 +123,13 @@ pub fn default_service() -> ServiceModel {
 /// Names of all device presets, for sweep harnesses.
 #[must_use]
 pub fn preset_names() -> &'static [&'static str] {
-    &["two-state", "three-state-generic", "ibm-hdd", "wlan-card", "sa1100"]
+    &[
+        "two-state",
+        "three-state-generic",
+        "ibm-hdd",
+        "wlan-card",
+        "sa1100",
+    ]
 }
 
 /// Looks up a preset by name (the `two-state` preset uses default economics:
@@ -153,7 +159,10 @@ mod tests {
             // non-serving state, otherwise DPM is pointless.
             let serving = model.serving_state();
             let low = model.lowest_power_state();
-            assert!(model.state(low).power < model.state(serving).power, "{name}");
+            assert!(
+                model.state(low).power < model.state(serving).power,
+                "{name}"
+            );
         }
     }
 
@@ -173,7 +182,10 @@ mod tests {
             // computable directly or the low state is reachable somehow.
             let direct = model.break_even_steps(high, low);
             let reachable = model.commands_from(high).count() > 0;
-            assert!(direct.is_some() || reachable, "{name} has no usable transitions");
+            assert!(
+                direct.is_some() || reachable,
+                "{name} has no usable transitions"
+            );
         }
     }
 

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn mean_steps() {
-        assert_eq!(ServiceModel::geometric(0.25).unwrap().mean_service_steps(), 4.0);
+        assert_eq!(
+            ServiceModel::geometric(0.25).unwrap().mean_service_steps(),
+            4.0
+        );
         assert_eq!(
             ServiceModel::deterministic(3).unwrap().mean_service_steps(),
             3.0
@@ -184,7 +187,9 @@ mod tests {
     #[test]
     fn completion_probability_accessor() {
         assert_eq!(
-            ServiceModel::geometric(0.4).unwrap().completion_probability(),
+            ServiceModel::geometric(0.4)
+                .unwrap()
+                .completion_probability(),
             Some(0.4)
         );
         assert_eq!(

@@ -164,7 +164,11 @@ impl DpmStateSpace {
     pub fn dev_index_of(&self, mode: DeviceMode) -> usize {
         match mode {
             DeviceMode::Operational(s) => s.index(),
-            DeviceMode::Transitioning { from, to, remaining } => *self
+            DeviceMode::Transitioning {
+                from,
+                to,
+                remaining,
+            } => *self
                 .transient_lookup
                 .get(&(from.index(), to.index(), remaining))
                 .expect("unknown transient mode for this power model"),
@@ -222,7 +226,10 @@ impl DpmStateSpace {
                     return (spec.power, spec.can_serve, dev);
                 }
                 let trans = power
-                    .transition(PowerStateId::from_index(s), PowerStateId::from_index(action))
+                    .transition(
+                        PowerStateId::from_index(s),
+                        PowerStateId::from_index(action),
+                    )
                     .expect("illegal action passed to step_device");
                 if trans.latency == 0 {
                     // Instant switch: the device spends the slice in the
@@ -239,7 +246,11 @@ impl DpmStateSpace {
                     (trans.energy_per_step(), false, end)
                 }
             }
-            DevMode::Transient { from, to, remaining } => {
+            DevMode::Transient {
+                from,
+                to,
+                remaining,
+            } => {
                 assert_eq!(action, to, "only `stay the course` is legal in a transient");
                 let trans = power
                     .transition(PowerStateId::from_index(from), PowerStateId::from_index(to))
@@ -321,9 +332,7 @@ pub fn build_dpm_mdp(
                         let dropped = arrived && q == queue_cap;
                         let q1 = if arrived { (q + 1).min(queue_cap) } else { q };
                         let p_complete = if q1 > 0 { serve_prob } else { 0.0 };
-                        for (completed, p_srv) in
-                            [(false, 1.0 - p_complete), (true, p_complete)]
-                        {
+                        for (completed, p_srv) in [(false, 1.0 - p_complete), (true, p_complete)] {
                             if p_srv == 0.0 {
                                 continue;
                             }
@@ -516,7 +525,9 @@ mod tests {
         let mut total = 0.0;
         let mut slices = 0;
         loop {
-            let action = if dev == active.index() { sleep.index() } else {
+            let action = if dev == active.index() {
+                sleep.index()
+            } else {
                 match space.dev_mode(dev) {
                     DevMode::Transient { to, .. } => to,
                     DevMode::Operational(s) => s,

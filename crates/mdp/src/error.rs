@@ -76,7 +76,10 @@ impl fmt::Display for MdpError {
                 write!(f, "discount factor {beta} outside (0, 1)")
             }
             MdpError::NoConvergence { solver, iterations } => {
-                write!(f, "{solver} did not converge within {iterations} iterations")
+                write!(
+                    f,
+                    "{solver} did not converge within {iterations} iterations"
+                )
             }
             MdpError::SingularSystem => write!(f, "singular linear system"),
             MdpError::LpInfeasible => write!(f, "linear program is infeasible"),
@@ -95,7 +98,11 @@ mod tests {
 
     #[test]
     fn messages_name_the_location() {
-        let e = MdpError::BadTransitionRow { state: 3, action: 1, sum: 0.7 };
+        let e = MdpError::BadTransitionRow {
+            state: 3,
+            action: 1,
+            sum: 0.7,
+        };
         assert!(e.to_string().contains("state 3"));
         assert!(e.to_string().contains("action 1"));
     }

@@ -71,12 +71,10 @@ impl Matrix {
     #[must_use]
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
-        let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
-        }
-        y
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     /// Solves `A x = b` in place via LU with partial pivoting.
@@ -194,11 +192,7 @@ mod tests {
 
     #[test]
     fn solve_then_multiply_round_trip() {
-        let a = Matrix::from_rows(
-            3,
-            3,
-            vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 5.0],
-        );
+        let a = Matrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 5.0]);
         let b = [7.0, -2.0, 3.5];
         let x = a.solve(&b).unwrap();
         let back = a.mul_vec(&x);

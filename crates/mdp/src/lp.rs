@@ -135,7 +135,6 @@ pub fn lp_solve_discounted(
     })
 }
 
-
 /// Solves the discounted MDP by the *primal* (value-variable) LP:
 /// `max sum_s v(s)` subject to `v(s) <= c(s,a) + beta * sum P v` for every
 /// legal pair — the textbook formulation dual to
@@ -154,11 +153,7 @@ pub fn lp_solve_discounted(
 /// # Panics
 ///
 /// Panics if `cost.len() != n_states * n_actions`.
-pub fn lp_solve_primal(
-    mdp: &Mdp,
-    cost: &[f64],
-    discount: f64,
-) -> Result<LpSolveReport, MdpError> {
+pub fn lp_solve_primal(mdp: &Mdp, cost: &[f64], discount: f64) -> Result<LpSolveReport, MdpError> {
     if !(discount.is_finite() && discount > 0.0 && discount < 1.0) {
         return Err(MdpError::BadDiscount(discount));
     }
@@ -226,19 +221,11 @@ pub fn lp_solve_constrained(
     }
     let (pairs, _) = legal_index(mdp);
     let mut lp = LinearProgram::new(pairs.len());
-    lp.set_objective(
-        pairs
-            .iter()
-            .map(|&(s, a)| mdp.energy_cost(s, a))
-            .collect(),
-    );
+    lp.set_objective(pairs.iter().map(|&(s, a)| mdp.energy_cost(s, a)).collect());
     add_flow_constraints(&mut lp, mdp, &pairs, discount);
     // Performance constraint: sum x * perf <= bound / (1 - beta).
     lp.add_constraint(
-        pairs
-            .iter()
-            .map(|&(s, a)| mdp.perf_cost(s, a))
-            .collect(),
+        pairs.iter().map(|&(s, a)| mdp.perf_cost(s, a)).collect(),
         ConstraintOp::Le,
         perf_bound / (1.0 - discount),
     );
@@ -306,7 +293,11 @@ mod tests {
         let lp = lp_solve_discounted(&m, &cost, 0.9).unwrap();
         assert_eq!(lp.policy, vi.policy);
         let mean_v: f64 = vi.values.iter().sum::<f64>() / vi.values.len() as f64;
-        assert!((lp.objective - mean_v).abs() < 1e-6, "{} vs {mean_v}", lp.objective);
+        assert!(
+            (lp.objective - mean_v).abs() < 1e-6,
+            "{} vs {mean_v}",
+            lp.objective
+        );
         for (a, b) in lp.values.iter().zip(&vi.values) {
             assert!((a - b).abs() < 1e-6);
         }
@@ -331,7 +322,6 @@ mod tests {
         b.set_action(0, 1, vec![(0, 1.0)], 1.0, 0.0);
         b.build().unwrap()
     }
-
 
     #[test]
     fn primal_and_dual_lp_agree() {
@@ -370,8 +360,7 @@ mod tests {
         let m = tradeoff();
         let sol = lp_solve_constrained(&m, 0.9, 0.5).unwrap();
         let v_energy =
-            evaluate_stochastic_discounted(&m, m.energy_cost_vector(), &sol.policy, 0.9)
-                .unwrap();
+            evaluate_stochastic_discounted(&m, m.energy_cost_vector(), &sol.policy, 0.9).unwrap();
         // Single-state model: discounted energy * (1 - beta) = per-slice.
         let per_slice = v_energy[0] * (1.0 - 0.9);
         assert!(

@@ -33,7 +33,10 @@ impl Default for CostWeights {
     /// Energy weight 1, performance weight 0.1: the trade-off used by the
     /// reproduction's headline experiments.
     fn default() -> Self {
-        CostWeights { energy: 1.0, perf: 0.1 }
+        CostWeights {
+            energy: 1.0,
+            perf: 0.1,
+        }
     }
 }
 
@@ -168,14 +171,20 @@ impl Mdp {
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         let pair = std::mem::size_of::<(usize, f64)>();
-        self.transitions.iter().map(|r| r.len() * pair).sum::<usize>()
+        self.transitions
+            .iter()
+            .map(|r| r.len() * pair)
+            .sum::<usize>()
             + self.legal.len() * std::mem::size_of::<bool>()
             + (self.energy.len() + self.perf.len()) * std::mem::size_of::<f64>()
     }
 
     #[inline]
     fn idx(&self, s: usize, a: usize) -> usize {
-        assert!(s < self.n_states && a < self.n_actions, "index out of range");
+        assert!(
+            s < self.n_states && a < self.n_actions,
+            "index out of range"
+        );
         s * self.n_actions + a
     }
 }
@@ -238,10 +247,17 @@ impl MdpBuilder {
                     sum += p;
                 }
                 if (sum - 1.0).abs() > 1e-9 {
-                    return Err(MdpError::BadTransitionRow { state: s, action: a, sum });
+                    return Err(MdpError::BadTransitionRow {
+                        state: s,
+                        action: a,
+                        sum,
+                    });
                 }
                 if !m.energy[i].is_finite() || !m.perf[i].is_finite() {
-                    return Err(MdpError::NonFiniteCost { state: s, action: a });
+                    return Err(MdpError::NonFiniteCost {
+                        state: s,
+                        action: a,
+                    });
                 }
             }
         }
@@ -304,7 +320,7 @@ impl StochasticPolicy {
     /// Returns [`MdpError::BadParameter`] when a row does not sum to 1
     /// (tolerance `1e-6`) or contains a negative entry.
     pub fn new(probs: Vec<f64>, n_actions: usize) -> Result<Self, MdpError> {
-        if n_actions == 0 || probs.len() % n_actions != 0 {
+        if n_actions == 0 || !probs.len().is_multiple_of(n_actions) {
             return Err(MdpError::BadParameter(
                 "probability table shape mismatch".into(),
             ));
@@ -408,7 +424,11 @@ mod tests {
         b.set_action(1, 0, vec![(1, 1.0)], 0.0, 0.0);
         assert!(matches!(
             b.build(),
-            Err(MdpError::BadTransitionRow { state: 0, action: 0, .. })
+            Err(MdpError::BadTransitionRow {
+                state: 0,
+                action: 0,
+                ..
+            })
         ));
     }
 
@@ -416,14 +436,20 @@ mod tests {
     fn builder_rejects_missing_actions() {
         let mut b = Mdp::builder(2, 1).unwrap();
         b.set_action(0, 0, vec![(0, 1.0)], 0.0, 0.0);
-        assert!(matches!(b.build(), Err(MdpError::NoLegalAction { state: 1 })));
+        assert!(matches!(
+            b.build(),
+            Err(MdpError::NoLegalAction { state: 1 })
+        ));
     }
 
     #[test]
     fn builder_rejects_out_of_range_next_state() {
         let mut b = Mdp::builder(1, 1).unwrap();
         b.set_action(0, 0, vec![(3, 1.0)], 0.0, 0.0);
-        assert!(matches!(b.build(), Err(MdpError::StateOutOfRange { next: 3, .. })));
+        assert!(matches!(
+            b.build(),
+            Err(MdpError::StateOutOfRange { next: 3, .. })
+        ));
     }
 
     #[test]

@@ -109,8 +109,7 @@ mod tests {
         for seed in 0..8 {
             let m = random_mdp(12, 3, 4, seed).unwrap();
             let cost = m.combined_cost(CostWeights::new(1.0, 0.5).unwrap());
-            let vi =
-                value_iteration(&m, &cost, SolveOptions::with_discount(0.9).unwrap()).unwrap();
+            let vi = value_iteration(&m, &cost, SolveOptions::with_discount(0.9).unwrap()).unwrap();
             let pi = policy_iteration(&m, &cost, 0.9).unwrap();
             let lp = lp_solve_discounted(&m, &cost, 0.9).unwrap();
             for s in 0..m.n_states() {

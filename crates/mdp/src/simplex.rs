@@ -157,11 +157,7 @@ impl Tableau {
     fn build(lp: &LinearProgram) -> Tableau {
         let m = lp.rows.len();
         let n = lp.n_vars;
-        let n_slack = lp
-            .rows
-            .iter()
-            .filter(|r| r.op != ConstraintOp::Eq)
-            .count();
+        let n_slack = lp.rows.iter().filter(|r| r.op != ConstraintOp::Eq).count();
         let art_start = n + n_slack;
         let total = art_start + m;
 
@@ -265,7 +261,11 @@ impl Tableau {
                     iterations: local,
                 });
             }
-            let col_limit = if allow_artificial { self.total } else { self.art_start };
+            let col_limit = if allow_artificial {
+                self.total
+            } else {
+                self.art_start
+            };
             // Entering column.
             let mut enter: Option<usize> = None;
             if use_bland {
@@ -316,9 +316,7 @@ impl Tableau {
         if m > 0 {
             // Phase 1: minimize the sum of artificials.
             let mut phase1 = vec![0.0; self.total];
-            for j in self.art_start..self.total {
-                phase1[j] = 1.0;
-            }
+            phase1[self.art_start..self.total].fill(1.0);
             self.load_objective(&phase1);
             self.iterate(true)?;
             let infeas = -self.obj[self.total]; // objective value = -obj[rhs]
@@ -374,7 +372,11 @@ mod tests {
         lp.add_constraint(vec![1.0, 2.0], ConstraintOp::Le, 4.0);
         lp.add_constraint(vec![3.0, 2.0], ConstraintOp::Le, 6.0);
         let s = solve(&lp).unwrap();
-        assert!((s.objective + 2.5).abs() < 1e-9, "objective {}", s.objective);
+        assert!(
+            (s.objective + 2.5).abs() < 1e-9,
+            "objective {}",
+            s.objective
+        );
         assert!((s.x[0] - 1.0).abs() < 1e-9);
         assert!((s.x[1] - 1.5).abs() < 1e-9);
     }
@@ -460,7 +462,11 @@ mod tests {
         lp.add_constraint(vec![0.5, -90.0, -1.0 / 50.0, 3.0], ConstraintOp::Le, 0.0);
         lp.add_constraint(vec![0.0, 0.0, 1.0, 0.0], ConstraintOp::Le, 1.0);
         let s = solve(&lp).unwrap();
-        assert!((s.objective + 0.05).abs() < 1e-9, "objective {}", s.objective);
+        assert!(
+            (s.objective + 0.05).abs() < 1e-9,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]

@@ -110,7 +110,12 @@ fn bellman_backup(mdp: &Mdp, cost: &[f64], v: &[f64], discount: f64) -> (Vec<f64
 
 /// The greedy policy with respect to a value function.
 #[must_use]
-pub fn greedy_policy(mdp: &Mdp, cost: &[f64], values: &[f64], discount: f64) -> DeterministicPolicy {
+pub fn greedy_policy(
+    mdp: &Mdp,
+    cost: &[f64],
+    values: &[f64],
+    discount: f64,
+) -> DeterministicPolicy {
     check_cost(mdp, cost);
     let (_, arg) = bellman_backup(mdp, cost, values, discount);
     DeterministicPolicy::new(arg)
@@ -180,7 +185,10 @@ pub fn evaluate_policy_discounted(
     let mut b = vec![0.0; n];
     for s in 0..n {
         let act = policy.action(s);
-        assert!(mdp.is_legal(s, act), "policy picks illegal action {act} in state {s}");
+        assert!(
+            mdp.is_legal(s, act),
+            "policy picks illegal action {act} in state {s}"
+        );
         b[s] = cost[s * mdp.n_actions() + act];
         for &(next, p) in mdp.transition_row(s, act) {
             a[(s, next)] -= discount * p;
@@ -188,7 +196,6 @@ pub fn evaluate_policy_discounted(
     }
     a.solve(&b)
 }
-
 
 /// Exact discounted evaluation of a *stochastic* policy: solves
 /// `(I - beta * P_pi) v = c_pi` with the action-mixed transition kernel
@@ -374,7 +381,10 @@ pub fn evaluate_policy_average(
     let mut b = vec![0.0; n];
     for s in 0..n {
         let act = policy.action(s);
-        assert!(mdp.is_legal(s, act), "policy picks illegal action {act} in state {s}");
+        assert!(
+            mdp.is_legal(s, act),
+            "policy picks illegal action {act} in state {s}"
+        );
         a[(s, 0)] = 1.0; // coefficient of g
         if s != 0 {
             a[(s, s)] += 1.0; // h(s)
@@ -416,9 +426,13 @@ mod tests {
     #[test]
     fn value_iteration_hand_solution() {
         let m = toy();
-        let sol = value_iteration(&m, &toy_cost(&m), SolveOptions::with_discount(0.9).unwrap())
-            .unwrap();
-        assert!((sol.values[0] - 5.0).abs() < 1e-6, "V(0) = {}", sol.values[0]);
+        let sol =
+            value_iteration(&m, &toy_cost(&m), SolveOptions::with_discount(0.9).unwrap()).unwrap();
+        assert!(
+            (sol.values[0] - 5.0).abs() < 1e-6,
+            "V(0) = {}",
+            sol.values[0]
+        );
         assert!(sol.values[1].abs() < 1e-6);
         assert_eq!(sol.policy.action(0), 1);
         assert_eq!(sol.policy.action(1), 0);
@@ -474,7 +488,14 @@ mod tests {
         let m = toy();
         let cost = toy_cost(&m);
         assert!(matches!(
-            value_iteration(&m, &cost, SolveOptions { discount: 1.0, ..Default::default() }),
+            value_iteration(
+                &m,
+                &cost,
+                SolveOptions {
+                    discount: 1.0,
+                    ..Default::default()
+                }
+            ),
             Err(MdpError::BadDiscount(_))
         ));
         assert!(matches!(
@@ -502,8 +523,8 @@ mod tests {
         b.set_action(1, 0, vec![(0, 1.0)], 0.0, 0.0);
         let m = b.build().unwrap();
         let cost = toy_cost(&m);
-        let (gain, bias) = evaluate_policy_average(&m, &cost, &DeterministicPolicy::new(vec![0, 0]))
-            .unwrap();
+        let (gain, bias) =
+            evaluate_policy_average(&m, &cost, &DeterministicPolicy::new(vec![0, 0])).unwrap();
         assert!((gain - 1.0).abs() < 1e-9);
         assert_eq!(bias[0], 0.0);
     }

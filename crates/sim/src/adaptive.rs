@@ -125,7 +125,9 @@ impl ModelBasedAdaptive {
         config: AdaptiveConfig,
     ) -> Result<Self, SimError> {
         if config.estimator_window == 0 {
-            return Err(SimError::BadConfig("estimator window must be positive".into()));
+            return Err(SimError::BadConfig(
+                "estimator window must be positive".into(),
+            ));
         }
         let (space, policy, _) = solve_for_rate(power, service, &config, config.initial_rate)?;
         Ok(ModelBasedAdaptive {
@@ -158,10 +160,7 @@ impl ModelBasedAdaptive {
     }
 
     fn finish_resolve(&mut self) {
-        let rate = self
-            .estimator
-            .estimate()
-            .clamp(self.config.min_rate, 1.0);
+        let rate = self.estimator.estimate().clamp(self.config.min_rate, 1.0);
         let started = Instant::now();
         match solve_for_rate(&self.power, &self.service, &self.config, rate) {
             Ok((space, policy, _)) => {
@@ -186,8 +185,8 @@ fn solve_for_rate(
     config: &AdaptiveConfig,
     rate: f64,
 ) -> Result<(DpmStateSpace, DeterministicPolicy, f64), SimError> {
-    let arrivals = MarkovArrivalModel::bernoulli(rate.clamp(0.0, 1.0))
-        .map_err(SimError::Workload)?;
+    let arrivals =
+        MarkovArrivalModel::bernoulli(rate.clamp(0.0, 1.0)).map_err(SimError::Workload)?;
     let model = build_dpm_mdp(
         power,
         service,
@@ -373,7 +372,10 @@ mod tests {
         let r = ModelBasedAdaptive::new(
             &power,
             &presets::default_service(),
-            AdaptiveConfig { estimator_window: 0, ..AdaptiveConfig::default() },
+            AdaptiveConfig {
+                estimator_window: 0,
+                ..AdaptiveConfig::default()
+            },
         );
         assert!(matches!(r, Err(SimError::BadConfig(_))));
     }

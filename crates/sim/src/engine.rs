@@ -173,7 +173,10 @@ impl Simulator {
     /// Takes the recorded series, flushing a partial window.
     #[must_use]
     pub fn take_series(&mut self) -> Vec<WindowPoint> {
-        self.recorder.take().map(SeriesRecorder::finish).unwrap_or_default()
+        self.recorder
+            .take()
+            .map(SeriesRecorder::finish)
+            .unwrap_or_default()
     }
 
     /// Current slice index.
@@ -225,8 +228,7 @@ impl Simulator {
             };
         }
         if self.noise.idle_jitter > 0 {
-            let j = (uniform(&mut self.rng_noise) * (2 * self.noise.idle_jitter + 1) as f64)
-                as u64;
+            let j = (uniform(&mut self.rng_noise) * (2 * self.noise.idle_jitter + 1) as f64) as u64;
             out.idle_slices = (out.idle_slices + j).saturating_sub(self.noise.idle_jitter);
         }
         out
@@ -249,7 +251,11 @@ impl Simulator {
                 dropped += 1;
             }
         }
-        self.idle_slices = if arrivals > 0 { 0 } else { self.idle_slices + 1 };
+        self.idle_slices = if arrivals > 0 {
+            0
+        } else {
+            self.idle_slices + 1
+        };
 
         // 4. Device elapses the slice (residency/transition energy).
         let tick = self.device.tick();
@@ -277,7 +283,8 @@ impl Simulator {
             arrivals,
         };
         self.now += 1;
-        self.stats.record(&outcome, &self.weights, wait_of_completed);
+        self.stats
+            .record(&outcome, &self.weights, wait_of_completed);
         if let Some(rec) = &mut self.recorder {
             rec.record(&outcome, &self.weights);
         }
@@ -325,7 +332,10 @@ mod tests {
             presets::default_service(),
             WorkloadSpec::bernoulli(p_arrival).unwrap().build(),
             Box::new(pm),
-            SimConfig { seed, ..SimConfig::default() },
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
         )
         .unwrap()
     }
@@ -368,7 +378,10 @@ mod tests {
         let mut sim = Simulator::new(
             power,
             presets::default_service(),
-            WorkloadSpec::Trace { arrivals: vec![0, 0, 1, 0] }.build(),
+            WorkloadSpec::Trace {
+                arrivals: vec![0, 0, 1, 0],
+            }
+            .build(),
             Box::new(pm),
             SimConfig::default(),
         )
@@ -402,7 +415,10 @@ mod tests {
             WorkloadSpec::bernoulli(0.5).unwrap().build(),
             Box::new(pm),
             SimConfig {
-                noise: ObservationNoise { queue_misread_prob: 1.0, idle_jitter: 3 },
+                noise: ObservationNoise {
+                    queue_misread_prob: 1.0,
+                    idle_jitter: 3,
+                },
                 ..SimConfig::default()
             },
         )
@@ -411,7 +427,6 @@ mod tests {
         let stats = sim.run(500);
         assert!((stats.total_energy - 500.0).abs() < 1e-9);
     }
-
 
     #[test]
     fn deterministic_service_takes_exact_slices() {
@@ -423,7 +438,10 @@ mod tests {
         let mut sim = Simulator::new(
             power,
             qdpm_device::ServiceModel::deterministic(3).unwrap(),
-            WorkloadSpec::Trace { arrivals: vec![1, 0, 0, 0, 0] }.build(),
+            WorkloadSpec::Trace {
+                arrivals: vec![1, 0, 0, 0, 0],
+            }
+            .build(),
             Box::new(pm),
             SimConfig::default(),
         )

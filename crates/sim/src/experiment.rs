@@ -110,7 +110,9 @@ pub fn run_convergence(
             .map(|s| {
                 let (_, dev, _) = model.space.decompose(s);
                 // In transients the only legal action is the target.
-                model.space.legal_actions(power, dev)
+                model
+                    .space
+                    .legal_actions(power, dev)
                     .into_iter()
                     .find(|&a| a == serve)
                     .unwrap_or_else(|| model.space.legal_actions(power, dev)[0])
@@ -169,7 +171,6 @@ pub fn run_convergence(
     })
 }
 
-
 /// Replicates the F1 convergence experiment over several seeds and returns
 /// each run's tail-cost ratio to the analytic optimum — the dispersion
 /// behind the "approximates the theoretically optimal policy" claim.
@@ -186,7 +187,10 @@ pub fn convergence_ratios_over_seeds(
 ) -> Result<Vec<f64>, SimError> {
     let mut ratios = Vec::with_capacity(seeds.len());
     for &seed in seeds {
-        let run = ConvergenceParams { seed, ..params.clone() };
+        let run = ConvergenceParams {
+            seed,
+            ..params.clone()
+        };
         let report = run_convergence(power, service, &run)?;
         ratios.push(tail_mean_cost(&report.qdpm, tail_windows) / report.optimal_gain);
     }
@@ -399,7 +403,10 @@ pub fn run_rapid_response(
                 *service,
                 spec.build(),
                 Box::new(controller),
-                SimConfig { seed: params.seed.wrapping_add(offset), ..sim_cfg.clone() },
+                SimConfig {
+                    seed: params.seed.wrapping_add(offset),
+                    ..sim_cfg.clone()
+                },
             )?;
             s.attach_recorder(params.window);
             s.run(duration);
@@ -420,7 +427,6 @@ pub fn run_rapid_response(
         model_based_resolves,
     })
 }
-
 
 /// Result of the F5 continuous-drift experiment.
 #[derive(Debug, Clone)]
@@ -645,8 +651,7 @@ pub fn run_sweep(
                 // near-greedy evaluation-ready policy.
                 let eps0: f64 = 0.4;
                 let min_epsilon = 0.005;
-                let decay =
-                    ((min_epsilon / eps0) as f64).powf(1.0 / (0.7 * train as f64).max(1.0));
+                let decay = (min_epsilon / eps0).powf(1.0 / (0.7 * train as f64).max(1.0));
                 let agent = QDpmAgent::new(
                     power,
                     QDpmConfig {
@@ -665,7 +670,11 @@ pub fn run_sweep(
                     service,
                     spec.build(),
                     Box::new(agent),
-                    SimConfig { seed, weights, ..SimConfig::default() },
+                    SimConfig {
+                        seed,
+                        weights,
+                        ..SimConfig::default()
+                    },
                 )?;
                 sim.run(train);
                 let eval = sim.run(evaluate);
@@ -676,7 +685,11 @@ pub fn run_sweep(
                     service_p: sp,
                     optimal_gain: opt.gain,
                     qdpm_cost: eval.avg_cost(),
-                    ratio: if opt.gain > 0.0 { eval.avg_cost() / opt.gain } else { f64::NAN },
+                    ratio: if opt.gain > 0.0 {
+                        eval.avg_cost() / opt.gain
+                    } else {
+                        f64::NAN
+                    },
                     energy_reduction: eval.energy_reduction_vs(p_on),
                     mean_wait: eval.mean_wait(),
                 });
@@ -701,9 +714,9 @@ pub fn optimal_gain(
 ) -> Result<f64, SimError> {
     let arrivals = qdpm_workload::MarkovArrivalModel::bernoulli(arrival_p)?;
     let model = build_dpm_mdp(power, service, &arrivals, queue_cap, weights.drop_penalty)?;
-    let cost = model.mdp.combined_cost(
-        CostWeights::new(weights.energy, weights.perf).map_err(SimError::Mdp)?,
-    );
+    let cost = model
+        .mdp
+        .combined_cost(CostWeights::new(weights.energy, weights.perf).map_err(SimError::Mdp)?);
     let sol = solvers::relative_value_iteration(&model.mdp, &cost, 1e-9, 500_000)
         .map_err(SimError::Mdp)?;
     Ok(sol.gain)
@@ -713,7 +726,8 @@ pub fn optimal_gain(
 /// reduction<TAB>queue`.
 #[must_use]
 pub fn series_to_tsv(points: &[WindowPoint]) -> String {
-    let mut out = String::from("end\tenergy_per_slice\tcost_per_slice\tenergy_reduction\tavg_queue\n");
+    let mut out =
+        String::from("end\tenergy_per_slice\tcost_per_slice\tenergy_reduction\tavg_queue\n");
     for p in points {
         out.push_str(&format!(
             "{}\t{:.6}\t{:.6}\t{:.6}\t{:.4}\n",
@@ -750,7 +764,7 @@ mod tests {
         let power = presets::three_state_generic();
         let service = presets::default_service();
         let mut params = ConvergenceParams {
-            horizon: 80_000,
+            horizon: 120_000,
             window: 2_000,
             ..ConvergenceParams::default()
         };
@@ -784,7 +798,6 @@ mod tests {
         );
     }
 
-
     #[test]
     fn multi_seed_convergence_is_tight() {
         // Short horizons leave slow seeds mid-transient; 150k slices with a
@@ -805,7 +818,10 @@ mod tests {
             convergence_ratios_over_seeds(&power, &service, &params, &[1, 2, 3], 10).unwrap();
         let (mean, sd) = mean_and_sd(&ratios);
         assert!(mean < 1.5, "mean ratio {mean} (per-seed {ratios:?})");
-        assert!(sd < 0.4, "seed dispersion {sd} too wide (per-seed {ratios:?})");
+        assert!(
+            sd < 0.4,
+            "seed dispersion {sd} too wide (per-seed {ratios:?})"
+        );
     }
 
     #[test]

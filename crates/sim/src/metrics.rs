@@ -34,7 +34,12 @@ impl RunStats {
 
     /// Folds one slice's outcome into the totals. `wait_of_completed` is
     /// the waiting time recorded when a request completed this slice.
-    pub fn record(&mut self, outcome: &StepOutcome, weights: &RewardWeights, wait_of_completed: u64) {
+    pub fn record(
+        &mut self,
+        outcome: &StepOutcome,
+        weights: &RewardWeights,
+        wait_of_completed: u64,
+    ) {
         self.steps += 1;
         self.total_energy += outcome.energy;
         self.total_cost += -weights.reward(outcome);

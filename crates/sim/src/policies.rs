@@ -105,7 +105,11 @@ impl FixedTimeout {
         let serve = power.serving_state();
         let sleep = power.lowest_power_state();
         let timeout = power.break_even_steps(serve, sleep).unwrap_or(u64::MAX);
-        FixedTimeout { timeout, serve, sleep }
+        FixedTimeout {
+            timeout,
+            serve,
+            sleep,
+        }
     }
 
     /// The configured timeout in slices.
@@ -193,8 +197,8 @@ impl PowerManager for AdaptiveTimeout {
                             self.timeout =
                                 (self.timeout * 2).clamp(self.min_timeout, self.max_timeout);
                         } else {
-                            self.timeout = (self.timeout * 3 / 4)
-                                .clamp(self.min_timeout, self.max_timeout);
+                            self.timeout =
+                                (self.timeout * 3 / 4).clamp(self.min_timeout, self.max_timeout);
                         }
                     }
                     self.serve
@@ -255,8 +259,9 @@ impl Oracle {
         let serve = power.serving_state();
         let sleep = power.lowest_power_state();
         let break_even_prewake = power.break_even_steps(serve, sleep).unwrap_or(u64::MAX);
-        let break_even_reactive =
-            power.reactive_break_even_steps(serve, sleep).unwrap_or(u64::MAX);
+        let break_even_reactive = power
+            .reactive_break_even_steps(serve, sleep)
+            .unwrap_or(u64::MAX);
         let wake_latency = power
             .transition(sleep, serve)
             .map(|t| u64::from(t.latency))
@@ -389,7 +394,10 @@ impl MdpPolicyController {
 
 impl PowerManager for MdpPolicyController {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
-        let sr = obs.sr_mode_hint.unwrap_or(0).min(self.space.n_sr_modes() - 1);
+        let sr = obs
+            .sr_mode_hint
+            .unwrap_or(0)
+            .min(self.space.n_sr_modes() - 1);
         let q = obs.queue_len.min(self.space.queue_cap());
         let s = self.space.index_of(sr, obs.device_mode, q);
         let a = match &self.policy {
@@ -470,7 +478,13 @@ mod tests {
         // Simulate: idle long enough to sleep at slice 0...
         let _ = pm.decide(&obs(&power, "active", 0, t0), &mut rng);
         // ...then a request arrives immediately (premature sleep).
-        let dummy = StepOutcome { energy: 0.0, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 };
+        let dummy = StepOutcome {
+            energy: 0.0,
+            queue_len: 0,
+            dropped: 0,
+            completed: 0,
+            arrivals: 0,
+        };
         pm.observe(&dummy, &obs(&power, "sleep", 0, 0));
         let _ = pm.decide(&obs(&power, "sleep", 1, 0), &mut rng);
         assert!(pm.timeout() > t0, "timeout {} should grow", pm.timeout());
@@ -489,11 +503,17 @@ mod tests {
         let sleep = power.state_by_name("sleep").unwrap();
         // At slice 0, gap to arrival@2 is 2 < break-even 6: stay active.
         assert_eq!(pm.decide(&obs(&power, "active", 0, 0), &mut rng), active);
-        let dummy = StepOutcome { energy: 0.0, queue_len: 0, dropped: 0, completed: 0, arrivals: 0 };
+        let dummy = StepOutcome {
+            energy: 0.0,
+            queue_len: 0,
+            dropped: 0,
+            completed: 0,
+            arrivals: 0,
+        };
         pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 1
         pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 2
         pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 3
-        // At slice 3 the next arrival is 30: gap 27 >= 6 -> sleep.
+                                                          // At slice 3 the next arrival is 30: gap 27 >= 6 -> sleep.
         assert_eq!(pm.decide(&obs(&power, "active", 0, 1), &mut rng), sleep);
         // Jump to slice 26: gap 4 <= wake latency 4 -> wake.
         for _ in 3..26 {

@@ -34,7 +34,10 @@ impl SinusoidalRate {
     /// Returns a [`WorkloadError`] on out-of-range parameters.
     pub fn new(base: f64, amplitude: f64, period: Step) -> Result<Self, WorkloadError> {
         if !(base.is_finite() && (0.0..=1.0).contains(&base)) {
-            return Err(WorkloadError::InvalidProbability { what: "base rate", value: base });
+            return Err(WorkloadError::InvalidProbability {
+                what: "base rate",
+                value: base,
+            });
         }
         if !(amplitude.is_finite() && amplitude >= 0.0) {
             return Err(WorkloadError::InvalidProbability {
@@ -45,7 +48,12 @@ impl SinusoidalRate {
         if period == 0 {
             return Err(WorkloadError::ZeroPeriod);
         }
-        Ok(SinusoidalRate { base, amplitude, period, t: 0 })
+        Ok(SinusoidalRate {
+            base,
+            amplitude,
+            period,
+            t: 0,
+        })
     }
 
     /// The instantaneous arrival probability at the current slice.
@@ -100,12 +108,24 @@ impl RandomWalkRate {
             )));
         }
         if !(start.is_finite() && (min..=max).contains(&start)) {
-            return Err(WorkloadError::InvalidProbability { what: "start rate", value: start });
+            return Err(WorkloadError::InvalidProbability {
+                what: "start rate",
+                value: start,
+            });
         }
         if !(step.is_finite() && step > 0.0 && step < max - min) {
-            return Err(WorkloadError::InvalidProbability { what: "walk step", value: step });
+            return Err(WorkloadError::InvalidProbability {
+                what: "walk step",
+                value: step,
+            });
         }
-        Ok(RandomWalkRate { rate: start, start, step, min, max })
+        Ok(RandomWalkRate {
+            rate: start,
+            start,
+            step,
+            min,
+            max,
+        })
     }
 
     /// The instantaneous arrival probability.
@@ -170,7 +190,11 @@ mod tests {
         assert!(max > 0.85, "peak {max}");
         assert!(min < 0.15, "trough {min}");
         // Quarter period peak.
-        assert!((rates[25] - 0.9).abs() < 0.01, "rate at t=25: {}", rates[25]);
+        assert!(
+            (rates[25] - 0.9).abs() < 0.01,
+            "rate at t=25: {}",
+            rates[25]
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod tests {
     fn messages_are_informative() {
         let e = WorkloadError::NotStochastic { row: 2, sum: 0.9 };
         assert!(e.to_string().contains("row 2"));
-        let e = WorkloadError::InvalidProbability { what: "arrival", value: 1.5 };
+        let e = WorkloadError::InvalidProbability {
+            what: "arrival",
+            value: 1.5,
+        };
         assert!(e.to_string().contains("1.5"));
     }
 

@@ -1,7 +1,5 @@
-
-
-use rand::Rng;
 use crate::{RequestGenerator, WorkloadError};
+use rand::Rng;
 
 /// Maps a raw 64-bit draw onto a uniform `f64` in `[0, 1)`.
 ///
@@ -139,25 +137,7 @@ impl MmppArrivals {
     /// The stationary distribution of the mode chain, by power iteration.
     #[must_use]
     pub fn stationary_distribution(&self) -> Vec<f64> {
-        let n = self.n;
-        let mut pi = vec![1.0 / n as f64; n];
-        let mut next = vec![0.0; n];
-        for _ in 0..10_000 {
-            for x in next.iter_mut() {
-                *x = 0.0;
-            }
-            for i in 0..n {
-                for j in 0..n {
-                    next[j] += pi[i] * self.transition[i * n + j];
-                }
-            }
-            let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-            pi.copy_from_slice(&next);
-            if delta < 1e-13 {
-                break;
-            }
-        }
-        pi
+        crate::markov::stationary_of(&self.transition, self.n)
     }
 
     /// Per-mode arrival probabilities.
@@ -229,7 +209,11 @@ impl OnOffArrivals {
     ///
     /// Returns [`WorkloadError::InvalidProbability`] when any parameter is
     /// outside `[0, 1]` or both switching probabilities are zero.
-    pub fn new(p_on_to_off: f64, p_off_to_on: f64, p_arrival_on: f64) -> Result<Self, WorkloadError> {
+    pub fn new(
+        p_on_to_off: f64,
+        p_off_to_on: f64,
+        p_arrival_on: f64,
+    ) -> Result<Self, WorkloadError> {
         check_probability("on->off", p_on_to_off, true)?;
         check_probability("off->on", p_off_to_on, true)?;
         check_probability("arrival", p_arrival_on, true)?;
@@ -318,7 +302,9 @@ impl ParetoArrivals {
             )));
         }
         if !(xm.is_finite() && xm >= 1.0) {
-            return Err(WorkloadError::InvalidPareto(format!("xm {xm} must be >= 1 slice")));
+            return Err(WorkloadError::InvalidPareto(format!(
+                "xm {xm} must be >= 1 slice"
+            )));
         }
         Ok(ParetoArrivals {
             alpha,
@@ -418,7 +404,9 @@ mod tests {
 
     fn run(gen: &mut dyn RequestGenerator, steps: u64, seed: u64) -> u64 {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..steps).map(|_| u64::from(gen.next_arrivals(&mut rng))).sum()
+        (0..steps)
+            .map(|_| u64::from(gen.next_arrivals(&mut rng)))
+            .sum()
     }
 
     #[test]
@@ -451,7 +439,10 @@ mod tests {
         assert!(MmppArrivals::new(vec![1.0], vec![0.5]).is_ok());
         assert!(MmppArrivals::new(vec![0.5, 0.5], vec![0.5]).is_err());
         let bad_row = MmppArrivals::new(vec![0.6, 0.3, 0.5, 0.5], vec![0.1, 0.9]);
-        assert!(matches!(bad_row, Err(WorkloadError::NotStochastic { row: 0, .. })));
+        assert!(matches!(
+            bad_row,
+            Err(WorkloadError::NotStochastic { row: 0, .. })
+        ));
     }
 
     #[test]
@@ -466,8 +457,7 @@ mod tests {
 
     #[test]
     fn mmpp_empirical_rate_matches_analytic() {
-        let mut gen =
-            MmppArrivals::new(vec![0.95, 0.05, 0.20, 0.80], vec![0.02, 0.60]).unwrap();
+        let mut gen = MmppArrivals::new(vec![0.95, 0.05, 0.20, 0.80], vec![0.02, 0.60]).unwrap();
         let analytic = gen.mean_rate().unwrap();
         let count = run(&mut gen, 200_000, 11);
         let rate = count as f64 / 200_000.0;
@@ -544,7 +534,10 @@ mod tests {
         let count = run(&mut gen, 300_000, 33);
         let rate = count as f64 / 300_000.0;
         // ceil() discretization biases the rate slightly low.
-        assert!(rate <= analytic * 1.05 && rate > analytic * 0.6, "rate {rate} vs {analytic}");
+        assert!(
+            rate <= analytic * 1.05 && rate > analytic * 0.6,
+            "rate {rate} vs {analytic}"
+        );
     }
 
     #[test]

@@ -55,8 +55,6 @@ pub use spec::{MmppMode, WorkloadSpec};
 pub use stats::InterarrivalStats;
 pub use trace::{TraceRecorder, TraceReplay};
 
-
-
 /// Discrete simulation time, measured in slices since the start of a run.
 pub type Step = u64;
 

@@ -84,25 +84,7 @@ impl MarkovArrivalModel {
     /// Stationary distribution of the mode chain (power iteration).
     #[must_use]
     pub fn stationary_distribution(&self) -> Vec<f64> {
-        let n = self.n_modes();
-        let mut pi = vec![1.0 / n as f64; n];
-        let mut next = vec![0.0; n];
-        for _ in 0..10_000 {
-            for x in next.iter_mut() {
-                *x = 0.0;
-            }
-            for i in 0..n {
-                for j in 0..n {
-                    next[j] += pi[i] * self.transition[i * n + j];
-                }
-            }
-            let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
-            pi.copy_from_slice(&next);
-            if delta < 1e-13 {
-                break;
-            }
-        }
-        pi
+        stationary_of(&self.transition, self.n_modes())
     }
 
     /// Long-run mean arrivals per slice.
@@ -114,6 +96,33 @@ impl MarkovArrivalModel {
             .map(|(a, b)| a * b)
             .sum()
     }
+}
+
+/// Stationary distribution of a row-stochastic `n x n` transition matrix
+/// (row-major), by power iteration from the uniform vector. Shared by
+/// every mode chain in this crate so tolerance/iteration-cap changes land
+/// in one place.
+pub(crate) fn stationary_of(transition: &[f64], n: usize) -> Vec<f64> {
+    debug_assert_eq!(transition.len(), n * n);
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..10_000 {
+        for x in next.iter_mut() {
+            *x = 0.0;
+        }
+        for (i, &p) in pi.iter().enumerate() {
+            let row = &transition[i * n..(i + 1) * n];
+            for (x, &t) in next.iter_mut().zip(row) {
+                *x += p * t;
+            }
+        }
+        let delta: f64 = pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
+        pi.copy_from_slice(&next);
+        if delta < 1e-13 {
+            break;
+        }
+    }
+    pi
 }
 
 #[cfg(test)]
@@ -131,7 +140,10 @@ mod tests {
     #[test]
     fn rejects_bad_rows() {
         let r = MarkovArrivalModel::new(vec![0.5, 0.4, 0.5, 0.5], vec![0.1, 0.2]);
-        assert!(matches!(r, Err(WorkloadError::NotStochastic { row: 0, .. })));
+        assert!(matches!(
+            r,
+            Err(WorkloadError::NotStochastic { row: 0, .. })
+        ));
     }
 
     #[test]

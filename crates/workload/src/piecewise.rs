@@ -1,4 +1,3 @@
-
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 

@@ -115,8 +115,12 @@ impl WorkloadSpec {
         Ok(WorkloadSpec::Mmpp {
             transition,
             modes: vec![
-                MmppMode { arrival_prob: p_slow },
-                MmppMode { arrival_prob: p_fast },
+                MmppMode {
+                    arrival_prob: p_slow,
+                },
+                MmppMode {
+                    arrival_prob: p_fast,
+                },
             ],
         })
     }
@@ -157,12 +161,17 @@ impl WorkloadSpec {
             WorkloadSpec::Trace { arrivals } => {
                 Box::new(TraceReplay::new(arrivals.clone()).expect("validated spec"))
             }
-            WorkloadSpec::Sinusoidal { base, amplitude, period } => Box::new(
-                SinusoidalRate::new(*base, *amplitude, *period).expect("validated spec"),
-            ),
-            WorkloadSpec::RandomWalk { start, step, min, max } => Box::new(
-                RandomWalkRate::new(*start, *step, *min, *max).expect("validated spec"),
-            ),
+            WorkloadSpec::Sinusoidal {
+                base,
+                amplitude,
+                period,
+            } => Box::new(SinusoidalRate::new(*base, *amplitude, *period).expect("validated spec")),
+            WorkloadSpec::RandomWalk {
+                start,
+                step,
+                min,
+                max,
+            } => Box::new(RandomWalkRate::new(*start, *step, *min, *max).expect("validated spec")),
         }
     }
 
@@ -248,9 +257,21 @@ mod tests {
 
     #[test]
     fn non_markovian_specs_export_no_model() {
-        assert!(WorkloadSpec::Pareto { alpha: 2.0, xm: 3.0 }.markov_model().is_none());
-        assert!(WorkloadSpec::Periodic { period: 5, jitter: 0 }.markov_model().is_none());
-        assert!(WorkloadSpec::Trace { arrivals: vec![1] }.markov_model().is_none());
+        assert!(WorkloadSpec::Pareto {
+            alpha: 2.0,
+            xm: 3.0
+        }
+        .markov_model()
+        .is_none());
+        assert!(WorkloadSpec::Periodic {
+            period: 5,
+            jitter: 0
+        }
+        .markov_model()
+        .is_none());
+        assert!(WorkloadSpec::Trace { arrivals: vec![1] }
+            .markov_model()
+            .is_none());
     }
 
     #[test]
@@ -264,7 +285,9 @@ mod tests {
 
     #[test]
     fn trace_spec_builds() {
-        let spec = WorkloadSpec::Trace { arrivals: vec![1, 0, 0] };
+        let spec = WorkloadSpec::Trace {
+            arrivals: vec![1, 0, 0],
+        };
         let mut gen = spec.build();
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(gen.next_arrivals(&mut rng), 1);

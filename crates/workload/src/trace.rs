@@ -1,4 +1,3 @@
-
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -46,11 +45,7 @@ impl TraceRecorder {
     }
 
     /// Captures `steps` slices from `gen` into a recorder.
-    pub fn capture(
-        gen: &mut dyn RequestGenerator,
-        rng: &mut dyn Rng,
-        steps: u64,
-    ) -> TraceRecorder {
+    pub fn capture(gen: &mut dyn RequestGenerator, rng: &mut dyn Rng, steps: u64) -> TraceRecorder {
         let mut rec = TraceRecorder::new();
         for _ in 0..steps {
             rec.record(gen.next_arrivals(rng));
@@ -108,7 +103,6 @@ impl RequestGenerator for TraceReplay {
         self.pos = 0;
     }
 }
-
 
 impl TraceRecorder {
     /// Writes the trace as plain text, one arrival count per line, with a
@@ -183,13 +177,15 @@ mod tests {
 
     #[test]
     fn empty_trace_rejected() {
-        assert_eq!(TraceReplay::new(vec![]).unwrap_err(), WorkloadError::EmptyTrace);
+        assert_eq!(
+            TraceReplay::new(vec![]).unwrap_err(),
+            WorkloadError::EmptyTrace
+        );
         assert_eq!(
             TraceRecorder::new().into_replay().unwrap_err(),
             WorkloadError::EmptyTrace
         );
     }
-
 
     #[test]
     fn save_load_round_trip() {
@@ -236,7 +232,10 @@ mod tests {
         let mut replay = rec.into_replay().unwrap();
         let mut dummy = StdRng::seed_from_u64(0);
         for _ in 0..50 {
-            assert_eq!(replay.next_arrivals(&mut dummy), gen2.next_arrivals(&mut rng2));
+            assert_eq!(
+                replay.next_arrivals(&mut dummy),
+                gen2.next_arrivals(&mut rng2)
+            );
         }
     }
 }

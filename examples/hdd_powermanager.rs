@@ -35,12 +35,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace: Vec<u32> = {
         let mut replay = trace_rec.into_replay()?;
         let mut dummy = rand::rngs::StdRng::seed_from_u64(0);
-        (0..horizon).map(|_| replay.next_arrivals(&mut dummy)).collect()
+        (0..horizon)
+            .map(|_| replay.next_arrivals(&mut dummy))
+            .collect()
     };
-    let trace_spec = WorkloadSpec::Trace { arrivals: trace.clone() };
+    let trace_spec = WorkloadSpec::Trace {
+        arrivals: trace.clone(),
+    };
 
-    println!("device: {} | workload: bursty on/off | horizon {horizon}\n", power.name());
-    println!("{:<20} {:>10} {:>12} {:>10} {:>8}", "policy", "avg power", "reduction", "mean wait", "drops");
+    println!(
+        "device: {} | workload: bursty on/off | horizon {horizon}\n",
+        power.name()
+    );
+    println!(
+        "{:<20} {:>10} {:>12} {:>10} {:>8}",
+        "policy", "avg power", "reduction", "mean wait", "drops"
+    );
 
     let run = |pm: Box<dyn PowerManager>| -> Result<(), Box<dyn std::error::Error>> {
         let name = pm.name().to_string();
@@ -49,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             trace_spec.build(),
             pm,
-            SimConfig { seed: 7, queue_cap: 8, ..SimConfig::default() },
+            SimConfig {
+                seed: 7,
+                queue_cap: 8,
+                ..SimConfig::default()
+            },
         )?;
         let stats = sim.run(horizon);
         println!(
@@ -83,7 +97,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service,
         spec.build(),
         Box::new(controller),
-        SimConfig { seed: 7, queue_cap: 8, expose_sr_mode: true, ..SimConfig::default() },
+        SimConfig {
+            seed: 7,
+            queue_cap: 8,
+            expose_sr_mode: true,
+            ..SimConfig::default()
+        },
     )?;
     let stats = sim.run(horizon);
     println!(

@@ -17,7 +17,10 @@ use qdpm::workload::WorkloadSpec;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = presets::three_state_generic();
     let service = presets::default_service();
-    let spec = WorkloadSpec::Pareto { alpha: 1.6, xm: 4.0 };
+    let spec = WorkloadSpec::Pareto {
+        alpha: 1.6,
+        xm: 4.0,
+    };
     let horizon = 200_000;
     let p_on = power.state(power.highest_power_state()).power;
 
@@ -26,18 +29,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "queue-misread prob", "crisp cost", "fuzzy cost", "fuzzy wins?"
     );
     for noise_p in [0.0, 0.2, 0.4, 0.6, 0.8] {
-        let noise = ObservationNoise { queue_misread_prob: noise_p, idle_jitter: 4 };
+        let noise = ObservationNoise {
+            queue_misread_prob: noise_p,
+            idle_jitter: 4,
+        };
 
         let crisp = QDpmAgent::new(
             &power,
-            QDpmConfig { idle_thresholds: vec![2, 4, 8, 16, 32], ..QDpmConfig::default() },
+            QDpmConfig {
+                idle_thresholds: vec![2, 4, 8, 16, 32],
+                ..QDpmConfig::default()
+            },
         )?;
         let mut sim = Simulator::new(
             power.clone(),
             service,
             spec.build(),
             Box::new(crisp),
-            SimConfig { seed: 31, noise, ..SimConfig::default() },
+            SimConfig {
+                seed: 31,
+                noise,
+                ..SimConfig::default()
+            },
         )?;
         let crisp_stats = sim.run(horizon);
 
@@ -47,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             spec.build(),
             Box::new(fuzzy),
-            SimConfig { seed: 31, noise, ..SimConfig::default() },
+            SimConfig {
+                seed: 31,
+                noise,
+                ..SimConfig::default()
+            },
         )?;
         let fuzzy_stats = sim.run(horizon);
 
@@ -56,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             noise_p,
             crisp_stats.avg_cost(),
             fuzzy_stats.avg_cost(),
-            if fuzzy_stats.avg_cost() < crisp_stats.avg_cost() { "yes" } else { "no" }
+            if fuzzy_stats.avg_cost() < crisp_stats.avg_cost() {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     let _ = p_on;

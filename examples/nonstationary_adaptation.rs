@@ -13,14 +13,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = presets::three_state_generic();
     let service = presets::default_service();
     let params = RapidResponseParams {
-        segments: vec![(40_000, 0.02), (40_000, 0.25), (40_000, 0.05), (40_000, 0.15)],
+        segments: vec![
+            (40_000, 0.02),
+            (40_000, 0.25),
+            (40_000, 0.05),
+            (40_000, 0.15),
+        ],
         window: 4_000,
         ..RapidResponseParams::default()
     };
     let report = run_rapid_response(&power, &service, &params)?;
 
     println!("switch points at slices: {:?}", report.switch_points);
-    println!("model-based pipeline re-optimized {} times\n", report.model_based_resolves);
+    println!(
+        "model-based pipeline re-optimized {} times\n",
+        report.model_based_resolves
+    );
     println!(
         "{:>8} {:>12} {:>14} {:>14}",
         "slice", "q-dpm", "model-based", "clairvoyant"

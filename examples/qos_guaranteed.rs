@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service,
         spec.build(),
         Box::new(agent),
-        SimConfig { seed: 5, ..SimConfig::default() },
+        SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        },
     )?;
     let s = sim.run(horizon);
     print_row("q-dpm (plain)", &s, p_on, target_queue);
@@ -43,14 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // QoS-guaranteed Q-DPM.
     let qos = QosQDpmAgent::new(
         &power,
-        QosConfig { perf_target: target_queue, ..QosConfig::default() },
+        QosConfig {
+            perf_target: target_queue,
+            ..QosConfig::default()
+        },
     )?;
     let mut sim = Simulator::new(
         power.clone(),
         service,
         spec.build(),
         Box::new(qos),
-        SimConfig { seed: 5, ..SimConfig::default() },
+        SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        },
     )?;
     let s = sim.run(horizon);
     print_row("qos-q-dpm", &s, p_on, target_queue);
@@ -74,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 service,
                 spec.build(),
                 Box::new(controller),
-                SimConfig { seed: 5, ..SimConfig::default() },
+                SimConfig {
+                    seed: 5,
+                    ..SimConfig::default()
+                },
             )?;
             let s = sim.run(horizon);
             print_row("constrained-lp", &s, p_on, target_queue);
@@ -97,6 +109,10 @@ fn print_row(name: &str, s: &qdpm::sim::RunStats, p_on: f64, target: f64) {
         s.avg_power(),
         100.0 * s.energy_reduction_vs(p_on),
         s.avg_queue_len(),
-        if s.avg_queue_len() <= target * 1.15 { "yes" } else { "NO" }
+        if s.avg_queue_len() <= target * 1.15 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 }

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             spec.build(),
             pm,
-            SimConfig { seed: 42, ..SimConfig::default() },
+            SimConfig {
+                seed: 42,
+                ..SimConfig::default()
+            },
         )?;
         let stats = sim.run(horizon);
         println!(

@@ -20,11 +20,14 @@ fn workload() -> Result<PiecewiseStationary, Box<dyn std::error::Error>> {
     // Quiet monitoring, an event storm, then quiet again.
     Ok(PiecewiseStationary::new(vec![
         Segment::new(120_000, WorkloadSpec::bernoulli(0.004)?),
-        Segment::new(30_000, WorkloadSpec::OnOff {
-            p_on_to_off: 0.02,
-            p_off_to_on: 0.05,
-            p_arrival_on: 0.5,
-        }),
+        Segment::new(
+            30_000,
+            WorkloadSpec::OnOff {
+                p_on_to_off: 0.02,
+                p_off_to_on: 0.05,
+                p_arrival_on: 0.5,
+            },
+        ),
         Segment::new(120_000, WorkloadSpec::bernoulli(0.004)?),
     ])?)
 }
@@ -35,8 +38,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p_on = power.state(power.highest_power_state()).power;
     let horizon = 270_000;
 
-    let agent = QDpmAgent::new(&power, QDpmConfig { queue_cap: 8, ..QDpmConfig::default() })?;
-    println!("Q-table footprint: {} bytes (tight-budget memory per the paper)", agent.table_bytes());
+    let agent = QDpmAgent::new(
+        &power,
+        QDpmConfig {
+            queue_cap: 8,
+            ..QDpmConfig::default()
+        },
+    )?;
+    println!(
+        "Q-table footprint: {} bytes (tight-budget memory per the paper)",
+        agent.table_bytes()
+    );
     assert!(agent.table_bytes() < 16 * 1024, "must fit a biosensor node");
 
     let mut sim = Simulator::new(
@@ -44,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service,
         Box::new(workload()?),
         Box::new(agent),
-        SimConfig { seed: 2024, ..SimConfig::default() },
+        SimConfig {
+            seed: 2024,
+            ..SimConfig::default()
+        },
     )?;
     let q = sim.run(horizon);
 
@@ -53,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service,
         Box::new(workload()?),
         Box::new(policies::AlwaysOn::new(&power)),
-        SimConfig { seed: 2024, ..SimConfig::default() },
+        SimConfig {
+            seed: 2024,
+            ..SimConfig::default()
+        },
     )?;
     let on = sim_on.run(horizon);
 
@@ -62,11 +80,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         service,
         Box::new(workload()?),
         Box::new(policies::FixedTimeout::break_even(&power)),
-        SimConfig { seed: 2024, ..SimConfig::default() },
+        SimConfig {
+            seed: 2024,
+            ..SimConfig::default()
+        },
     )?;
     let to = sim_to.run(horizon);
 
-    println!("\n{:<16} {:>14} {:>12} {:>10}", "policy", "energy (J)", "reduction", "mean wait");
+    println!(
+        "\n{:<16} {:>14} {:>12} {:>10}",
+        "policy", "energy (J)", "reduction", "mean wait"
+    );
     for (name, s) in [("always-on", &on), ("break-even TO", &to), ("q-dpm", &q)] {
         println!(
             "{:<16} {:>14.4} {:>11.1}% {:>10.2}",

@@ -9,7 +9,7 @@ use qdpm::core::{PowerManager, QDpmAgent, QDpmConfig, StepOutcome};
 use qdpm::device::{presets, Device, Queue, Server};
 use qdpm::sim::{SimConfig, Simulator};
 use qdpm::workload::WorkloadSpec;
-use rand::{Rng as _, SeedableRng};
+use rand::{RngCore as _, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let power = presets::three_state_generic();
@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let checkpoint = agent.export_table();
-    println!("checkpoint: {} bytes (fits flash on any node)", checkpoint.len());
+    println!(
+        "checkpoint: {} bytes (fits flash on any node)",
+        checkpoint.len()
+    );
 
     // ---- Reboot: warm vs cold on the identical workload. ---------------
     let mut warm = QDpmAgent::new(&power, QDpmConfig::default())?;
@@ -79,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         presets::default_service(),
         spec.build(),
         Box::new(warm),
-        SimConfig { seed: 3, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        },
     )?;
     let warm_stats = warm_sim.run(20_000);
 
@@ -89,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         presets::default_service(),
         spec.build(),
         Box::new(cold),
-        SimConfig { seed: 3, ..SimConfig::default() },
+        SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        },
     )?;
     let cold_stats = cold_sim.run(20_000);
 

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p_on = power.state(power.highest_power_state()).power;
     let queue_bound = 1.0;
 
-    println!("device: {} | workload: streaming MMPP | {} slices", power.name(), horizon);
+    println!(
+        "device: {} | workload: streaming MMPP | {} slices",
+        power.name(),
+        horizon
+    );
     println!("QoS bound: average queue <= {queue_bound}\n");
     println!(
         "{:<18} {:>11} {:>11} {:>11} {:>9}",
@@ -37,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             service,
             spec.build(),
             pm,
-            SimConfig { seed: 8, ..SimConfig::default() },
+            SimConfig {
+                seed: 8,
+                ..SimConfig::default()
+            },
         )?;
         sim.run(horizon / 2); // warm-up / learning
         let stats = sim.run(horizon / 2);
@@ -47,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.avg_power(),
             100.0 * stats.energy_reduction_vs(p_on),
             stats.avg_queue_len(),
-            if stats.avg_queue_len() <= queue_bound * 1.15 { "yes" } else { "NO" }
+            if stats.avg_queue_len() <= queue_bound * 1.15 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
         Ok(stats)
     };
@@ -57,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     run(Box::new(QDpmAgent::new(&power, QDpmConfig::default())?))?;
     run(Box::new(QosQDpmAgent::new(
         &power,
-        QosConfig { perf_target: queue_bound, ..QosConfig::default() },
+        QosConfig {
+            perf_target: queue_bound,
+            ..QosConfig::default()
+        },
     )?))?;
 
     println!("\nThe QoS agent holds the stream's queue bound while dozing through");

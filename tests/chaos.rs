@@ -34,13 +34,18 @@ fn random_commands_never_break_invariants() {
         ("wlan", presets::wlan_card()),
     ] {
         let lo = power.state(power.lowest_power_state()).power;
-        let monkey = ChaosMonkey { n_states: power.n_states() };
+        let monkey = ChaosMonkey {
+            n_states: power.n_states(),
+        };
         let mut sim = Simulator::new(
             power.clone(),
             presets::default_service(),
             WorkloadSpec::bernoulli(0.3).unwrap().build(),
             Box::new(monkey),
-            SimConfig { seed: 1313, ..SimConfig::default() },
+            SimConfig {
+                seed: 1313,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let steps = 100_000u64;
@@ -65,13 +70,18 @@ fn random_commands_never_break_invariants() {
 fn chaos_against_zero_and_saturated_load() {
     let power = presets::three_state_generic();
     for p in [0.0, 1.0] {
-        let monkey = ChaosMonkey { n_states: power.n_states() };
+        let monkey = ChaosMonkey {
+            n_states: power.n_states(),
+        };
         let mut sim = Simulator::new(
             power.clone(),
             presets::default_service(),
             WorkloadSpec::bernoulli(p).unwrap().build(),
             Box::new(monkey),
-            SimConfig { seed: 77, ..SimConfig::default() },
+            SimConfig {
+                seed: 77,
+                ..SimConfig::default()
+            },
         )
         .unwrap();
         let stats = sim.run(20_000);

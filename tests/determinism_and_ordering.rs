@@ -13,7 +13,10 @@ fn run_policy(pm: Box<dyn PowerManager>, seed: u64, spec: &WorkloadSpec, steps: 
         presets::default_service(),
         spec.build(),
         pm,
-        SimConfig { seed, ..SimConfig::default() },
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     sim.run(steps)
@@ -89,9 +92,13 @@ fn oracle_dominates_online_heuristics_on_bursty_trace() {
     let trace: Vec<u32> = {
         let mut replay = rec.into_replay().unwrap();
         let mut dummy = rand::rngs::StdRng::seed_from_u64(0);
-        (0..steps).map(|_| replay.next_arrivals(&mut dummy)).collect()
+        (0..steps)
+            .map(|_| replay.next_arrivals(&mut dummy))
+            .collect()
     };
-    let spec = WorkloadSpec::Trace { arrivals: trace.clone() };
+    let spec = WorkloadSpec::Trace {
+        arrivals: trace.clone(),
+    };
 
     let oracle = run_policy(
         Box::new(policies::Oracle::from_trace(&power, &trace)),
@@ -127,7 +134,10 @@ fn oracle_dominates_online_heuristics_on_bursty_trace() {
         oracle.total_energy,
         greedy.total_energy
     );
-    assert!(oracle.total_energy < on.total_energy, "oracle must beat always-on");
+    assert!(
+        oracle.total_energy < on.total_energy,
+        "oracle must beat always-on"
+    );
     // The pre-waking oracle trades energy for latency.
     assert!(
         prewake.mean_wait() < oracle.mean_wait(),

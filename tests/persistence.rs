@@ -13,7 +13,10 @@ fn sim_with(agent: QDpmAgent, seed: u64) -> Simulator {
         presets::default_service(),
         WorkloadSpec::bernoulli(0.05).unwrap().build(),
         Box::new(agent),
-        SimConfig { seed, ..SimConfig::default() },
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
     )
     .unwrap()
 }
@@ -29,8 +32,7 @@ fn warm_start_skips_the_learning_transient() {
     let trained = {
         use qdpm::core::{Observation, PowerManager, StepOutcome};
         use qdpm::device::{Device, Queue, Server};
-        use qdpm::workload::RequestGenerator;
-        use rand::{Rng as _, SeedableRng};
+        use rand::{RngCore as _, SeedableRng};
 
         let mut agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
         let mut device = Device::new(power.clone());
@@ -98,11 +100,23 @@ fn warm_start_skips_the_learning_transient() {
 #[test]
 fn import_validates_dimensions() {
     let power = presets::three_state_generic();
-    let small = QDpmAgent::new(&power, QDpmConfig { queue_cap: 4, ..QDpmConfig::default() })
-        .unwrap();
+    let small = QDpmAgent::new(
+        &power,
+        QDpmConfig {
+            queue_cap: 4,
+            ..QDpmConfig::default()
+        },
+    )
+    .unwrap();
     let blob = small.export_table();
-    let mut big =
-        QDpmAgent::new(&power, QDpmConfig { queue_cap: 16, ..QDpmConfig::default() }).unwrap();
+    let mut big = QDpmAgent::new(
+        &power,
+        QDpmConfig {
+            queue_cap: 16,
+            ..QDpmConfig::default()
+        },
+    )
+    .unwrap();
     assert!(matches!(
         big.import_table(&blob),
         Err(CoreError::CorruptTable(_))

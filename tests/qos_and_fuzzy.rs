@@ -13,7 +13,10 @@ fn qos_agent_respects_queue_bound() {
     let target = 0.8;
     let qos = QosQDpmAgent::new(
         &power,
-        QosConfig { perf_target: target, ..QosConfig::default() },
+        QosConfig {
+            perf_target: target,
+            ..QosConfig::default()
+        },
     )
     .unwrap();
     let mut sim = Simulator::new(
@@ -21,7 +24,10 @@ fn qos_agent_respects_queue_bound() {
         service,
         WorkloadSpec::bernoulli(0.15).unwrap().build(),
         Box::new(qos),
-        SimConfig { seed: 5, ..SimConfig::default() },
+        SimConfig {
+            seed: 5,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     // Discard the learning transient, then measure.
@@ -40,7 +46,10 @@ fn qos_agent_saves_energy_versus_always_on() {
     let service = presets::default_service();
     let qos = QosQDpmAgent::new(
         &power,
-        QosConfig { perf_target: 1.0, ..QosConfig::default() },
+        QosConfig {
+            perf_target: 1.0,
+            ..QosConfig::default()
+        },
     )
     .unwrap();
     let mut sim = Simulator::new(
@@ -48,7 +57,10 @@ fn qos_agent_saves_energy_versus_always_on() {
         service,
         WorkloadSpec::bernoulli(0.05).unwrap().build(),
         Box::new(qos),
-        SimConfig { seed: 6, ..SimConfig::default() },
+        SimConfig {
+            seed: 6,
+            ..SimConfig::default()
+        },
     )
     .unwrap();
     sim.run(100_000);
@@ -84,11 +96,18 @@ fn cost_under_noise(fuzzy: bool, noise_p: f64) -> f64 {
     let mut sim = Simulator::new(
         power,
         service,
-        WorkloadSpec::Pareto { alpha: 1.6, xm: 4.0 }.build(),
+        WorkloadSpec::Pareto {
+            alpha: 1.6,
+            xm: 4.0,
+        }
+        .build(),
         pm,
         SimConfig {
             seed: 31,
-            noise: ObservationNoise { queue_misread_prob: noise_p, idle_jitter: 4 },
+            noise: ObservationNoise {
+                queue_misread_prob: noise_p,
+                idle_jitter: 4,
+            },
             ..SimConfig::default()
         },
     )

@@ -45,7 +45,10 @@ fn qdpm_outperforms_model_based_at_revisited_switches() {
     };
     let report = run_rapid_response(&power, &service, &params).unwrap();
     assert_eq!(report.switch_points.len(), 5);
-    assert!(report.model_based_resolves >= 2, "pipeline should re-optimize repeatedly");
+    assert!(
+        report.model_based_resolves >= 2,
+        "pipeline should re-optimize repeatedly"
+    );
 
     // Transients after revisited switches (3rd onward: both regimes seen).
     let transient = 10_000u64;

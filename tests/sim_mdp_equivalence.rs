@@ -43,7 +43,11 @@ fn measured_vs_analytic(
                     .map(|s| {
                         let (_, dev, _) = model.space.decompose(s);
                         let legal = model.space.legal_actions(power, dev);
-                        legal.iter().copied().find(|&a| a == serve).unwrap_or(legal[0])
+                        legal
+                            .iter()
+                            .copied()
+                            .find(|&a| a == serve)
+                            .unwrap_or(legal[0])
                     })
                     .collect(),
             )
@@ -51,8 +55,7 @@ fn measured_vs_analytic(
         other => panic!("unknown policy kind {other}"),
     };
 
-    let (analytic_gain, _) =
-        solvers::evaluate_policy_average(&model.mdp, &cost, &policy).unwrap();
+    let (analytic_gain, _) = solvers::evaluate_policy_average(&model.mdp, &cost, &policy).unwrap();
 
     let controller = MdpPolicyController::deterministic(model.space.clone(), policy);
     let mut sim = Simulator::new(

@@ -1,0 +1,83 @@
+//! Workspace smoke test: the `qdpm` facade re-exports resolve and the
+//! README/lib.rs quickstart path runs end to end.
+
+use qdpm::core::{PowerManager, QDpmAgent, QDpmConfig};
+use qdpm::device::presets;
+use qdpm::sim::{SimConfig, Simulator};
+use qdpm::workload::WorkloadSpec;
+
+/// Every facade module must resolve to its member crate: name one item per
+/// re-export so a broken `pub use` fails this test at compile time.
+#[test]
+fn facade_reexports_resolve() {
+    // qdpm::core
+    let _: fn(usize, usize) -> qdpm::core::QTable = qdpm::core::QTable::new;
+    // qdpm::device
+    let power = qdpm::device::presets::three_state_generic();
+    assert!(power.n_states() >= 2);
+    // qdpm::workload
+    let spec = qdpm::workload::WorkloadSpec::bernoulli(0.1).unwrap();
+    assert!(spec.markov_model().is_some());
+    // qdpm::mdp
+    let weights = qdpm::mdp::CostWeights::new(1.0, 0.1).unwrap();
+    let _ = weights;
+    // qdpm::sim
+    let cfg = qdpm::sim::SimConfig::default();
+    assert!(cfg.queue_cap > 0);
+}
+
+/// The quickstart from `src/lib.rs`: agent + simulator + Bernoulli
+/// workload for 10k slices, with sane aggregate statistics.
+#[test]
+fn quickstart_runs_ten_thousand_slices() {
+    let power = presets::three_state_generic();
+    let agent = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    let mut sim = Simulator::new(
+        power.clone(),
+        presets::default_service(),
+        WorkloadSpec::bernoulli(0.05).unwrap().build(),
+        Box::new(agent),
+        SimConfig::default(),
+    )
+    .unwrap();
+
+    let steps = 10_000;
+    let stats = sim.run(steps);
+
+    assert_eq!(stats.steps, steps, "every slice must be accounted for");
+    assert!(stats.total_energy > 0.0, "the device consumes energy");
+    assert!(
+        stats.arrivals > 0,
+        "a 5% Bernoulli workload must produce arrivals in 10k slices"
+    );
+    assert_eq!(
+        stats.arrivals,
+        stats.completed + stats.dropped + sim.observation().queue_len as u64,
+        "request conservation"
+    );
+    let p_on = power.state(power.highest_power_state()).power;
+    let reduction = stats.energy_reduction_vs(p_on);
+    assert!(
+        (-1.0..=1.0).contains(&reduction),
+        "energy reduction {reduction} must be a sane fraction"
+    );
+}
+
+/// A boxed agent still implements the shared `PowerManager` interface via
+/// the facade paths (what downstream users will write).
+#[test]
+fn boxed_power_manager_decides() {
+    use rand::SeedableRng;
+    let power = presets::three_state_generic();
+    let mut pm: Box<dyn PowerManager> =
+        Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let obs = qdpm::core::Observation {
+        device_mode: qdpm::device::DeviceMode::Operational(power.highest_power_state()),
+        queue_len: 0,
+        idle_slices: 3,
+        sr_mode_hint: None,
+    };
+    let cmd = pm.decide(&obs, &mut rng);
+    assert!(cmd.index() < power.n_states());
+}
