@@ -8,8 +8,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 
 use qdpm_bench::standard_device;
-use qdpm_core::{QDpmAgent, QDpmConfig};
-use qdpm_sim::{policies, SimConfig, Simulator};
+use qdpm_core::{QDpmAgent, QDpmConfig, RewardWeights};
+use qdpm_device::presets;
+use qdpm_sim::experiment::run_grid;
+use qdpm_sim::parallel::available_threads;
+use qdpm_sim::{policies, GridParams, ScenarioGrid, ScenarioWorkload, SimConfig, Simulator};
 use qdpm_workload::WorkloadSpec;
 
 const STEPS: u64 = 10_000;
@@ -44,5 +47,63 @@ fn bench_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_throughput);
+/// A small mixed grid used to compare the serial path of the experiment
+/// runner against the sharded parallel path at the host's thread count.
+fn small_grid() -> ScenarioGrid {
+    let devices = vec![("three-state".to_string(), presets::three_state_generic())];
+    let workloads = vec![
+        (
+            "bern-0.05".to_string(),
+            ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.05).unwrap()),
+        ),
+        (
+            "bern-0.2".to_string(),
+            ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.2).unwrap()),
+        ),
+        (
+            "mmpp".to_string(),
+            ScenarioWorkload::Stationary(WorkloadSpec::two_mode_mmpp(0.02, 0.4, 0.01).unwrap()),
+        ),
+        (
+            "piecewise".to_string(),
+            ScenarioWorkload::Piecewise(vec![
+                (2_000, WorkloadSpec::bernoulli(0.02).unwrap()),
+                (2_000, WorkloadSpec::bernoulli(0.25).unwrap()),
+            ]),
+        ),
+    ];
+    let services = vec![presets::default_service()];
+    ScenarioGrid::cartesian(
+        &devices,
+        &workloads,
+        &services,
+        2,
+        &GridParams {
+            queue_cap: 8,
+            weights: RewardWeights::default(),
+            train: 5_000,
+            evaluate: 1_000,
+            master_seed: 5,
+        },
+    )
+}
+
+/// Serial vs parallel execution of the same grid: quantifies the
+/// experiment-layer speedup on this host (the results are byte-identical
+/// by the determinism contract; only wall-clock differs).
+fn bench_grid_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_runner");
+    let grid = small_grid();
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    group.bench_function(BenchmarkId::new("serial", "1"), |b| {
+        b.iter(|| black_box(run_grid(&grid, 1).unwrap()))
+    });
+    let threads = available_threads();
+    group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+        b.iter(|| black_box(run_grid(&grid, threads).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_grid_runner);
 criterion_main!(benches);

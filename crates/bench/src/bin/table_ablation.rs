@@ -4,29 +4,36 @@
 //!
 //! Each row: steady-state cost after a fixed training budget on the
 //! standard stationary scenario, plus the cost ratio to the analytic
-//! optimum.
+//! optimum. Variants are independent cells, so they run on the
+//! deterministic parallel runner — output order (and content) is identical
+//! at any worker count.
 //!
-//! Run with: `cargo run --release -p qdpm-bench --bin table_ablation`
+//! Run with: `cargo run --release -p qdpm-bench --bin table_ablation --
+//! [--threads N]`
 
-use qdpm_bench::{save_results, standard_device};
+use qdpm_bench::{save_results, standard_device, threads_from_args};
 use qdpm_core::{Exploration, LearningRate, QDpmAgent, QDpmConfig, RewardWeights};
 use qdpm_sim::experiment::optimal_gain;
+use qdpm_sim::parallel::run_indexed;
 use qdpm_sim::{SimConfig, Simulator};
 use qdpm_workload::WorkloadSpec;
 
-fn steady_cost(config: QDpmConfig) -> Result<f64, Box<dyn std::error::Error>> {
+fn steady_cost(config: QDpmConfig) -> Result<f64, String> {
     let (power, service) = standard_device();
-    let agent = QDpmAgent::new(&power, config)?;
+    let agent = QDpmAgent::new(&power, config).map_err(|e| e.to_string())?;
     let mut sim = Simulator::new(
         power,
         service,
-        WorkloadSpec::bernoulli(0.08)?.build(),
+        WorkloadSpec::bernoulli(0.08)
+            .map_err(|e| e.to_string())?
+            .build(),
         Box::new(agent),
         SimConfig {
             seed: 13,
             ..SimConfig::default()
         },
-    )?;
+    )
+    .map_err(|e| e.to_string())?;
     sim.run(200_000);
     Ok(sim.run(120_000).avg_cost())
 }
@@ -108,13 +115,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
+    let threads = threads_from_args();
+    eprintln!(
+        "ablation: {} variants on {threads} thread(s)",
+        variants.len()
+    );
+    let costs = run_indexed(&variants, threads, |_, (_, cfg)| steady_cost(cfg.clone()));
+
     let mut out = String::new();
     out.push_str(&format!(
         "# table_ablation | stationary p=0.08, optimum gain {optimum:.5}\n"
     ));
     out.push_str("variant\tsteady_cost\tratio_to_optimal\n");
-    for (name, cfg) in variants {
-        let cost = steady_cost(cfg)?;
+    for ((name, _), cost) in variants.iter().zip(costs) {
+        let cost = cost?;
         out.push_str(&format!("{name}\t{cost:.5}\t{:.3}\n", cost / optimum));
         eprintln!("{name}: {cost:.5} ({:.3}x)", cost / optimum);
     }

@@ -2,13 +2,22 @@
 //!
 //! Grid over device presets x arrival rates x service rates: Q-DPM's
 //! steady-state cost ratio against the analytic optimum, energy reduction
-//! and latency.
+//! and latency. Cells run on the deterministic parallel grid runner
+//! (`qdpm_sim::parallel`): the saved TSV is byte-identical at any worker
+//! count, so `--threads` only changes wall-clock time.
 //!
-//! Run with: `cargo run --release -p qdpm-bench --bin table_sweep`
+//! Run with: `cargo run --release -p qdpm-bench --bin table_sweep --
+//! [--threads N] [--compare-serial]`
+//!
+//! `--compare-serial` additionally times the serial (1-thread) path and
+//! reports the speedup on stderr (timings never enter the TSV, which must
+//! stay deterministic).
 
-use qdpm_bench::save_results;
+use std::time::Instant;
+
+use qdpm_bench::{has_flag, save_results, threads_from_args};
 use qdpm_device::presets;
-use qdpm_sim::experiment::run_sweep;
+use qdpm_sim::experiment::{run_sweep_threaded, sweep_ratio_summary, sweep_rows_to_tsv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let devices = vec![
@@ -21,41 +30,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let arrival_ps = [0.02, 0.05, 0.1, 0.2, 0.4];
     let service_ps = [0.4, 0.6, 0.9];
+    let (train, evaluate, seed) = (1_000_000, 300_000, 3);
+    let threads = threads_from_args();
     eprintln!(
-        "sweep: {} devices x {} rates x {} service rates",
+        "sweep: {} devices x {} rates x {} service rates on {} thread(s)",
         devices.len(),
         arrival_ps.len(),
-        service_ps.len()
+        service_ps.len(),
+        threads
     );
-    let rows = run_sweep(&devices, &arrival_ps, &service_ps, 1_000_000, 300_000, 3)?;
+
+    let start = Instant::now();
+    let rows = run_sweep_threaded(
+        &devices,
+        &arrival_ps,
+        &service_ps,
+        train,
+        evaluate,
+        seed,
+        threads,
+    )?;
+    let parallel_s = start.elapsed().as_secs_f64();
+    eprintln!("parallel path ({threads} threads): {parallel_s:.2}s wall");
+
+    if has_flag("--compare-serial") {
+        let start = Instant::now();
+        let serial_rows =
+            run_sweep_threaded(&devices, &arrival_ps, &service_ps, train, evaluate, seed, 1)?;
+        let serial_s = start.elapsed().as_secs_f64();
+        assert_eq!(
+            sweep_rows_to_tsv(&rows),
+            sweep_rows_to_tsv(&serial_rows),
+            "parallel TSV must be byte-identical to serial"
+        );
+        eprintln!(
+            "serial path: {serial_s:.2}s wall — speedup {:.2}x on {threads} thread(s)",
+            serial_s / parallel_s.max(1e-9)
+        );
+    }
 
     let mut out = String::new();
     out.push_str("# table_sweep (T4): q-dpm vs analytic optimum across cases\n");
-    out.push_str(
-        "device\tarrival_p\tservice_p\toptimal_gain\tqdpm_cost\tratio\tenergy_reduction\tmean_wait\n",
-    );
-    let mut worst: f64 = 0.0;
-    let mut acc = 0.0;
-    for r in &rows {
-        out.push_str(&format!(
-            "{}\t{:.2}\t{:.1}\t{:.5}\t{:.5}\t{:.3}\t{:.3}\t{:.2}\n",
-            r.device,
-            r.arrival_p,
-            r.service_p,
-            r.optimal_gain,
-            r.qdpm_cost,
-            r.ratio,
-            r.energy_reduction,
-            r.mean_wait
-        ));
-        worst = worst.max(r.ratio);
-        acc += r.ratio;
-    }
+    out.push_str(&sweep_rows_to_tsv(&rows));
+    let (mean, worst, n_valid) = sweep_ratio_summary(&rows);
     out.push_str(&format!(
-        "# mean ratio {:.3}, worst ratio {:.3} over {} cases\n",
-        acc / rows.len() as f64,
-        worst,
-        rows.len()
+        "# mean ratio {mean:.3}, worst ratio {worst:.3} over {n_valid} cases\n"
     ));
     print!("{out}");
     if let Some(path) = save_results("table_sweep.tsv", &out) {

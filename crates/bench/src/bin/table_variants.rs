@@ -7,15 +7,21 @@
 //! learning phase (tracks speed) and at steady state (tracks asymptote),
 //! both as ratios to the analytic optimum.
 //!
-//! Run with: `cargo run --release -p qdpm-bench --bin table_variants`
+//! Learner variants are independent cells, so each scenario's variant set
+//! runs on the deterministic parallel runner (`qdpm_sim::parallel`) —
+//! identical output at any worker count.
+//!
+//! Run with: `cargo run --release -p qdpm-bench --bin table_variants --
+//! [--threads N]`
 
-use qdpm_bench::{save_results, standard_device};
+use qdpm_bench::{save_results, standard_device, threads_from_args};
 use qdpm_core::{
     DoubleQLearner, Exploration, GenericQDpmAgent, PowerManager, QDpmConfig, QLambdaLearner,
     QLearner, RewardWeights, SarsaLearner, StateEncoder,
 };
 use qdpm_device::{presets, PowerModel, ServiceModel};
 use qdpm_sim::experiment::optimal_gain;
+use qdpm_sim::parallel::run_indexed;
 use qdpm_sim::{SimConfig, Simulator};
 use qdpm_workload::WorkloadSpec;
 
@@ -40,13 +46,15 @@ fn exploration(train: u64) -> Exploration {
 
 fn run_variant(
     scenario: &Scenario,
-    learner: Box<dyn MakeLearner>,
-) -> Result<(String, f64, f64), Box<dyn std::error::Error>> {
+    learner: &dyn MakeLearner,
+) -> Result<(String, f64, f64), String> {
     let config = QDpmConfig {
         exploration: exploration(scenario.train),
         ..QDpmConfig::default()
     };
-    let encoder = config.encoder_for(&scenario.power)?;
+    let encoder = config
+        .encoder_for(&scenario.power)
+        .map_err(|e| e.to_string())?;
     let (name, pm) = learner.make(
         &scenario.power,
         &config,
@@ -56,28 +64,32 @@ fn run_variant(
     let mut sim = Simulator::new(
         scenario.power.clone(),
         scenario.service,
-        WorkloadSpec::bernoulli(scenario.arrival_p)?.build(),
+        WorkloadSpec::bernoulli(scenario.arrival_p)
+            .map_err(|e| e.to_string())?
+            .build(),
         pm,
         SimConfig {
             seed: 17,
             ..SimConfig::default()
         },
-    )?;
+    )
+    .map_err(|e| e.to_string())?;
     let learning = sim.run(scenario.train);
     let steady = sim.run(scenario.evaluate);
     Ok((name, learning.avg_cost(), steady.avg_cost()))
 }
 
-/// Factory closure alias so each variant builds its own learner sized to
-/// the scenario's encoder.
-trait MakeLearner {
+/// Factory so each variant builds its own learner sized to the scenario's
+/// encoder. `Sync` because the factories are shared across the parallel
+/// runner's workers; errors are `String` so results are `Send`.
+trait MakeLearner: Sync {
     fn make(
         &self,
         power: &PowerModel,
         config: &QDpmConfig,
         n_states: usize,
         n_actions: usize,
-    ) -> Result<(String, Box<dyn PowerManager>), Box<dyn std::error::Error>>;
+    ) -> Result<(String, Box<dyn PowerManager>), String>;
 }
 
 struct Watkins;
@@ -92,17 +104,18 @@ impl MakeLearner for Watkins {
         config: &QDpmConfig,
         n_states: usize,
         n_actions: usize,
-    ) -> Result<(String, Box<dyn PowerManager>), Box<dyn std::error::Error>> {
+    ) -> Result<(String, Box<dyn PowerManager>), String> {
         let l = QLearner::new(
             n_states,
             n_actions,
             config.discount,
             config.learning_rate,
             config.exploration,
-        )?;
+        )
+        .map_err(|e| e.to_string())?;
         Ok((
             "watkins-q (paper)".into(),
-            Box::new(GenericQDpmAgent::with_learner(power, config, l)?),
+            Box::new(GenericQDpmAgent::with_learner(power, config, l).map_err(|e| e.to_string())?),
         ))
     }
 }
@@ -114,17 +127,18 @@ impl MakeLearner for Sarsa {
         config: &QDpmConfig,
         n_states: usize,
         n_actions: usize,
-    ) -> Result<(String, Box<dyn PowerManager>), Box<dyn std::error::Error>> {
+    ) -> Result<(String, Box<dyn PowerManager>), String> {
         let l = SarsaLearner::new(
             n_states,
             n_actions,
             config.discount,
             config.learning_rate,
             config.exploration,
-        )?;
+        )
+        .map_err(|e| e.to_string())?;
         Ok((
             "sarsa".into(),
-            Box::new(GenericQDpmAgent::with_learner(power, config, l)?),
+            Box::new(GenericQDpmAgent::with_learner(power, config, l).map_err(|e| e.to_string())?),
         ))
     }
 }
@@ -136,17 +150,18 @@ impl MakeLearner for DoubleQ {
         config: &QDpmConfig,
         n_states: usize,
         n_actions: usize,
-    ) -> Result<(String, Box<dyn PowerManager>), Box<dyn std::error::Error>> {
+    ) -> Result<(String, Box<dyn PowerManager>), String> {
         let l = DoubleQLearner::new(
             n_states,
             n_actions,
             config.discount,
             config.learning_rate,
             config.exploration,
-        )?;
+        )
+        .map_err(|e| e.to_string())?;
         Ok((
             "double-q".into(),
-            Box::new(GenericQDpmAgent::with_learner(power, config, l)?),
+            Box::new(GenericQDpmAgent::with_learner(power, config, l).map_err(|e| e.to_string())?),
         ))
     }
 }
@@ -158,7 +173,7 @@ impl MakeLearner for QLambda {
         config: &QDpmConfig,
         n_states: usize,
         n_actions: usize,
-    ) -> Result<(String, Box<dyn PowerManager>), Box<dyn std::error::Error>> {
+    ) -> Result<(String, Box<dyn PowerManager>), String> {
         let l = QLambdaLearner::new(
             n_states,
             n_actions,
@@ -166,10 +181,11 @@ impl MakeLearner for QLambda {
             self.0,
             config.learning_rate,
             config.exploration,
-        )?;
+        )
+        .map_err(|e| e.to_string())?;
         Ok((
             format!("q(lambda={})", self.0),
-            Box::new(GenericQDpmAgent::with_learner(power, config, l)?),
+            Box::new(GenericQDpmAgent::with_learner(power, config, l).map_err(|e| e.to_string())?),
         ))
     }
 }
@@ -195,6 +211,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     ];
 
+    let threads = threads_from_args();
+    eprintln!("variants on {threads} thread(s)");
     let mut out = String::new();
     out.push_str("# table_variants: learner algorithms vs the analytic optimum\n");
     out.push_str("scenario\tvariant\tlearning_cost\tsteady_cost\tsteady_ratio\n");
@@ -214,8 +232,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Box::new(QLambda(0.5)),
             Box::new(QLambda(0.9)),
         ];
-        for v in variants {
-            let (name, learning, steady) = run_variant(scenario, v)?;
+        let results = run_indexed(&variants, threads, |_, v| run_variant(scenario, v.as_ref()));
+        for result in results {
+            let (name, learning, steady) = result?;
             out.push_str(&format!(
                 "{}\t{}\t{:.5}\t{:.5}\t{:.3}\n",
                 scenario.name,

@@ -17,6 +17,56 @@ pub fn standard_device() -> (PowerModel, ServiceModel) {
     (presets::three_state_generic(), presets::default_service())
 }
 
+/// Parses a `--threads N` knob out of an argument list: `Ok(None)` when
+/// absent, `Ok(Some(n))` for a positive count, and `Err` for a malformed
+/// or zero value — never a silent fallback, since the knob pins benchmark
+/// conditions. Shared by the grid-running bins (`table_sweep`,
+/// `table_ablation`, `table_variants`).
+///
+/// # Errors
+///
+/// Returns a message naming the offending value.
+pub fn parse_threads(args: &[String]) -> Result<Option<usize>, String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let value = if arg == "--threads" {
+            Some(it.next().map(String::as_str).unwrap_or_default())
+        } else {
+            arg.strip_prefix("--threads=")
+        };
+        let Some(value) = value else { continue };
+        return match value.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(Some(n)),
+            _ => Err(format!(
+                "--threads expects a positive integer, got {value:?}"
+            )),
+        };
+    }
+    Ok(None)
+}
+
+/// Worker count for a bin: `--threads N` from `std::env::args`, else the
+/// host's available parallelism. Exits with an error on a malformed value
+/// rather than silently benchmarking a different configuration.
+#[must_use]
+pub fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match parse_threads(&args) {
+        Ok(Some(n)) => n,
+        Ok(None) => qdpm_sim::parallel::available_threads(),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Whether a bare flag (e.g. `--compare-serial`) was passed to the bin.
+#[must_use]
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
 /// Walks up from `start` to the *nearest* ancestor whose `Cargo.toml`
 /// declares a `[workspace]` table — this crate's workspace root, wherever
 /// the crate ends up nested. (If the repo itself were vendored inside a
@@ -104,6 +154,22 @@ mod tests {
         let (power, service) = standard_device();
         assert!(power.n_states() >= 3);
         assert!(service.completion_probability().is_some());
+    }
+
+    #[test]
+    fn parse_threads_forms() {
+        let args = |s: &[&str]| s.iter().map(ToString::to_string).collect::<Vec<_>>();
+        assert_eq!(
+            parse_threads(&args(&["bin", "--threads", "4"])),
+            Ok(Some(4))
+        );
+        assert_eq!(parse_threads(&args(&["bin", "--threads=2"])), Ok(Some(2)));
+        assert_eq!(parse_threads(&args(&["bin"])), Ok(None));
+        // Malformed values must error loudly, not fall back silently.
+        assert!(parse_threads(&args(&["bin", "--threads", "zero"])).is_err());
+        assert!(parse_threads(&args(&["bin", "--threads", "0"])).is_err());
+        assert!(parse_threads(&args(&["bin", "--threads="])).is_err());
+        assert!(parse_threads(&args(&["bin", "--threads"])).is_err());
     }
 
     #[test]

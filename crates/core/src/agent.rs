@@ -93,7 +93,11 @@ impl Default for RewardWeights {
 /// Implemented by the Q-DPM agents in this crate and by every baseline
 /// policy in `qdpm-sim` (timeouts, always-on, the model-based adaptive
 /// pipeline, the MDP-optimal controller).
-pub trait PowerManager: std::fmt::Debug {
+///
+/// `Send` is a supertrait so boxed managers (and the simulators owning
+/// them) can be driven from worker threads by the parallel experiment
+/// runner (`qdpm_sim::parallel`).
+pub trait PowerManager: std::fmt::Debug + Send {
     /// Chooses the command for this slice.
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId;
 

@@ -33,7 +33,11 @@ use crate::{CoreError, Exploration, LearningRate, QLearner, QTable};
 /// The driver must alternate `select_action(s_t, ...)` and
 /// `update(s_t, a_t, r_t, s_{t+1}, ...)` once per slice, in that order;
 /// on-policy learners (SARSA) rely on it.
-pub trait TabularLearner: std::fmt::Debug {
+///
+/// `Send` is a supertrait so a [`crate::GenericQDpmAgent`] wrapping any
+/// learner satisfies [`crate::PowerManager`]'s `Send` bound and can run on
+/// a worker thread of the parallel experiment runner.
+pub trait TabularLearner: std::fmt::Debug + Send {
     /// Chooses an action in `s` among `legal`, applying exploration.
     fn select_action(&mut self, s: usize, legal: &[usize], rng: &mut dyn Rng) -> usize;
 

@@ -118,6 +118,10 @@ pub struct Simulator {
     idle_slices: u64,
     stats: RunStats,
     recorder: Option<SeriesRecorder>,
+    /// The noisy observation handed to the PM as `next_obs` at the end of
+    /// the previous slice, carried over so the next `decide` sees the
+    /// *same* corrupted view (noise is drawn once per slice boundary).
+    carried_obs: Option<Observation>,
 }
 
 #[inline]
@@ -156,6 +160,7 @@ impl Simulator {
             idle_slices: 0,
             stats: RunStats::new(),
             recorder: None,
+            carried_obs: None,
         })
     }
 
@@ -236,8 +241,13 @@ impl Simulator {
 
     /// Advances the simulation by one slice and returns its outcome.
     pub fn step(&mut self) -> StepOutcome {
-        // 1. Decide (PM sees the possibly-noisy observation).
-        let obs = self.noisy(self.observation());
+        // 1. Decide. The PM sees the possibly-noisy observation — the one
+        //    already reported as `next_obs` at the end of the previous
+        //    slice, so its TD next-state and the state it acts from agree.
+        let obs = match self.carried_obs.take() {
+            Some(o) => o,
+            None => self.noisy(self.observation()),
+        };
         let command = self.pm.decide(&obs, &mut self.rng_policy);
 
         // 2. Command takes effect; instant switches pay their energy now.
@@ -290,6 +300,7 @@ impl Simulator {
         }
         let next_obs = self.noisy(self.observation());
         self.pm.observe(&outcome, &next_obs);
+        self.carried_obs = Some(next_obs);
         outcome
     }
 
@@ -454,6 +465,79 @@ mod tests {
         assert_eq!(o2.completed, 1, "deterministic(3) completes on slice 3");
         assert_eq!(sim.stats().completed, 1);
         assert_eq!(sim.stats().total_wait, 2);
+    }
+
+    /// Records every observation the engine hands to a PM (shared handles,
+    /// because the simulator owns the PM), acting like always-on.
+    #[derive(Debug)]
+    struct ObsProbe {
+        target: qdpm_device::PowerStateId,
+        decides: std::sync::Arc<std::sync::Mutex<Vec<Observation>>>,
+        observes: std::sync::Arc<std::sync::Mutex<Vec<Observation>>>,
+    }
+
+    impl PowerManager for ObsProbe {
+        fn decide(
+            &mut self,
+            obs: &Observation,
+            _rng: &mut dyn rand::Rng,
+        ) -> qdpm_device::PowerStateId {
+            self.decides.lock().unwrap().push(*obs);
+            self.target
+        }
+
+        fn observe(&mut self, _outcome: &StepOutcome, next_obs: &Observation) {
+            self.observes.lock().unwrap().push(*next_obs);
+        }
+
+        fn name(&self) -> &str {
+            "obs-probe"
+        }
+    }
+
+    /// Regression for the F4 double-draw bug: under certain misread noise
+    /// the observation a PM decides from must be the exact `next_obs` it
+    /// received at the end of the preceding slice — not a fresh re-roll of
+    /// the noise on the same true state.
+    #[test]
+    fn noisy_decide_obs_equals_preceding_next_obs() {
+        let decides = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let observes = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let power = presets::three_state_generic();
+        let probe = ObsProbe {
+            target: power.highest_power_state(),
+            decides: decides.clone(),
+            observes: observes.clone(),
+        };
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.4).unwrap().build(),
+            Box::new(probe),
+            SimConfig {
+                noise: ObservationNoise {
+                    queue_misread_prob: 1.0,
+                    idle_jitter: 2,
+                },
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let steps = 200;
+        for _ in 0..steps {
+            sim.step();
+        }
+        let decides = decides.lock().unwrap();
+        let observes = observes.lock().unwrap();
+        assert_eq!(decides.len(), steps);
+        assert_eq!(observes.len(), steps);
+        for i in 1..steps {
+            assert_eq!(
+                decides[i],
+                observes[i - 1],
+                "slice {i}: decide must reuse the preceding observe's next_obs"
+            );
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ use qdpm_device::{PowerModel, ServiceModel, Step};
 use qdpm_mdp::{build_dpm_mdp, solvers, CostWeights};
 use qdpm_workload::{PiecewiseStationary, Segment, WorkloadSpec};
 
+use crate::parallel::{self, GridParams, ScenarioCell, ScenarioGrid, ScenarioWorkload};
 use crate::policies::MdpPolicyController;
 use crate::{SimConfig, SimError, Simulator, WindowPoint};
 
@@ -185,16 +186,37 @@ pub fn convergence_ratios_over_seeds(
     seeds: &[u64],
     tail_windows: usize,
 ) -> Result<Vec<f64>, SimError> {
-    let mut ratios = Vec::with_capacity(seeds.len());
-    for &seed in seeds {
+    convergence_ratios_over_seeds_threaded(power, service, params, seeds, tail_windows, 1)
+}
+
+/// [`convergence_ratios_over_seeds`] on the parallel runner: each seed's
+/// run is independent, so the returned ratios are identical at any thread
+/// count (seed order is preserved).
+///
+/// # Errors
+///
+/// Propagates construction and solver errors.
+pub fn convergence_ratios_over_seeds_threaded(
+    power: &PowerModel,
+    service: &ServiceModel,
+    params: &ConvergenceParams,
+    seeds: &[u64],
+    tail_windows: usize,
+    threads: usize,
+) -> Result<Vec<f64>, SimError> {
+    parallel::run_indexed(seeds, threads, |_, &seed| {
         let run = ConvergenceParams {
             seed,
             ..params.clone()
         };
         let report = run_convergence(power, service, &run)?;
-        ratios.push(tail_mean_cost(&report.qdpm, tail_windows) / report.optimal_gain);
-    }
-    Ok(ratios)
+        Ok(ratio_to_gain(
+            tail_mean_cost(&report.qdpm, tail_windows),
+            report.optimal_gain,
+        ))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Mean and sample standard deviation of a ratio collection.
@@ -600,25 +622,239 @@ pub fn run_drift(
 pub struct SweepRow {
     /// Device preset name.
     pub device: String,
-    /// Arrival probability.
+    /// Workload label of the cell.
+    pub workload: String,
+    /// Mean arrival rate of the workload (`NaN` when not analytically
+    /// defined).
     pub arrival_p: f64,
-    /// Service completion probability.
+    /// Service completion probability (`NaN` for non-geometric services).
     pub service_p: f64,
-    /// Analytic optimal average cost (RVI gain).
+    /// Analytic optimal average cost (RVI gain); `NaN` when the workload
+    /// exports no Markovian reference model.
     pub optimal_gain: f64,
     /// Q-DPM measured average cost over the evaluation stretch.
     pub qdpm_cost: f64,
-    /// Ratio `qdpm_cost / optimal_gain` (1.0 = optimal).
+    /// Ratio `qdpm_cost / optimal_gain` (1.0 = optimal). `NaN` is the
+    /// documented sentinel for a missing or degenerate (non-positive)
+    /// reference gain — see [`ratio_to_gain`]; aggregate with
+    /// [`sweep_ratio_summary`], which skips it.
     pub ratio: f64,
     /// Q-DPM energy reduction vs always-on over the evaluation stretch.
     pub energy_reduction: f64,
     /// Q-DPM mean waiting time of completed requests.
     pub mean_wait: f64,
+    /// The cell's derived seed (reproducibility record).
+    pub seed: u64,
+}
+
+/// Cost ratio `cost / gain`, guarded: returns the `NaN` sentinel when
+/// `gain` is non-finite or non-positive (a degenerate model whose optimal
+/// cost is zero, or a non-Markovian workload with no reference at all)
+/// instead of dividing. Callers aggregating ratios must skip non-finite
+/// values; [`sweep_ratio_summary`] does.
+#[must_use]
+pub fn ratio_to_gain(cost: f64, gain: f64) -> f64 {
+    if gain.is_finite() && gain > 0.0 {
+        cost / gain
+    } else {
+        f64::NAN
+    }
+}
+
+/// Mean ratio, worst ratio and the count of cells with a *finite* ratio
+/// (cells carrying the `NaN` no-reference sentinel are skipped rather than
+/// silently poisoning the aggregate).
+#[must_use]
+pub fn sweep_ratio_summary(rows: &[SweepRow]) -> (f64, f64, usize) {
+    let valid: Vec<f64> = rows
+        .iter()
+        .map(|r| r.ratio)
+        .filter(|r| r.is_finite())
+        .collect();
+    if valid.is_empty() {
+        return (f64::NAN, f64::NAN, 0);
+    }
+    let mean = valid.iter().sum::<f64>() / valid.len() as f64;
+    let worst = valid.iter().cloned().fold(f64::MIN, f64::max);
+    (mean, worst, valid.len())
+}
+
+/// Trains and evaluates Q-DPM on one scenario cell and compares it to the
+/// cell's analytic reference (when one exists). This is the unit of work
+/// of the parallel grid runner; it depends only on the cell's own content,
+/// which is what makes parallel output byte-identical to serial.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors.
+pub fn run_sweep_cell(cell: &ScenarioCell) -> Result<SweepRow, SimError> {
+    let reference =
+        cell.kind
+            .reference_gain(&cell.power, &cell.service, cell.queue_cap, &cell.weights)?;
+    evaluate_cell(cell, reference.unwrap_or(f64::NAN))
+}
+
+/// [`run_sweep_cell`] with the analytic reference gain already solved
+/// (`NaN` = no reference): lets [`run_grid`] share one RVI solve across
+/// replicates of the same scenario instead of re-solving per cell.
+fn evaluate_cell(cell: &ScenarioCell, gain: f64) -> Result<SweepRow, SimError> {
+    // Exploration schedule scaled to the training budget: decay reaches
+    // the floor at ~70% of training, leaving a near-greedy
+    // evaluation-ready policy.
+    let eps0: f64 = 0.4;
+    let min_epsilon = 0.005;
+    let decay = (min_epsilon / eps0).powf(1.0 / (0.7 * cell.train as f64).max(1.0));
+    let agent = QDpmAgent::new(
+        &cell.power,
+        QDpmConfig {
+            queue_cap: cell.queue_cap,
+            weights: cell.weights,
+            exploration: qdpm_core::Exploration::DecayingEpsilon {
+                epsilon0: eps0,
+                decay,
+                min_epsilon,
+            },
+            ..QDpmConfig::default()
+        },
+    )?;
+    let mut sim = Simulator::new(
+        cell.power.clone(),
+        cell.service,
+        cell.kind.build()?,
+        Box::new(agent),
+        SimConfig {
+            seed: cell.seed,
+            weights: cell.weights,
+            queue_cap: cell.queue_cap,
+            ..SimConfig::default()
+        },
+    )?;
+    sim.run(cell.train);
+    let eval = sim.run(cell.evaluate);
+    let p_on = cell.power.state(cell.power.highest_power_state()).power;
+    Ok(SweepRow {
+        device: cell.device.clone(),
+        workload: cell.workload.clone(),
+        arrival_p: cell.kind.mean_rate().unwrap_or(f64::NAN),
+        service_p: cell.service.completion_probability().unwrap_or(f64::NAN),
+        optimal_gain: gain,
+        qdpm_cost: eval.avg_cost(),
+        ratio: ratio_to_gain(eval.avg_cost(), gain),
+        energy_reduction: eval.energy_reduction_vs(p_on),
+        mean_wait: eval.mean_wait(),
+        seed: cell.seed,
+    })
+}
+
+/// Whether two cells describe the same scenario up to the seed — i.e.
+/// replicates, which share one analytic reference gain.
+fn same_scenario(a: &ScenarioCell, b: &ScenarioCell) -> bool {
+    a.device == b.device
+        && a.workload == b.workload
+        && a.kind == b.kind
+        && a.service == b.service
+        && a.queue_cap == b.queue_cap
+        && a.weights == b.weights
+}
+
+/// Runs every cell of a [`ScenarioGrid`] on `threads` workers and returns
+/// the rows in cell order — byte-identical to the serial (`threads == 1`)
+/// path at any worker count.
+///
+/// The analytic reference gain depends on everything in a cell *except*
+/// its seed, so it is solved once per scenario and shared across that
+/// scenario's replicates (RVI is deterministic; sharing cannot change any
+/// row) instead of re-solving per cell.
+///
+/// # Errors
+///
+/// Propagates the first cell error in cell order.
+pub fn run_grid(grid: &ScenarioGrid, threads: usize) -> Result<Vec<SweepRow>, SimError> {
+    let cells = grid.cells();
+    // Replicates are innermost and contiguous in `ScenarioGrid::cartesian`,
+    // so a cell's scenario representative sits `replicate` slots back;
+    // `same_scenario` re-checks rather than trusting the layout.
+    let base_of: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            let base = i.saturating_sub(cell.replicate);
+            if same_scenario(cell, &cells[base]) {
+                base
+            } else {
+                i
+            }
+        })
+        .collect();
+    let bases: Vec<usize> = base_of
+        .iter()
+        .enumerate()
+        .filter(|&(i, &base)| i == base)
+        .map(|(i, _)| i)
+        .collect();
+    let solved = parallel::run_indexed(&bases, threads, |_, &base| {
+        let cell = &cells[base];
+        cell.kind
+            .reference_gain(&cell.power, &cell.service, cell.queue_cap, &cell.weights)
+    });
+    let mut gain_of_base = vec![f64::NAN; cells.len()];
+    for (&base, reference) in bases.iter().zip(solved) {
+        gain_of_base[base] = reference?.unwrap_or(f64::NAN);
+    }
+    parallel::run_indexed(cells, threads, |i, cell| {
+        evaluate_cell(cell, gain_of_base[base_of[i]])
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Builds the classic T4 grid — devices × Bernoulli arrival rates ×
+/// geometric service rates, one replicate — with per-cell derived seeds
+/// (`parallel::derive_cell_seed(seed, index)`; every cell draws an
+/// independent arrival stream instead of sharing the master seed).
+///
+/// # Errors
+///
+/// Propagates workload/service validation errors.
+pub fn bernoulli_sweep_grid(
+    devices: &[(String, PowerModel)],
+    arrival_ps: &[f64],
+    service_ps: &[f64],
+    train: Step,
+    evaluate: Step,
+    seed: u64,
+) -> Result<ScenarioGrid, SimError> {
+    let workloads = arrival_ps
+        .iter()
+        .map(|&p| {
+            Ok((
+                format!("bernoulli(p={p})"),
+                ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(p)?),
+            ))
+        })
+        .collect::<Result<Vec<_>, SimError>>()?;
+    let services = service_ps
+        .iter()
+        .map(|&sp| Ok(ServiceModel::geometric(sp)?))
+        .collect::<Result<Vec<_>, SimError>>()?;
+    Ok(ScenarioGrid::cartesian(
+        devices,
+        &workloads,
+        &services,
+        1,
+        &GridParams {
+            queue_cap: 8,
+            weights: RewardWeights::default(),
+            train,
+            evaluate,
+            master_seed: seed,
+        },
+    ))
 }
 
 /// Runs the "many cases" sweep (T4): Q-DPM trained then evaluated on a grid
 /// of devices and workload/service rates, each compared to its analytic
-/// optimum.
+/// optimum. Serial entry point; see [`run_sweep_threaded`].
 ///
 /// # Errors
 ///
@@ -631,72 +867,52 @@ pub fn run_sweep(
     evaluate: Step,
     seed: u64,
 ) -> Result<Vec<SweepRow>, SimError> {
-    let mut rows = Vec::new();
-    let weights = RewardWeights::default();
-    for (name, power) in devices {
-        for &ap in arrival_ps {
-            for &sp in service_ps {
-                let service = ServiceModel::geometric(sp)?;
-                let spec = WorkloadSpec::bernoulli(ap)?;
-                let arrivals = spec.markov_model().expect("bernoulli is markovian");
-                let model = build_dpm_mdp(power, &service, &arrivals, 8, weights.drop_penalty)?;
-                let cost = model.mdp.combined_cost(
-                    CostWeights::new(weights.energy, weights.perf).map_err(SimError::Mdp)?,
-                );
-                let opt = solvers::relative_value_iteration(&model.mdp, &cost, 1e-9, 500_000)
-                    .map_err(SimError::Mdp)?;
+    run_sweep_threaded(devices, arrival_ps, service_ps, train, evaluate, seed, 1)
+}
 
-                // Exploration schedule scaled to the training budget:
-                // decay reaches the floor at ~70% of training, leaving a
-                // near-greedy evaluation-ready policy.
-                let eps0: f64 = 0.4;
-                let min_epsilon = 0.005;
-                let decay = (min_epsilon / eps0).powf(1.0 / (0.7 * train as f64).max(1.0));
-                let agent = QDpmAgent::new(
-                    power,
-                    QDpmConfig {
-                        queue_cap: 8,
-                        weights,
-                        exploration: qdpm_core::Exploration::DecayingEpsilon {
-                            epsilon0: eps0,
-                            decay,
-                            min_epsilon,
-                        },
-                        ..QDpmConfig::default()
-                    },
-                )?;
-                let mut sim = Simulator::new(
-                    power.clone(),
-                    service,
-                    spec.build(),
-                    Box::new(agent),
-                    SimConfig {
-                        seed,
-                        weights,
-                        ..SimConfig::default()
-                    },
-                )?;
-                sim.run(train);
-                let eval = sim.run(evaluate);
-                let p_on = power.state(power.highest_power_state()).power;
-                rows.push(SweepRow {
-                    device: name.clone(),
-                    arrival_p: ap,
-                    service_p: sp,
-                    optimal_gain: opt.gain,
-                    qdpm_cost: eval.avg_cost(),
-                    ratio: if opt.gain > 0.0 {
-                        eval.avg_cost() / opt.gain
-                    } else {
-                        f64::NAN
-                    },
-                    energy_reduction: eval.energy_reduction_vs(p_on),
-                    mean_wait: eval.mean_wait(),
-                });
-            }
-        }
+/// [`run_sweep`] on `threads` workers — same rows, byte-identical, at any
+/// worker count.
+///
+/// # Errors
+///
+/// Propagates construction and solver errors.
+pub fn run_sweep_threaded(
+    devices: &[(String, PowerModel)],
+    arrival_ps: &[f64],
+    service_ps: &[f64],
+    train: Step,
+    evaluate: Step,
+    seed: u64,
+    threads: usize,
+) -> Result<Vec<SweepRow>, SimError> {
+    let grid = bernoulli_sweep_grid(devices, arrival_ps, service_ps, train, evaluate, seed)?;
+    run_grid(&grid, threads)
+}
+
+/// Formats sweep rows as the canonical T4 TSV body (header + one row per
+/// cell). Shared by the `table_sweep` bin and the determinism suite so
+/// "byte-identical TSV" is checked against the exact production format.
+#[must_use]
+pub fn sweep_rows_to_tsv(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "device\tworkload\tarrival_p\tservice_p\toptimal_gain\tqdpm_cost\tratio\tenergy_reduction\tmean_wait\tseed\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{}\t{}\t{:.4}\t{:.2}\t{:.5}\t{:.5}\t{:.3}\t{:.3}\t{:.2}\t{}\n",
+            r.device,
+            r.workload,
+            r.arrival_p,
+            r.service_p,
+            r.optimal_gain,
+            r.qdpm_cost,
+            r.ratio,
+            r.energy_reduction,
+            r.mean_wait,
+            r.seed
+        ));
     }
-    Ok(rows)
+    out
 }
 
 /// Analytic optimal average cost for a Bernoulli workload (helper shared by
@@ -738,12 +954,14 @@ pub fn series_to_tsv(points: &[WindowPoint]) -> String {
 }
 
 /// Mean cost-per-slice of the last `k` windows of a series (convergence
-/// summary).
+/// summary). `k == 0` means the whole series (previously this divided
+/// 0 by 0 and returned `NaN`); an empty series still returns `NaN`.
 #[must_use]
 pub fn tail_mean_cost(points: &[WindowPoint], k: usize) -> f64 {
     if points.is_empty() {
         return f64::NAN;
     }
+    let k = if k == 0 { points.len() } else { k };
     let tail = &points[points.len().saturating_sub(k)..];
     tail.iter().map(|p| p.cost_per_slice).sum::<f64>() / tail.len() as f64
 }
@@ -860,6 +1078,97 @@ mod tests {
             assert!(row.qdpm_cost > 0.0);
             assert!(row.ratio.is_finite());
         }
+        // The seeding bugfix: cells must not share the master seed — each
+        // gets the pinned splitmix derivation of (master, cell index).
+        assert_eq!(rows[0].seed, crate::parallel::derive_cell_seed(3, 0));
+        assert_eq!(rows[1].seed, crate::parallel::derive_cell_seed(3, 1));
+        assert_ne!(rows[0].seed, rows[1].seed);
+    }
+
+    #[test]
+    fn run_grid_shared_reference_matches_per_cell_solves() {
+        // `run_grid` solves the analytic reference once per scenario and
+        // shares it across replicates; every row must still equal the
+        // unshared `run_sweep_cell` path exactly.
+        let devices = vec![("three-state".to_string(), presets::three_state_generic())];
+        let workloads = vec![(
+            "bern-0.1".to_string(),
+            ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.1).unwrap()),
+        )];
+        let services = vec![qdpm_device::presets::default_service()];
+        let grid = ScenarioGrid::cartesian(
+            &devices,
+            &workloads,
+            &services,
+            2,
+            &GridParams {
+                train: 3_000,
+                evaluate: 1_000,
+                master_seed: 9,
+                ..GridParams::default()
+            },
+        );
+        let shared = run_grid(&grid, 2).unwrap();
+        let per_cell: Vec<SweepRow> = grid
+            .cells()
+            .iter()
+            .map(|c| run_sweep_cell(c).unwrap())
+            .collect();
+        assert_eq!(sweep_rows_to_tsv(&shared), sweep_rows_to_tsv(&per_cell));
+        // Replicates share the gain but not the seed.
+        assert_eq!(shared[0].optimal_gain, shared[1].optimal_gain);
+        assert_ne!(shared[0].seed, shared[1].seed);
+    }
+
+    #[test]
+    fn tail_mean_cost_k_zero_is_full_series_mean() {
+        let mk = |cost: f64| WindowPoint {
+            end: 0,
+            energy_per_slice: 0.0,
+            cost_per_slice: cost,
+            avg_queue: 0.0,
+            dropped: 0,
+            energy_reduction: 0.0,
+        };
+        let pts = vec![mk(1.0), mk(2.0), mk(6.0)];
+        assert!((tail_mean_cost(&pts, 0) - 3.0).abs() < 1e-12);
+        assert!((tail_mean_cost(&pts, 2) - 4.0).abs() < 1e-12);
+        // `k` larger than the series is clamped to the whole series.
+        assert!((tail_mean_cost(&pts, 10) - 3.0).abs() < 1e-12);
+        assert!(tail_mean_cost(&[], 0).is_nan());
+        assert!(tail_mean_cost(&[], 5).is_nan());
+    }
+
+    #[test]
+    fn ratio_guard_sentinels() {
+        assert!((ratio_to_gain(2.0, 4.0) - 0.5).abs() < 1e-12);
+        assert!(ratio_to_gain(2.0, 0.0).is_nan());
+        assert!(ratio_to_gain(2.0, -1.0).is_nan());
+        assert!(ratio_to_gain(2.0, f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn sweep_summary_skips_nan_sentinels() {
+        let mk = |ratio: f64| SweepRow {
+            device: "d".into(),
+            workload: "w".into(),
+            arrival_p: 0.1,
+            service_p: 0.6,
+            optimal_gain: 1.0,
+            qdpm_cost: ratio,
+            ratio,
+            energy_reduction: 0.0,
+            mean_wait: 0.0,
+            seed: 0,
+        };
+        let rows = vec![mk(1.0), mk(f64::NAN), mk(3.0)];
+        let (mean, worst, n) = sweep_ratio_summary(&rows);
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert!((worst - 3.0).abs() < 1e-12);
+        assert_eq!(n, 2);
+        let (mean, worst, n) = sweep_ratio_summary(&[mk(f64::NAN)]);
+        assert!(mean.is_nan() && worst.is_nan());
+        assert_eq!(n, 0);
     }
 
     #[test]

@@ -20,19 +20,28 @@
 //!   re-optimizer pipeline the paper compares against in Fig. 2.
 //!
 //! The [`experiment`] module packages the paper's evaluation: Fig. 1
-//! convergence, Fig. 2 rapid response, and the robustness sweep.
+//! convergence, Fig. 2 rapid response, and the robustness sweep. The
+//! [`parallel`] module scales those evaluations: a deterministic sharded
+//! grid runner ([`parallel::run_indexed`]) plus the
+//! [`parallel::ScenarioGrid`] abstraction over arbitrary
+//! (device × workload × service × replicate) experiment grids — parallel
+//! output is byte-identical to the serial path at any thread count.
 
 mod adaptive;
 mod engine;
 mod error;
 pub mod experiment;
 mod metrics;
+pub mod parallel;
 pub mod policies;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveSolver, ModelBasedAdaptive};
 pub use engine::{ObservationNoise, SimConfig, Simulator};
 pub use error::SimError;
 pub use metrics::{RunStats, SeriesRecorder, WindowPoint};
+pub use parallel::{
+    derive_cell_seed, run_indexed, GridParams, ScenarioCell, ScenarioGrid, ScenarioWorkload,
+};
 pub use policies::{
     AdaptiveTimeout, AlwaysOn, FixedTimeout, GreedyOff, MdpPolicyController, Oracle,
 };

@@ -64,7 +64,11 @@ pub type Step = u64;
 /// then advance their internal state (e.g. the hidden Markov mode). Sampling
 /// uses an externally supplied RNG so an entire simulation can share one
 /// seeded stream.
-pub trait RequestGenerator: std::fmt::Debug {
+///
+/// `Send` is a supertrait so boxed generators (and the simulators owning
+/// them) can be moved onto the worker threads of the parallel experiment
+/// runner in `qdpm-sim`.
+pub trait RequestGenerator: std::fmt::Debug + Send {
     /// Samples the number of requests arriving in the current slice, then
     /// advances the generator's internal state by one slice.
     fn next_arrivals(&mut self, rng: &mut dyn Rng) -> u32;

@@ -16,7 +16,7 @@
 //! | [`device`] (`qdpm-device`) | power state machines, service models, bounded queues, literature device presets |
 //! | [`workload`] (`qdpm-workload`) | synthetic requesters (Bernoulli, MMPP, bursty, Pareto, periodic, traces), piecewise-stationary composition, online estimators & change detection |
 //! | [`mdp`] (`qdpm-mdp`) | exact DTMDP compilation of a DPM system, value/policy iteration, average-cost solver, occupation-measure LP on an in-repo simplex |
-//! | [`sim`] (`qdpm-sim`) | the discrete-time simulator, baseline power managers (timeouts, oracle, model-based adaptive pipeline), metrics, experiment runners |
+//! | [`sim`] (`qdpm-sim`) | the discrete-time simulator, baseline power managers (timeouts, oracle, model-based adaptive pipeline), metrics, experiment runners, deterministic parallel grid runner (`sim::parallel`) |
 //!
 //! # Quickstart
 //!
