@@ -1,0 +1,167 @@
+//! `bench_report` — records the repo's performance trajectory.
+//!
+//! Measures steady-state simulation throughput (slices per second) on
+//! pinned scenarios — serial single-simulator runs per policy, plus a
+//! parallel grid driven through `qdpm_sim::parallel::run_indexed` — and
+//! writes the result to `BENCH_throughput.json` at the workspace root.
+//! Every PR regenerates the file (CI runs `--quick` and uploads it as an
+//! artifact), so the sequence of JSONs across PRs is the throughput
+//! trajectory of the hot path.
+//!
+//! Usage: `cargo run --release -p qdpm-bench --bin bench_report -- [--quick] [--threads N]`
+//!
+//! Flags: `--quick` shrinks the slice budgets for CI; `--threads N` pins
+//! the parallel-grid worker count (default: host parallelism).
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use qdpm_bench::{has_flag, standard_device, threads_from_args, workspace_root};
+use qdpm_core::{
+    FuzzyConfig, FuzzyQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent,
+};
+use qdpm_sim::parallel::{derive_cell_seed, run_indexed};
+use qdpm_sim::{policies, SimConfig, Simulator};
+use qdpm_workload::WorkloadSpec;
+
+/// The pinned serial scenario: the paper's standard three-state device,
+/// geometric service, Bernoulli(0.1) arrivals, master seed 42.
+const ARRIVAL_P: f64 = 0.1;
+const SEED: u64 = 42;
+
+fn build_pm(policy: &str) -> Box<dyn PowerManager> {
+    let (power, _) = standard_device();
+    match policy {
+        "always_on" => Box::new(policies::AlwaysOn::new(&power)),
+        "fixed_timeout" => Box::new(policies::FixedTimeout::break_even(&power)),
+        "q_dpm" => Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        "qos_q_dpm" => Box::new(QosQDpmAgent::new(&power, QosConfig::default()).unwrap()),
+        "fuzzy_q_dpm" => {
+            Box::new(FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap())
+        }
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+fn build_sim(policy: &str, seed: u64) -> Simulator {
+    let (power, service) = standard_device();
+    Simulator::new(
+        power,
+        service,
+        WorkloadSpec::bernoulli(ARRIVAL_P).unwrap().build(),
+        build_pm(policy),
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Steady-state slices/sec of one policy: warm up (table population,
+/// caches), then time a long stretch.
+fn serial_throughput(policy: &str, warmup: u64, measure: u64) -> f64 {
+    let mut sim = build_sim(policy, SEED);
+    sim.run(warmup);
+    let start = Instant::now();
+    sim.run(measure);
+    measure as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Wall-clock seconds to run `cells` independent Q-DPM simulations of
+/// `slices_per_cell` slices each on `threads` workers.
+fn grid_seconds(cells: usize, slices_per_cell: u64, threads: usize) -> f64 {
+    let seeds: Vec<u64> = (0..cells)
+        .map(|i| derive_cell_seed(SEED, i as u64))
+        .collect();
+    let start = Instant::now();
+    let stats = run_indexed(&seeds, threads, |_, &seed| {
+        let mut sim = build_sim("q_dpm", seed);
+        sim.run(slices_per_cell)
+    });
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(stats.len(), cells, "every cell must complete");
+    secs
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let threads = threads_from_args();
+    let (warmup, measure, cells, slices_per_cell) = if quick {
+        (20_000u64, 200_000u64, 8usize, 50_000u64)
+    } else {
+        (100_000u64, 2_000_000u64, 8usize, 500_000u64)
+    };
+
+    let policies = [
+        "always_on",
+        "fixed_timeout",
+        "q_dpm",
+        "qos_q_dpm",
+        "fuzzy_q_dpm",
+    ];
+    let mut policy_lines = Vec::new();
+    for policy in policies {
+        let sps = serial_throughput(policy, warmup, measure);
+        eprintln!("serial {policy}: {sps:.0} slices/sec");
+        policy_lines.push(format!("      \"{policy}\": {sps:.1}"));
+    }
+
+    let serial_secs = grid_seconds(cells, slices_per_cell, 1);
+    let parallel_secs = grid_seconds(cells, slices_per_cell, threads);
+    let grid_slices = (cells as u64 * slices_per_cell) as f64;
+    let speedup = serial_secs / parallel_secs;
+    eprintln!(
+        "grid ({cells} cells x {slices_per_cell} slices): serial {:.0} slices/sec, \
+         {threads}-thread {:.0} slices/sec, speedup {speedup:.2}x",
+        grid_slices / serial_secs,
+        grid_slices / parallel_secs,
+    );
+
+    let generated_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let json = format!(
+        "{{\n\
+         \x20 \"schema\": \"qdpm-bench-throughput/v1\",\n\
+         \x20 \"generated_unix\": {generated_unix},\n\
+         \x20 \"quick\": {quick},\n\
+         \x20 \"machine\": {{\n\
+         \x20   \"os\": \"{os}\",\n\
+         \x20   \"arch\": \"{arch}\",\n\
+         \x20   \"cpus\": {cpus}\n\
+         \x20 }},\n\
+         \x20 \"serial\": {{\n\
+         \x20   \"scenario\": \"three_state_generic + geometric service + bernoulli({p:.2}), seed {seed}\",\n\
+         \x20   \"warmup_slices\": {warmup},\n\
+         \x20   \"measured_slices\": {measure},\n\
+         \x20   \"slices_per_sec\": {{\n{policies}\n\
+         \x20   }}\n\
+         \x20 }},\n\
+         \x20 \"parallel_grid\": {{\n\
+         \x20   \"policy\": \"q_dpm\",\n\
+         \x20   \"cells\": {cells},\n\
+         \x20   \"slices_per_cell\": {slices_per_cell},\n\
+         \x20   \"threads\": {threads},\n\
+         \x20   \"serial_slices_per_sec\": {gser:.1},\n\
+         \x20   \"parallel_slices_per_sec\": {gpar:.1},\n\
+         \x20   \"speedup\": {speedup:.3}\n\
+         \x20 }}\n\
+         }}\n",
+        os = std::env::consts::OS,
+        arch = std::env::consts::ARCH,
+        cpus = qdpm_sim::parallel::available_threads(),
+        p = ARRIVAL_P,
+        seed = SEED,
+        policies = policy_lines.join(",\n"),
+        gser = grid_slices / serial_secs,
+        gpar = grid_slices / parallel_secs,
+    );
+
+    let path = workspace_root().join("BENCH_throughput.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+    print!("{json}");
+}

@@ -92,6 +92,14 @@ fn manifest_declares_workspace(manifest: &str) -> bool {
     })
 }
 
+/// The workspace root this crate lives in (nearest ancestor whose manifest
+/// declares `[workspace]`), or `.` when none is found — where repo-level
+/// artifacts like `BENCH_throughput.json` belong.
+#[must_use]
+pub fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).unwrap_or_else(|| PathBuf::from("."))
+}
+
 /// The directory results files are mirrored into: `$QDPM_RESULTS_DIR` when
 /// set, else `<workspace root>/results`, else `./results` as a last resort
 /// (e.g. binaries run outside any Cargo checkout).
@@ -100,9 +108,7 @@ pub fn results_dir() -> PathBuf {
     if let Some(dir) = std::env::var_os("QDPM_RESULTS_DIR") {
         return PathBuf::from(dir);
     }
-    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
-        .unwrap_or_else(|| PathBuf::from("."))
-        .join("results")
+    workspace_root().join("results")
 }
 
 /// Writes `content` to [`results_dir`]`/<name>` (best effort) and returns

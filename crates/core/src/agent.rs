@@ -5,7 +5,8 @@ use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
 
 use crate::variants::TabularLearner;
 use crate::{
-    CoreError, DpmStateEncoder, Exploration, LearningRate, Observation, QLearner, StateEncoder,
+    CoreError, DpmStateEncoder, Exploration, LearningRate, LegalActionTable, Observation, QLearner,
+    StateEncoder,
 };
 
 /// Per-slice outcome reported back to a power manager after its command
@@ -138,7 +139,8 @@ pub trait PowerManager: std::fmt::Debug + Send {
 pub struct GenericQDpmAgent<L> {
     learner: L,
     encoder: DpmStateEncoder,
-    power: PowerModel,
+    /// Precomputed per-mode legal-action sets (no per-slice allocation).
+    legal: LegalActionTable,
     weights: RewardWeights,
     /// `(state, action)` of the decision awaiting feedback.
     pending: Option<(usize, usize)>,
@@ -203,7 +205,7 @@ impl QDpmAgent {
         Ok(QDpmAgent {
             learner,
             encoder,
-            power: power.clone(),
+            legal: LegalActionTable::new(power),
             weights: config.weights,
             pending: None,
             name: "q-dpm".to_string(),
@@ -293,7 +295,7 @@ impl<L: TabularLearner> GenericQDpmAgent<L> {
         Ok(GenericQDpmAgent {
             learner,
             encoder,
-            power: power.clone(),
+            legal: LegalActionTable::new(power),
             weights: config.weights,
             pending: None,
             name,
@@ -315,17 +317,12 @@ impl<L: TabularLearner> GenericQDpmAgent<L> {
 
     /// Legal command targets in the given device mode: stay or any defined
     /// transition when operational; "stay the course" mid-transition.
+    ///
+    /// Served from the [`LegalActionTable`] precomputed at construction,
+    /// so the call is allocation-free.
     #[must_use]
-    pub fn legal_actions(&self, mode: DeviceMode) -> Vec<usize> {
-        match mode {
-            DeviceMode::Operational(s) => {
-                let mut acts = vec![s.index()];
-                acts.extend(self.power.commands_from(s).map(PowerStateId::index));
-                acts.sort_unstable();
-                acts
-            }
-            DeviceMode::Transitioning { to, .. } => vec![to.index()],
-        }
+    pub fn legal_actions(&self, mode: DeviceMode) -> &[usize] {
+        self.legal.legal(mode)
     }
 
     /// Learned-table footprint in bytes.
@@ -346,16 +343,19 @@ impl<L: TabularLearner> GenericQDpmAgent<L> {
     #[must_use]
     pub fn greedy_action(&self, obs: &Observation) -> PowerStateId {
         let s = self.encoder.encode(obs);
-        let legal = self.legal_actions(obs.device_mode);
-        PowerStateId::from_index(self.learner.best_action(s, &legal))
+        let legal = self.legal.legal(obs.device_mode);
+        PowerStateId::from_index(self.learner.best_action(s, legal))
     }
 }
 
 impl<L: TabularLearner> PowerManager for GenericQDpmAgent<L> {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
         let s = self.encoder.encode(obs);
-        let legal = self.legal_actions(obs.device_mode);
-        let a = self.learner.select_action(s, &legal, rng);
+        // Field-level borrow: the legal slice borrows `self.legal` while
+        // the learner is borrowed mutably.
+        let a = self
+            .learner
+            .select_action(s, self.legal.legal(obs.device_mode), rng);
         self.pending = Some((s, a));
         PowerStateId::from_index(a)
     }
@@ -366,8 +366,8 @@ impl<L: TabularLearner> PowerManager for GenericQDpmAgent<L> {
         };
         let reward = self.weights.reward(outcome);
         let next_s = self.encoder.encode(next_obs);
-        let next_legal = self.legal_actions(next_obs.device_mode);
-        self.learner.update(s, a, reward, next_s, &next_legal);
+        self.learner
+            .update(s, a, reward, next_s, self.legal.legal(next_obs.device_mode));
     }
 
     fn name(&self) -> &str {

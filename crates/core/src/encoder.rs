@@ -1,7 +1,8 @@
 use serde::{Deserialize, Serialize};
 
-use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
+use qdpm_device::{DeviceMode, PowerModel};
 
+use crate::legal::TransientModeIndex;
 use crate::CoreError;
 
 /// What the power manager can observe at the start of a slice.
@@ -95,7 +96,10 @@ impl IdleBuckets {
     fn bucket(&self, idle: u64) -> usize {
         match self {
             IdleBuckets::None => 0,
-            IdleBuckets::Thresholds(t) => t.iter().take_while(|&&th| idle >= th).count(),
+            // Thresholds are validated strictly increasing, so `idle >= th`
+            // is monotone over the vector and the bucket is the partition
+            // point — O(log n) instead of the former linear scan.
+            IdleBuckets::Thresholds(t) => t.partition_point(|&th| idle >= th),
         }
     }
 }
@@ -111,12 +115,11 @@ impl IdleBuckets {
 /// which is what lets Fig. 1 show convergence *to* the analytic optimum.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DpmStateEncoder {
-    n_dev_modes: usize,
-    /// `(from, to, remaining)` -> device mode index (after operational).
-    transient_index: Vec<(usize, usize, u32)>,
+    /// Dense O(1) device-mode lookup (operational + transient modes, in
+    /// the pinned enumeration order).
+    modes: TransientModeIndex,
     queue: QueueBuckets,
     idle: IdleBuckets,
-    n_power_states: usize,
 }
 
 impl DpmStateEncoder {
@@ -146,25 +149,12 @@ impl DpmStateEncoder {
                 ));
             }
         }
-        // Enumerate transient modes exactly like the device walks them.
-        let n_op = power.n_states();
-        let mut transient_index = Vec::new();
-        for from in 0..n_op {
-            for to in power.commands_from(PowerStateId::from_index(from)) {
-                let spec = power
-                    .transition(PowerStateId::from_index(from), to)
-                    .expect("commands_from yields defined transitions");
-                for remaining in 1..=spec.latency {
-                    transient_index.push((from, to.index(), remaining));
-                }
-            }
-        }
+        // Transient modes are enumerated exactly like the device walks
+        // them; `TransientModeIndex` pins the order and gives O(1) lookup.
         Ok(DpmStateEncoder {
-            n_dev_modes: n_op + transient_index.len(),
-            transient_index,
+            modes: TransientModeIndex::new(power),
             queue,
             idle,
-            n_power_states: n_op,
         })
     }
 
@@ -183,34 +173,15 @@ impl DpmStateEncoder {
             IdleBuckets::None,
         )
     }
-
-    fn dev_index(&self, mode: DeviceMode) -> usize {
-        match mode {
-            DeviceMode::Operational(s) => s.index(),
-            DeviceMode::Transitioning {
-                from,
-                to,
-                remaining,
-            } => {
-                let key = (from.index(), to.index(), remaining);
-                self.n_power_states
-                    + self
-                        .transient_index
-                        .iter()
-                        .position(|&k| k == key)
-                        .expect("unknown transient mode for this power model")
-            }
-        }
-    }
 }
 
 impl StateEncoder for DpmStateEncoder {
     fn n_states(&self) -> usize {
-        self.n_dev_modes * self.queue.n_buckets() * self.idle.n_buckets()
+        self.modes.n_modes() * self.queue.n_buckets() * self.idle.n_buckets()
     }
 
     fn encode(&self, obs: &Observation) -> usize {
-        let dev = self.dev_index(obs.device_mode);
+        let dev = self.modes.mode_index(obs.device_mode);
         let qb = self.queue.bucket(obs.queue_len);
         let ib = self.idle.bucket(obs.idle_slices);
         (dev * self.queue.n_buckets() + qb) * self.idle.n_buckets() + ib
@@ -220,7 +191,8 @@ impl StateEncoder for DpmStateEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qdpm_device::presets;
+    use proptest::prelude::*;
+    use qdpm_device::{presets, PowerStateId};
 
     fn obs(mode: DeviceMode, q: usize, idle: u64) -> Observation {
         Observation {
@@ -343,5 +315,37 @@ mod tests {
             IdleBuckets::Thresholds(vec![])
         )
         .is_err());
+    }
+
+    /// SplitMix64 finalizer: a tiny deterministic stream for building
+    /// random-but-reproducible threshold vectors inside the property test.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The binary-search bucket must agree with the former linear scan
+        /// for arbitrary strictly-increasing threshold vectors and probes.
+        #[test]
+        fn idle_bucket_matches_linear_scan(seed in 0u64..10_000, idle in 0u64..400) {
+            let mut state = seed;
+            let len = 1 + (splitmix(&mut state) % 8) as usize;
+            let mut thresholds = Vec::with_capacity(len);
+            let mut acc = 0u64;
+            for _ in 0..len {
+                acc += 1 + splitmix(&mut state) % 60; // strictly increasing
+                thresholds.push(acc);
+            }
+            let ib = IdleBuckets::Thresholds(thresholds.clone());
+            let linear = thresholds.iter().take_while(|&&th| idle >= th).count();
+            prop_assert_eq!(ib.bucket(idle), linear);
+            prop_assert!(ib.bucket(idle) < ib.n_buckets());
+        }
     }
 }

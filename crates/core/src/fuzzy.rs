@@ -20,11 +20,12 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
+use qdpm_device::{PowerModel, PowerStateId};
 
 use crate::rng_util::{uniform, uniform_index};
 use crate::{
-    CoreError, Exploration, LearningRate, Observation, PowerManager, RewardWeights, StepOutcome,
+    CoreError, Exploration, LearningRate, LegalActionTable, Observation, PowerManager,
+    RewardWeights, StepOutcome,
 };
 
 /// A one-dimensional fuzzy set with triangular/shoulder membership.
@@ -270,12 +271,12 @@ impl FuzzyConfig {
 #[derive(Debug)]
 pub struct FuzzyQDpmAgent {
     config: FuzzyConfig,
-    power: PowerModel,
     /// Q-values per `(device mode, queue set, idle set)` cell and action.
     q: Vec<f64>,
     n_cells: usize,
     n_actions: usize,
-    transient_index: Vec<(usize, usize, u32)>,
+    /// Precomputed device-mode index and per-mode legal-action sets.
+    legal: LegalActionTable,
     steps: u64,
     pending: Option<PendingFuzzy>,
     name: String,
@@ -300,25 +301,13 @@ impl FuzzyQDpmAgent {
         config.learning_rate.validate()?;
         config.exploration.validate()?;
         let n_op = power.n_states();
-        let mut transient_index = Vec::new();
-        for from in 0..n_op {
-            for to in power.commands_from(PowerStateId::from_index(from)) {
-                let spec = power
-                    .transition(PowerStateId::from_index(from), to)
-                    .expect("commands_from yields defined transitions");
-                for remaining in 1..=spec.latency {
-                    transient_index.push((from, to.index(), remaining));
-                }
-            }
-        }
-        let n_dev_modes = n_op + transient_index.len();
-        let n_cells = n_dev_modes * config.queue_var.n_sets() * config.idle_var.n_sets();
+        let legal = LegalActionTable::new(power);
+        let n_cells = legal.n_modes() * config.queue_var.n_sets() * config.idle_var.n_sets();
         Ok(FuzzyQDpmAgent {
             q: vec![0.0; n_cells * n_op],
             n_cells,
             n_actions: n_op,
-            transient_index,
-            power: power.clone(),
+            legal,
             config,
             steps: 0,
             pending: None,
@@ -338,28 +327,9 @@ impl FuzzyQDpmAgent {
         self.q.len() * std::mem::size_of::<f64>()
     }
 
-    fn dev_index(&self, mode: DeviceMode) -> usize {
-        match mode {
-            DeviceMode::Operational(s) => s.index(),
-            DeviceMode::Transitioning {
-                from,
-                to,
-                remaining,
-            } => {
-                let key = (from.index(), to.index(), remaining);
-                self.power.n_states()
-                    + self
-                        .transient_index
-                        .iter()
-                        .position(|&k| k == key)
-                        .expect("unknown transient mode for this power model")
-            }
-        }
-    }
-
     /// Active fuzzy cells of an observation with their normalized weights.
     fn cells(&self, obs: &Observation) -> Vec<(usize, f64)> {
-        let dev = self.dev_index(obs.device_mode);
+        let dev = self.legal.mode_index(obs.device_mode);
         let qm = self.config.queue_var.memberships(obs.queue_len as f64);
         let im = self.config.idle_var.memberships(obs.idle_slices as f64);
         let nq = self.config.queue_var.n_sets();
@@ -387,24 +357,12 @@ impl FuzzyQDpmAgent {
             .map(|&(c, w)| w * self.q[c * self.n_actions + a])
             .sum()
     }
-
-    fn legal_actions(&self, mode: DeviceMode) -> Vec<usize> {
-        match mode {
-            DeviceMode::Operational(s) => {
-                let mut acts = vec![s.index()];
-                acts.extend(self.power.commands_from(s).map(PowerStateId::index));
-                acts.sort_unstable();
-                acts
-            }
-            DeviceMode::Transitioning { to, .. } => vec![to.index()],
-        }
-    }
 }
 
 impl PowerManager for FuzzyQDpmAgent {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
         let cells = self.cells(obs);
-        let legal = self.legal_actions(obs.device_mode);
+        let legal = self.legal.legal(obs.device_mode);
         let eps = self.config.exploration.epsilon_at(self.steps);
         let a = if legal.len() > 1 && uniform(rng) < eps {
             legal[uniform_index(rng, legal.len())]
@@ -424,7 +382,7 @@ impl PowerManager for FuzzyQDpmAgent {
         };
         let reward = self.config.weights.reward(outcome);
         let next_cells = self.cells(next_obs);
-        let next_legal = self.legal_actions(next_obs.device_mode);
+        let next_legal = self.legal.legal(next_obs.device_mode);
         let bootstrap = next_legal
             .iter()
             .map(|&b| self.q_hat(&next_cells, b))
@@ -447,7 +405,7 @@ impl PowerManager for FuzzyQDpmAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qdpm_device::presets;
+    use qdpm_device::{presets, DeviceMode};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -111,18 +111,23 @@ impl QLearner {
         }
         match self.exploration {
             Exploration::Boltzmann { temperature } => {
-                // Softmax over Q/T, numerically stabilized.
-                let max_q = self.table.max_q(s, legal);
-                let weights: Vec<f64> = legal
+                // Softmax over Q/T, numerically stabilized. Two passes over
+                // the Q-row instead of a collected weight vector keep the
+                // selection allocation-free; the weights are recomputed in
+                // the same order, so the draw is bit-identical to the old
+                // collected form.
+                let row = self.table.row(s);
+                let max_q = legal
                     .iter()
-                    .map(|&a| ((self.table.get(s, a) - max_q) / temperature).exp())
-                    .collect();
-                let total: f64 = weights.iter().sum();
+                    .map(|&a| row[a])
+                    .fold(f64::NEG_INFINITY, f64::max);
+                let weight = |a: usize| ((row[a] - max_q) / temperature).exp();
+                let total: f64 = legal.iter().map(|&a| weight(a)).sum();
                 let mut u = uniform(rng) * total;
-                for (i, w) in weights.iter().enumerate() {
-                    u -= w;
+                for &a in legal {
+                    u -= weight(a);
                     if u < 0.0 {
-                        return legal[i];
+                        return a;
                     }
                 }
                 legal[legal.len() - 1]

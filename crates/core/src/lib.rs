@@ -53,9 +53,10 @@ mod encoder;
 mod error;
 pub mod fuzzy;
 mod learner;
+mod legal;
 mod qos;
 mod qtable;
-mod rng_util;
+pub mod rng_util;
 mod schedule;
 pub mod variants;
 
@@ -66,6 +67,7 @@ pub use encoder::{DpmStateEncoder, IdleBuckets, Observation, QueueBuckets, State
 pub use error::CoreError;
 pub use fuzzy::{FuzzyConfig, FuzzyQDpmAgent, FuzzySet, FuzzyVariable};
 pub use learner::QLearner;
+pub use legal::{LegalActionTable, TransientModeIndex};
 pub use qos::{QosConfig, QosQDpmAgent};
 pub use qtable::QTable;
 pub use schedule::{Exploration, LearningRate};

@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 use qdpm_device::{PowerModel, PowerStateId};
 
 use crate::{
-    CoreError, DpmStateEncoder, Exploration, LearningRate, Observation, PowerManager, QLearner,
-    StateEncoder, StepOutcome,
+    CoreError, DpmStateEncoder, Exploration, LearningRate, LegalActionTable, Observation,
+    PowerManager, QLearner, StateEncoder, StepOutcome,
 };
 
 /// Configuration of a [`QosQDpmAgent`].
@@ -69,7 +69,8 @@ impl Default for QosConfig {
 pub struct QosQDpmAgent {
     learner: QLearner,
     encoder: DpmStateEncoder,
-    power: PowerModel,
+    /// Precomputed per-mode legal-action sets (no per-slice allocation).
+    legal: LegalActionTable,
     pending: Option<(usize, usize)>,
     lambda: f64,
     config: QosConfig,
@@ -113,7 +114,7 @@ impl QosQDpmAgent {
         Ok(QosQDpmAgent {
             learner,
             encoder,
-            power: power.clone(),
+            legal: LegalActionTable::new(power),
             pending: None,
             lambda: 1.0,
             config,
@@ -134,25 +135,14 @@ impl QosQDpmAgent {
     pub fn learner(&self) -> &QLearner {
         &self.learner
     }
-
-    fn legal_actions(&self, obs: &Observation) -> Vec<usize> {
-        match obs.device_mode {
-            qdpm_device::DeviceMode::Operational(s) => {
-                let mut acts = vec![s.index()];
-                acts.extend(self.power.commands_from(s).map(PowerStateId::index));
-                acts.sort_unstable();
-                acts
-            }
-            qdpm_device::DeviceMode::Transitioning { to, .. } => vec![to.index()],
-        }
-    }
 }
 
 impl PowerManager for QosQDpmAgent {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
         let s = self.encoder.encode(obs);
-        let legal = self.legal_actions(obs);
-        let a = self.learner.select_action(s, &legal, rng);
+        let a = self
+            .learner
+            .select_action(s, self.legal.legal(obs.device_mode), rng);
         self.pending = Some((s, a));
         PowerStateId::from_index(a)
     }
@@ -163,8 +153,8 @@ impl PowerManager for QosQDpmAgent {
         if let Some((s, a)) = self.pending.take() {
             let reward = -(outcome.energy + self.lambda * perf);
             let next_s = self.encoder.encode(next_obs);
-            let next_legal = self.legal_actions(next_obs);
-            self.learner.update(s, a, reward, next_s, &next_legal);
+            self.learner
+                .update(s, a, reward, next_s, self.legal.legal(next_obs.device_mode));
         }
         // Slow timescale: multiplier adaptation on windowed performance.
         self.window_perf += perf;

@@ -106,6 +106,24 @@ impl QTable {
         self.visits[i]
     }
 
+    /// The Q-row of state `s`: one value per action, as a borrowed slice.
+    ///
+    /// This is the allocation-free bulk accessor the hot path iterates
+    /// over — bounds are asserted once per row instead of once per action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn row(&self, s: usize) -> &[f64] {
+        assert!(
+            s < self.n_states,
+            "q-table state {s} out of range ({})",
+            self.n_states
+        );
+        &self.q[s * self.n_actions..(s + 1) * self.n_actions]
+    }
+
     /// The greedy (maximum-Q) action among `legal`, with deterministic
     /// lowest-index tie-breaking.
     ///
@@ -115,10 +133,11 @@ impl QTable {
     #[must_use]
     pub fn best_action(&self, s: usize, legal: &[usize]) -> usize {
         assert!(!legal.is_empty(), "need at least one legal action");
+        let row = self.row(s);
         let mut best = legal[0];
-        let mut best_q = self.get(s, legal[0]);
+        let mut best_q = row[legal[0]];
         for &a in &legal[1..] {
-            let q = self.get(s, a);
+            let q = row[a];
             if q > best_q {
                 best_q = q;
                 best = a;
@@ -135,9 +154,10 @@ impl QTable {
     #[must_use]
     pub fn max_q(&self, s: usize, legal: &[usize]) -> f64 {
         assert!(!legal.is_empty(), "need at least one legal action");
+        let row = self.row(s);
         legal
             .iter()
-            .map(|&a| self.get(s, a))
+            .map(|&a| row[a])
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
@@ -340,6 +360,22 @@ mod tests {
     fn out_of_range_panics() {
         let t = QTable::new(2, 2);
         let _ = t.get(2, 0);
+    }
+
+    #[test]
+    fn row_exposes_state_values_in_action_order() {
+        let mut t = QTable::new(2, 3);
+        t.set(1, 0, 1.0);
+        t.set(1, 2, -2.0);
+        assert_eq!(t.row(1), &[1.0, 0.0, -2.0]);
+        assert_eq!(t.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_out_of_range_panics() {
+        let t = QTable::new(2, 2);
+        let _ = t.row(2);
     }
 
     #[test]

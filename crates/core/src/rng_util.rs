@@ -1,17 +1,31 @@
-//! Small uniform-sampling helpers over `&mut dyn Rng`.
+//! Uniform-sampling helpers over `&mut dyn Rng` — the workspace's single
+//! canonical sampler.
+//!
+//! Every crate that draws uniforms (the learners here, the simulation
+//! engine and baseline policies in `qdpm-sim`, the request generators in
+//! `qdpm-workload`) routes through these two functions, so a fixed seed
+//! produces bit-identical streams everywhere. The mapping is pinned by a
+//! cross-crate test; changing it invalidates published results.
 
 use rand::Rng;
 
-/// Uniform `f64` in `[0, 1)` via the 53-bit mantissa method (kept identical
-/// to the workload crate's sampler so seeds behave consistently).
+/// Uniform `f64` in `[0, 1)` via the 53-bit mantissa method (the top 53
+/// bits of the raw draw scaled by 2^-53 — dependency-stable and exact).
 #[inline]
-pub(crate) fn uniform(rng: &mut dyn Rng) -> f64 {
+#[must_use]
+pub fn uniform(rng: &mut dyn Rng) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
-/// Uniform index in `[0, n)`.
+/// Uniform index in `[0, n)` by scaling (bias is negligible for the tiny
+/// `n` used in simulation; rejection-free keeps the draw count fixed).
+///
+/// # Panics
+///
+/// Debug-asserts `n > 0`.
 #[inline]
-pub(crate) fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
+#[must_use]
+pub fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
     debug_assert!(n > 0);
     ((uniform(rng) * n as f64) as usize).min(n - 1)
 }

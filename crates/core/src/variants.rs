@@ -187,11 +187,16 @@ impl TabularLearner for SarsaLearner {
 
     fn update(&mut self, s: usize, a: usize, reward: f64, next_s: usize, _next_legal: &[usize]) {
         // Flush any stale pending transition (e.g. after an external reset
-        // of the environment) with its own greedy bootstrap as a fallback.
+        // of the environment) with its own greedy bootstrap as a fallback
+        // (max over the full action set, straight off the Q-row).
         if let Some(p) = &self.pending {
             if p.next_s != s {
-                let legal_all: Vec<usize> = (0..self.table.n_actions()).collect();
-                let q = self.table.max_q(p.next_s, &legal_all);
+                let q = self
+                    .table
+                    .row(p.next_s)
+                    .iter()
+                    .copied()
+                    .fold(f64::NEG_INFINITY, f64::max);
                 self.apply_pending(q);
             }
         }
@@ -456,28 +461,28 @@ impl TabularLearner for QLambdaLearner {
 
         // Replacing trace for the visited pair.
         self.traces.insert((s, a), 1.0);
-        // Propagate the TD error along the trace, decay, and cull.
+        // Propagate the TD error along the trace, decay, and cull — all
+        // in place, no per-update scratch allocation.
         let decay = self.discount * self.lambda;
-        let mut dead: Vec<(usize, usize)> = Vec::new();
         for (&(ts, ta), e) in self.traces.iter_mut() {
             let q = self.table.get(ts, ta);
             self.table.set(ts, ta, q + gamma * delta * *e);
             *e *= decay;
-            if *e < 1e-4 {
-                dead.push((ts, ta));
+        }
+        self.traces.retain(|_, e| *e >= 1e-4);
+        // Watkins cut: if the action was exploratory (not greedy in s),
+        // the off-policy backup chain is broken — drop all traces. Greedy
+        // w.r.t. the full action set (lowest-index tie-break, matching
+        // `QTable::best_action`); legality is the caller's concern and
+        // exploratory moves are rare.
+        let row = self.table.row(s);
+        let mut greedy = 0;
+        for (cand, &q) in row.iter().enumerate().skip(1) {
+            if q > row[greedy] {
+                greedy = cand;
             }
         }
-        for k in dead {
-            self.traces.remove(&k);
-        }
-        // Watkins cut: if the action was exploratory (not greedy in s),
-        // the off-policy backup chain is broken — drop all traces.
-        if a != self
-            .table
-            .best_action(s, &all_actions(self.table.n_actions()))
-        {
-            // Note: greedy w.r.t. the full action set; legality is the
-            // caller's concern and exploratory moves are rare.
+        if a != greedy {
             self.traces.clear();
         }
         self.steps += 1;
@@ -500,10 +505,6 @@ impl TabularLearner for QLambdaLearner {
     fn algorithm(&self) -> &'static str {
         "q-lambda"
     }
-}
-
-fn all_actions(n: usize) -> Vec<usize> {
-    (0..n).collect()
 }
 
 #[cfg(test)]

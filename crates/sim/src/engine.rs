@@ -1,7 +1,8 @@
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use qdpm_core::rng_util::uniform;
 use qdpm_core::{Observation, PowerManager, RewardWeights, StepOutcome};
 use qdpm_device::{Device, PowerModel, Queue, Server, ServiceModel, Step};
 use qdpm_workload::RequestGenerator;
@@ -124,11 +125,6 @@ pub struct Simulator {
     carried_obs: Option<Observation>,
 }
 
-#[inline]
-fn uniform(rng: &mut dyn Rng) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
-
 impl Simulator {
     /// Assembles a simulator.
     ///
@@ -219,6 +215,14 @@ impl Simulator {
         }
     }
 
+    /// Whether any observation noise is configured. The noise parameters
+    /// are fixed at construction, so this predicate is loop-invariant and
+    /// `run` dispatches on it once instead of once per slice.
+    #[inline]
+    fn has_noise(&self) -> bool {
+        self.noise.queue_misread_prob > 0.0 || self.noise.idle_jitter > 0
+    }
+
     /// Applies observation noise for the PM's view.
     fn noisy(&mut self, obs: Observation) -> Observation {
         let mut out = obs;
@@ -241,12 +245,37 @@ impl Simulator {
 
     /// Advances the simulation by one slice and returns its outcome.
     pub fn step(&mut self) -> StepOutcome {
+        match (self.has_noise(), self.recorder.is_some()) {
+            (false, false) => self.step_impl::<false, false>(),
+            (false, true) => self.step_impl::<false, true>(),
+            (true, false) => self.step_impl::<true, false>(),
+            (true, true) => self.step_impl::<true, true>(),
+        }
+    }
+
+    /// The slice body, monomorphized over the loop-invariant configuration:
+    /// `NOISY` (observation noise configured) and `RECORD` (series recorder
+    /// attached). The clean specialization is branch- and carry-free: with
+    /// no noise, the observation reported as `next_obs` at the end of a
+    /// slice is exactly the true observation at the start of the next one
+    /// (nothing advances between the two reads), so recomputing it is
+    /// stream- and value-identical to carrying it — and the `carried_obs`
+    /// slot stays permanently `None`.
+    #[inline]
+    fn step_impl<const NOISY: bool, const RECORD: bool>(&mut self) -> StepOutcome {
         // 1. Decide. The PM sees the possibly-noisy observation — the one
         //    already reported as `next_obs` at the end of the previous
         //    slice, so its TD next-state and the state it acts from agree.
-        let obs = match self.carried_obs.take() {
-            Some(o) => o,
-            None => self.noisy(self.observation()),
+        let obs = if NOISY {
+            match self.carried_obs.take() {
+                Some(o) => o,
+                None => {
+                    let true_obs = self.observation();
+                    self.noisy(true_obs)
+                }
+            }
+        } else {
+            self.observation()
         };
         let command = self.pm.decide(&obs, &mut self.rng_policy);
 
@@ -295,20 +324,53 @@ impl Simulator {
         self.now += 1;
         self.stats
             .record(&outcome, &self.weights, wait_of_completed);
-        if let Some(rec) = &mut self.recorder {
-            rec.record(&outcome, &self.weights);
+        if RECORD {
+            if let Some(rec) = &mut self.recorder {
+                rec.record(&outcome, &self.weights);
+            }
         }
-        let next_obs = self.noisy(self.observation());
+        let next_obs = if NOISY {
+            let true_obs = self.observation();
+            self.noisy(true_obs)
+        } else {
+            self.observation()
+        };
         self.pm.observe(&outcome, &next_obs);
-        self.carried_obs = Some(next_obs);
+        if NOISY {
+            self.carried_obs = Some(next_obs);
+        }
         outcome
     }
 
     /// Runs `steps` slices and returns the statistics of that stretch.
+    ///
+    /// The noise/recorder configuration is loop-invariant, so the dispatch
+    /// is hoisted out of the loop and each slice runs the already
+    /// specialized body (identical streams and outcomes to calling
+    /// [`Simulator::step`] in a loop).
     pub fn run(&mut self, steps: Step) -> RunStats {
         let before = self.stats.clone();
-        for _ in 0..steps {
-            self.step();
+        match (self.has_noise(), self.recorder.is_some()) {
+            (false, false) => {
+                for _ in 0..steps {
+                    self.step_impl::<false, false>();
+                }
+            }
+            (false, true) => {
+                for _ in 0..steps {
+                    self.step_impl::<false, true>();
+                }
+            }
+            (true, false) => {
+                for _ in 0..steps {
+                    self.step_impl::<true, false>();
+                }
+            }
+            (true, true) => {
+                for _ in 0..steps {
+                    self.step_impl::<true, true>();
+                }
+            }
         }
         diff_stats(&self.stats, &before)
     }
@@ -537,6 +599,55 @@ mod tests {
                 observes[i - 1],
                 "slice {i}: decide must reuse the preceding observe's next_obs"
             );
+        }
+    }
+
+    /// The hoisted specialized loops of `run` must be stream-identical to
+    /// calling `step` slice by slice, in every (noise, recorder)
+    /// configuration — stats and recorded series alike.
+    #[test]
+    fn run_matches_manual_steps_in_every_configuration() {
+        for (misread, jitter) in [(0.0, 0), (0.35, 2)] {
+            for with_recorder in [false, true] {
+                let build = || {
+                    let power = presets::three_state_generic();
+                    let pm = qdpm_core::QDpmAgent::new(&power, qdpm_core::QDpmConfig::default())
+                        .unwrap();
+                    let mut sim = Simulator::new(
+                        power,
+                        presets::default_service(),
+                        WorkloadSpec::bernoulli(0.2).unwrap().build(),
+                        Box::new(pm),
+                        SimConfig {
+                            seed: 77,
+                            noise: ObservationNoise {
+                                queue_misread_prob: misread,
+                                idle_jitter: jitter,
+                            },
+                            ..SimConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    if with_recorder {
+                        sim.attach_recorder(100);
+                    }
+                    sim
+                };
+                let mut via_run = build();
+                let mut via_step = build();
+                let run_stats = via_run.run(700);
+                for _ in 0..700 {
+                    via_step.step();
+                }
+                assert_eq!(
+                    &run_stats,
+                    via_step.stats(),
+                    "noise=({misread},{jitter}) recorder={with_recorder}"
+                );
+                if with_recorder {
+                    assert_eq!(via_run.take_series(), via_step.take_series());
+                }
+            }
         }
     }
 

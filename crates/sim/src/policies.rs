@@ -3,14 +3,10 @@
 
 use rand::Rng;
 
+use qdpm_core::rng_util::uniform;
 use qdpm_core::{Observation, PowerManager, StepOutcome};
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId, Step};
 use qdpm_mdp::{DeterministicPolicy, DpmStateSpace, StochasticPolicy};
-
-#[inline]
-fn uniform(rng: &mut dyn Rng) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
 
 /// Keeps the device in its serving state forever: the energy-reduction
 /// reference ("0% reduction" line of Fig. 1/2) and latency gold standard.

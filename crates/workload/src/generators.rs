@@ -1,22 +1,10 @@
 use crate::{RequestGenerator, WorkloadError};
 use rand::Rng;
 
-/// Maps a raw 64-bit draw onto a uniform `f64` in `[0, 1)`.
-///
-/// Implemented locally (53-bit mantissa method) so every sampler in the
-/// workspace uses the identical, dependency-stable mapping.
-#[inline]
-pub(crate) fn uniform(rng: &mut dyn Rng) -> f64 {
-    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
-}
-
-/// Uniform integer in `[0, n)` by rejection-free scaling (adequate bias
-/// bounds for simulation use; n is tiny in this crate).
-#[inline]
-pub(crate) fn uniform_usize(rng: &mut dyn Rng, n: usize) -> usize {
-    debug_assert!(n > 0);
-    ((uniform(rng) * n as f64) as usize).min(n - 1)
-}
+// The workspace's canonical samplers (bit-identical everywhere a seed is
+// shared); re-exported crate-wide so every generator draws the same way.
+pub(crate) use qdpm_core::rng_util::uniform;
+use qdpm_core::rng_util::uniform_index;
 
 fn check_probability(what: &'static str, p: f64, allow_zero: bool) -> Result<(), WorkloadError> {
     let ok = p.is_finite() && p <= 1.0 && (p > 0.0 || (allow_zero && p == 0.0));
@@ -380,7 +368,7 @@ impl RequestGenerator for PeriodicArrivals {
     fn next_arrivals(&mut self, rng: &mut dyn Rng) -> u32 {
         if self.countdown == 0 {
             let spread = 2 * self.jitter + 1;
-            let offset = uniform_usize(rng, spread as usize) as u64;
+            let offset = uniform_index(rng, spread as usize) as u64;
             self.countdown = self.period + offset - self.jitter;
         }
         self.countdown -= 1;
