@@ -84,6 +84,7 @@ fn small_grid() -> ScenarioGrid {
             train: 5_000,
             evaluate: 1_000,
             master_seed: 5,
+            ..GridParams::default()
         },
     )
 }

@@ -1,12 +1,13 @@
 //! `bench_report` — records the repo's performance trajectory.
 //!
 //! Measures steady-state simulation throughput (slices per second) on
-//! pinned scenarios — serial single-simulator runs per policy, plus a
-//! parallel grid driven through `qdpm_sim::parallel::run_indexed` — and
-//! writes the result to `BENCH_throughput.json` at the workspace root.
-//! Every PR regenerates the file (CI runs `--quick` and uploads it as an
-//! artifact), so the sequence of JSONs across PRs is the throughput
-//! trajectory of the hot path.
+//! pinned scenarios — serial single-simulator runs per policy, a parallel
+//! grid driven through `qdpm_sim::parallel::run_indexed`, and the
+//! event-skipping engine on a sparse workload — and writes the result to
+//! `BENCH_throughput.json` at the workspace root. Every PR regenerates
+//! the file (CI runs `--quick`, diffs the serial numbers against the
+//! committed point, and uploads the artifact), so the sequence of JSONs
+//! across PRs is the throughput trajectory of the hot path.
 //!
 //! Usage: `cargo run --release -p qdpm-bench --bin bench_report -- [--quick] [--threads N]`
 //!
@@ -17,23 +18,42 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use qdpm_bench::{has_flag, standard_device, threads_from_args, workspace_root};
 use qdpm_core::{
-    FuzzyConfig, FuzzyQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent,
+    Exploration, FuzzyConfig, FuzzyQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QosConfig,
+    QosQDpmAgent,
 };
 use qdpm_sim::parallel::{derive_cell_seed, run_indexed};
-use qdpm_sim::{policies, SimConfig, Simulator};
+use qdpm_sim::{policies, EngineMode, SimConfig, Simulator};
 use qdpm_workload::WorkloadSpec;
 
 /// The pinned serial scenario: the paper's standard three-state device,
 /// geometric service, Bernoulli(0.1) arrivals, master seed 42.
 const ARRIVAL_P: f64 = 0.1;
+/// The pinned event-skip scenario: same device/service, sparse arrivals.
+/// Sparse means long quiescent stretches — exactly what `EventSkip`
+/// fast-forwards.
+const SPARSE_P: f64 = 0.001;
 const SEED: u64 = 42;
 
 fn build_pm(policy: &str) -> Box<dyn PowerManager> {
     let (power, _) = standard_device();
     match policy {
         "always_on" => Box::new(policies::AlwaysOn::new(&power)),
+        "greedy_off" => Box::new(policies::GreedyOff::new(&power)),
         "fixed_timeout" => Box::new(policies::FixedTimeout::break_even(&power)),
         "q_dpm" => Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+        // Frozen-policy evaluation configuration: exploration off, the
+        // learner still updates — the setup of every post-training
+        // evaluation stretch in the experiment grids.
+        "q_dpm_eval" => Box::new(
+            QDpmAgent::new(
+                &power,
+                QDpmConfig {
+                    exploration: Exploration::EpsilonGreedy { epsilon: 0.0 },
+                    ..QDpmConfig::default()
+                },
+            )
+            .unwrap(),
+        ),
         "qos_q_dpm" => Box::new(QosQDpmAgent::new(&power, QosConfig::default()).unwrap()),
         "fuzzy_q_dpm" => {
             Box::new(FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap())
@@ -42,15 +62,16 @@ fn build_pm(policy: &str) -> Box<dyn PowerManager> {
     }
 }
 
-fn build_sim(policy: &str, seed: u64) -> Simulator {
+fn build_sim(policy: &str, seed: u64, arrival_p: f64, mode: EngineMode) -> Simulator {
     let (power, service) = standard_device();
     Simulator::new(
         power,
         service,
-        WorkloadSpec::bernoulli(ARRIVAL_P).unwrap().build(),
+        WorkloadSpec::bernoulli(arrival_p).unwrap().build(),
         build_pm(policy),
         SimConfig {
             seed,
+            mode,
             ..SimConfig::default()
         },
     )
@@ -59,8 +80,8 @@ fn build_sim(policy: &str, seed: u64) -> Simulator {
 
 /// Steady-state slices/sec of one policy: warm up (table population,
 /// caches), then time a long stretch.
-fn serial_throughput(policy: &str, warmup: u64, measure: u64) -> f64 {
-    let mut sim = build_sim(policy, SEED);
+fn throughput(policy: &str, arrival_p: f64, mode: EngineMode, warmup: u64, measure: u64) -> f64 {
+    let mut sim = build_sim(policy, SEED, arrival_p, mode);
     sim.run(warmup);
     let start = Instant::now();
     sim.run(measure);
@@ -75,7 +96,7 @@ fn grid_seconds(cells: usize, slices_per_cell: u64, threads: usize) -> f64 {
         .collect();
     let start = Instant::now();
     let stats = run_indexed(&seeds, threads, |_, &seed| {
-        let mut sim = build_sim("q_dpm", seed);
+        let mut sim = build_sim("q_dpm", seed, ARRIVAL_P, EngineMode::PerSlice);
         sim.run(slices_per_cell)
     });
     let secs = start.elapsed().as_secs_f64();
@@ -85,11 +106,28 @@ fn grid_seconds(cells: usize, slices_per_cell: u64, threads: usize) -> f64 {
 
 fn main() {
     let quick = has_flag("--quick");
-    let threads = threads_from_args();
-    let (warmup, measure, cells, slices_per_cell) = if quick {
-        (20_000u64, 200_000u64, 8usize, 50_000u64)
+    let threads_requested = threads_from_args();
+    // The event-skip section gets a longer warm-up: at 0.001 arrivals per
+    // slice a learning agent needs a few hundred arrival cycles before its
+    // greedy policy settles into steady sleep stretches.
+    let (warmup, measure, cells, slices_per_cell, skip_warmup, skip_measure) = if quick {
+        (
+            20_000u64,
+            200_000u64,
+            8usize,
+            50_000u64,
+            200_000u64,
+            1_000_000u64,
+        )
     } else {
-        (100_000u64, 2_000_000u64, 8usize, 500_000u64)
+        (
+            100_000u64,
+            2_000_000u64,
+            8usize,
+            500_000u64,
+            1_000_000u64,
+            10_000_000u64,
+        )
     };
 
     let policies = [
@@ -101,18 +139,62 @@ fn main() {
     ];
     let mut policy_lines = Vec::new();
     for policy in policies {
-        let sps = serial_throughput(policy, warmup, measure);
+        let sps = throughput(policy, ARRIVAL_P, EngineMode::PerSlice, warmup, measure);
         eprintln!("serial {policy}: {sps:.0} slices/sec");
         policy_lines.push(format!("      \"{policy}\": {sps:.1}"));
     }
 
+    // Event-skip section: per-slice vs event-skip on the sparse scenario.
+    let skip_policies = [
+        "always_on",
+        "greedy_off",
+        "fixed_timeout",
+        "q_dpm",
+        "q_dpm_eval",
+    ];
+    let mut skip_lines = Vec::new();
+    for policy in skip_policies {
+        let per = throughput(
+            policy,
+            SPARSE_P,
+            EngineMode::PerSlice,
+            skip_warmup,
+            skip_measure,
+        );
+        let skip = throughput(
+            policy,
+            SPARSE_P,
+            EngineMode::EventSkip,
+            skip_warmup,
+            skip_measure,
+        );
+        let speedup = skip / per;
+        eprintln!(
+            "event_skip {policy}: per-slice {per:.0}, event-skip {skip:.0} slices/sec \
+             ({speedup:.2}x)"
+        );
+        skip_lines.push(format!(
+            "      \"{policy}\": {{ \"per_slice\": {per:.1}, \"event_skip\": {skip:.1}, \
+             \"speedup\": {speedup:.3} }}"
+        ));
+    }
+
+    // Parallel grid: the speedup is only meaningful when more than one
+    // worker can actually run — on a 1-thread configuration the "parallel"
+    // run repeats the serial one and the ratio is pure noise, so it is
+    // recorded as null (see satellite: requested vs effective threads).
+    let threads_effective = threads_requested.min(cells).max(1);
     let serial_secs = grid_seconds(cells, slices_per_cell, 1);
-    let parallel_secs = grid_seconds(cells, slices_per_cell, threads);
+    let (parallel_secs, speedup_json) = if threads_effective > 1 {
+        let psecs = grid_seconds(cells, slices_per_cell, threads_effective);
+        (psecs, format!("{:.3}", serial_secs / psecs))
+    } else {
+        (serial_secs, "null".to_string())
+    };
     let grid_slices = (cells as u64 * slices_per_cell) as f64;
-    let speedup = serial_secs / parallel_secs;
     eprintln!(
         "grid ({cells} cells x {slices_per_cell} slices): serial {:.0} slices/sec, \
-         {threads}-thread {:.0} slices/sec, speedup {speedup:.2}x",
+         {threads_effective}-thread {:.0} slices/sec, speedup {speedup_json}",
         grid_slices / serial_secs,
         grid_slices / parallel_secs,
     );
@@ -123,7 +205,7 @@ fn main() {
         .unwrap_or(0);
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"qdpm-bench-throughput/v1\",\n\
+         \x20 \"schema\": \"qdpm-bench-throughput/v2\",\n\
          \x20 \"generated_unix\": {generated_unix},\n\
          \x20 \"quick\": {quick},\n\
          \x20 \"machine\": {{\n\
@@ -138,24 +220,35 @@ fn main() {
          \x20   \"slices_per_sec\": {{\n{policies}\n\
          \x20   }}\n\
          \x20 }},\n\
+         \x20 \"event_skip\": {{\n\
+         \x20   \"scenario\": \"three_state_generic + geometric service + bernoulli({sparse_p}), seed {seed}\",\n\
+         \x20   \"warmup_slices\": {skip_warmup},\n\
+         \x20   \"measured_slices\": {skip_measure},\n\
+         \x20   \"slices_per_sec\": {{\n{skips}\n\
+         \x20   }}\n\
+         \x20 }},\n\
          \x20 \"parallel_grid\": {{\n\
          \x20   \"policy\": \"q_dpm\",\n\
          \x20   \"cells\": {cells},\n\
          \x20   \"slices_per_cell\": {slices_per_cell},\n\
-         \x20   \"threads\": {threads},\n\
+         \x20   \"threads_requested\": {threads_requested},\n\
+         \x20   \"threads_effective\": {threads_effective},\n\
          \x20   \"serial_slices_per_sec\": {gser:.1},\n\
          \x20   \"parallel_slices_per_sec\": {gpar:.1},\n\
-         \x20   \"speedup\": {speedup:.3}\n\
+         \x20   \"speedup\": {speedup}\n\
          \x20 }}\n\
          }}\n",
         os = std::env::consts::OS,
         arch = std::env::consts::ARCH,
         cpus = qdpm_sim::parallel::available_threads(),
         p = ARRIVAL_P,
+        sparse_p = SPARSE_P,
         seed = SEED,
         policies = policy_lines.join(",\n"),
+        skips = skip_lines.join(",\n"),
         gser = grid_slices / serial_secs,
         gpar = grid_slices / parallel_secs,
+        speedup = speedup_json,
     );
 
     let path = workspace_root().join("BENCH_throughput.json");

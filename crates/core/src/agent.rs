@@ -108,6 +108,43 @@ pub trait PowerManager: std::fmt::Debug + Send {
         let _ = (outcome, next_obs);
     }
 
+    /// Event-skip support (`qdpm_sim::EngineMode::EventSkip`): asked at
+    /// the start of a quiescent stretch — empty queue, no arrivals for at
+    /// least `max` upcoming slices, noise-free observations — how many of
+    /// those slices the manager commits to passing without being
+    /// consulted.
+    ///
+    /// Committing `k <= max` slices asserts two things about each of
+    /// them: the manager's `decide` would not have changed the slice's
+    /// outcome (operational device: it would have commanded the current
+    /// state; transitioning device: any command, since commands are
+    /// ignored mid-transition), and the manager has itself applied
+    /// whatever per-slice bookkeeping its `decide`/`observe` pair would
+    /// have performed — the engine calls neither for committed slices.
+    /// `per_slice` is the identical outcome every committed slice
+    /// produces; `obs` opens the stretch, within which only
+    /// `Observation::idle_slices` advances (by 1 per slice).
+    ///
+    /// Stochastic managers may sample their commitment from `rng` — exact
+    /// in distribution but a different draw order than per-slice stepping.
+    /// A manager that pre-draws the action *ending* the run must return
+    /// exactly that action from its next `decide` without redrawing, or
+    /// the run-length law is biased.
+    ///
+    /// The default commits nothing, making event skipping a strict
+    /// per-policy opt-in (managers with per-slice estimators, traces or
+    /// per-slice exploration schedules simply keep the default).
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        per_slice: &StepOutcome,
+        max: u64,
+        rng: &mut dyn Rng,
+    ) -> u64 {
+        let _ = (obs, per_slice, max, rng);
+        0
+    }
+
     /// Short display name for reports.
     fn name(&self) -> &str;
 }
@@ -144,6 +181,9 @@ pub struct GenericQDpmAgent<L> {
     weights: RewardWeights,
     /// `(state, action)` of the decision awaiting feedback.
     pending: Option<(usize, usize)>,
+    /// Action pre-drawn by a quiescent stay run, to be served verbatim by
+    /// the next `decide` (see [`PowerManager::commit_quiescent`]).
+    deviation: Option<usize>,
     name: String,
 }
 
@@ -208,6 +248,7 @@ impl QDpmAgent {
             legal: LegalActionTable::new(power),
             weights: config.weights,
             pending: None,
+            deviation: None,
             name: "q-dpm".to_string(),
         })
     }
@@ -298,6 +339,7 @@ impl<L: TabularLearner> GenericQDpmAgent<L> {
             legal: LegalActionTable::new(power),
             weights: config.weights,
             pending: None,
+            deviation: None,
             name,
         })
     }
@@ -351,6 +393,12 @@ impl<L: TabularLearner> GenericQDpmAgent<L> {
 impl<L: TabularLearner> PowerManager for GenericQDpmAgent<L> {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
         let s = self.encoder.encode(obs);
+        // A stay run pre-drew the action ending the quiescent stretch;
+        // serve it verbatim (no redraw — see `commit_quiescent`).
+        if let Some(a) = self.deviation.take() {
+            self.pending = Some((s, a));
+            return PowerStateId::from_index(a);
+        }
         // Field-level borrow: the legal slice borrows `self.legal` while
         // the learner is borrowed mutably.
         let a = self
@@ -370,9 +418,153 @@ impl<L: TabularLearner> PowerManager for GenericQDpmAgent<L> {
             .update(s, a, reward, next_s, self.legal.legal(next_obs.device_mode));
     }
 
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        per_slice: &StepOutcome,
+        max: u64,
+        rng: &mut dyn Rng,
+    ) -> u64 {
+        // A pre-drawn deviation (or an unanswered decide) must drain
+        // through the per-slice path first.
+        if self.deviation.is_some() || self.pending.is_some() {
+            return 0;
+        }
+        if obs.queue_len != 0 {
+            return 0;
+        }
+        let reward = self.weights.reward(per_slice);
+        // Mid-transition the decide is pinned to the transition target,
+        // so the per-slice decide/observe pairs can be replayed verbatim
+        // (shared with the QoS agent).
+        if obs.device_mode.is_transitioning() {
+            return replay_transient_march(
+                &mut self.learner,
+                &self.encoder,
+                &self.legal,
+                obs,
+                reward,
+                max,
+                rng,
+            );
+        }
+        let run = commit_operational_stay(
+            &mut self.learner,
+            &self.encoder,
+            &self.legal,
+            obs,
+            reward,
+            max,
+            rng,
+        );
+        self.deviation = run.deviation;
+        run.slices
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
+}
+
+/// The operational arm of a learning agent's quiescent commitment: caps
+/// the window at the encoder's idle-bucket horizon, checks that staying
+/// put is a legal action, and delegates to the learner's
+/// [`TabularLearner::commit_stay_run`]. Shared by the plain and QoS Q-DPM
+/// agents; the caller supplies its own per-slice `reward` and stores the
+/// returned deviation for its next decide.
+pub(crate) fn commit_operational_stay<L: TabularLearner>(
+    learner: &mut L,
+    encoder: &DpmStateEncoder,
+    legal_table: &LegalActionTable,
+    obs: &Observation,
+    reward: f64,
+    max: u64,
+    rng: &mut dyn Rng,
+) -> crate::StayRun {
+    let DeviceMode::Operational(state) = obs.device_mode else {
+        return crate::StayRun::none();
+    };
+    // The encoded state must be invariant across the whole stretch (idle
+    // time is its only moving part).
+    let max = max.min(encoder.idle_invariance_horizon(obs.idle_slices));
+    if max == 0 {
+        return crate::StayRun::none();
+    }
+    let s = encoder.encode(obs);
+    let legal = legal_table.legal(obs.device_mode);
+    let stay = state.index();
+    if !legal.contains(&stay) {
+        return crate::StayRun::none();
+    }
+    learner.commit_stay_run(s, stay, legal, reward, max, rng)
+}
+
+/// Replays the forced decide/observe march through an in-flight
+/// transition for a learning agent, committing up to `max` slices (capped
+/// at the transition end and the encoder's idle-bucket horizon).
+///
+/// Mid-transition the legal set is the single "stay the course" action,
+/// so each slice's `select_action` is pinned (and consumes no
+/// randomness) while the updates walk through the distinct transient
+/// states — calling the very learner methods per-slice stepping would,
+/// with the same RNG, making the replay bit-exact and stream-identical
+/// for every [`TabularLearner`]. Shared by the plain and QoS Q-DPM
+/// agents; the caller supplies its own per-slice `reward`.
+pub(crate) fn replay_transient_march<L: TabularLearner>(
+    learner: &mut L,
+    encoder: &DpmStateEncoder,
+    legal: &LegalActionTable,
+    obs: &Observation,
+    reward: f64,
+    max: u64,
+    rng: &mut dyn Rng,
+) -> u64 {
+    let DeviceMode::Transitioning {
+        from,
+        to,
+        remaining,
+    } = obs.device_mode
+    else {
+        return 0;
+    };
+    let k = max
+        .min(u64::from(remaining))
+        .min(encoder.idle_invariance_horizon(obs.idle_slices));
+    for j in 0..k {
+        let rem = remaining - j as u32;
+        let mode_j = DeviceMode::Transitioning {
+            from,
+            to,
+            remaining: rem,
+        };
+        let obs_j = Observation {
+            device_mode: mode_j,
+            queue_len: 0,
+            idle_slices: obs.idle_slices + j,
+            sr_mode_hint: None,
+        };
+        let s = encoder.encode(&obs_j);
+        let a = learner.select_action(s, legal.legal(mode_j), rng);
+        debug_assert_eq!(a, to.index(), "mid-transition decide is forced");
+        let next_mode = if rem <= 1 {
+            DeviceMode::Operational(to)
+        } else {
+            DeviceMode::Transitioning {
+                from,
+                to,
+                remaining: rem - 1,
+            }
+        };
+        let next_obs = Observation {
+            device_mode: next_mode,
+            queue_len: 0,
+            idle_slices: obs.idle_slices + j + 1,
+            sr_mode_hint: None,
+        };
+        let next_s = encoder.encode(&next_obs);
+        learner.update(s, a, reward, next_s, legal.legal(next_mode));
+    }
+    k
 }
 
 #[cfg(test)]

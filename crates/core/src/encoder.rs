@@ -102,6 +102,20 @@ impl IdleBuckets {
             IdleBuckets::Thresholds(t) => t.partition_point(|&th| idle >= th),
         }
     }
+
+    /// The largest `k` such that `bucket(idle + k) == bucket(idle)`
+    /// (`u64::MAX` when the bucket never changes again).
+    fn invariance_horizon(&self, idle: u64) -> u64 {
+        match self {
+            IdleBuckets::None => u64::MAX,
+            IdleBuckets::Thresholds(t) => match t.get(self.bucket(idle)) {
+                // The bucket holds until the next threshold: it changes at
+                // `idle' >= t[b]`, so it is stable through `t[b] - 1`.
+                Some(&next) => next - 1 - idle,
+                None => u64::MAX, // open-ended last bucket
+            },
+        }
+    }
 }
 
 /// The default Q-DPM state encoder: `device mode x queue bucket x idle
@@ -172,6 +186,17 @@ impl DpmStateEncoder {
             QueueBuckets::Exact { cap: queue_cap },
             IdleBuckets::None,
         )
+    }
+
+    /// How many consecutive idle-time increments from `idle` leave the
+    /// encoded state unchanged when every other observation field is held
+    /// fixed (`u64::MAX` when idle time is unobserved or the last bucket
+    /// has been reached). The event-skipping engine must not let an agent
+    /// commit a quiescent stretch longer than this, or mid-stretch
+    /// Q-updates would land in the wrong row.
+    #[must_use]
+    pub fn idle_invariance_horizon(&self, idle: u64) -> u64 {
+        self.idle.invariance_horizon(idle)
     }
 }
 
@@ -295,6 +320,34 @@ mod tests {
         )
         .unwrap();
         assert_eq!(with_idle.n_states(), plain.n_states() * 3);
+    }
+
+    #[test]
+    fn idle_invariance_horizon_matches_bucket_function() {
+        let ib = IdleBuckets::Thresholds(vec![2, 10]);
+        for idle in 0..20u64 {
+            let h = ib.invariance_horizon(idle);
+            if h == u64::MAX {
+                assert_eq!(ib.bucket(idle), 2, "open-ended only in the last bucket");
+                continue;
+            }
+            assert_eq!(ib.bucket(idle + h), ib.bucket(idle), "stable through h");
+            assert_ne!(ib.bucket(idle + h + 1), ib.bucket(idle), "h is maximal");
+        }
+        assert_eq!(IdleBuckets::None.invariance_horizon(123), u64::MAX);
+
+        let power = presets::three_state_generic();
+        let enc = DpmStateEncoder::new(
+            &power,
+            QueueBuckets::Exact { cap: 4 },
+            IdleBuckets::Thresholds(vec![5]),
+        )
+        .unwrap();
+        assert_eq!(enc.idle_invariance_horizon(0), 4);
+        assert_eq!(enc.idle_invariance_horizon(4), 0);
+        assert_eq!(enc.idle_invariance_horizon(5), u64::MAX);
+        let exact = DpmStateEncoder::exact(&power, 4).unwrap();
+        assert_eq!(exact.idle_invariance_horizon(0), u64::MAX);
     }
 
     #[test]

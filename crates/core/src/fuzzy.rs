@@ -184,6 +184,23 @@ impl FuzzyVariable {
         }
         m
     }
+
+    /// The smallest non-negative integer at and beyond which the
+    /// membership vector is constant: every set's upper breakpoint
+    /// (left shoulders and triangles have reached 0, right shoulders 1),
+    /// rounded up. Feature lookup tables clamp their index here.
+    fn saturation_point(&self) -> f64 {
+        self.sets
+            .iter()
+            .map(|s| match *s {
+                FuzzySet::LeftShoulder { zero, .. } => zero,
+                FuzzySet::Triangle { right, .. } => right,
+                FuzzySet::RightShoulder { full, .. } => full,
+            })
+            .fold(0.0, f64::max)
+            .ceil()
+            .max(0.0)
+    }
 }
 
 /// Configuration of a [`FuzzyQDpmAgent`].
@@ -266,6 +283,95 @@ impl FuzzyConfig {
     }
 }
 
+/// Dense lookup table of joint rule strengths, keyed by the integer
+/// feature pair `(queue depth, idle slices)` — both are integers at
+/// runtime, and beyond each variable's saturation point the memberships
+/// are constant, so a finite grid covers every observation exactly.
+///
+/// Each grid point stores the active `(queue set, idle set)` pairs with
+/// their normalized weights, precomputed with the very code
+/// ([`FuzzyVariable::memberships`] and the original skip conditions) the
+/// per-decide evaluation used — the looked-up weights are bit-identical
+/// to re-evaluating the membership functions.
+#[derive(Debug, Clone)]
+struct JointRuleLut {
+    /// Queue depths `0..=q_clamp` have distinct rows; deeper clamps.
+    q_clamp: usize,
+    /// Idle times `0..=i_clamp` have distinct rows; longer clamps.
+    i_clamp: u64,
+    /// Rows per queue depth (`i_clamp + 1`).
+    i_rows: usize,
+    /// CSR-style row offsets into `entries` (one per grid point, +1).
+    offsets: Vec<u32>,
+    /// `(queue set * n_idle_sets + idle set, weight)` per active pair.
+    entries: Vec<(u32, f64)>,
+}
+
+impl JointRuleLut {
+    /// Grids larger than this fall back to direct evaluation (a fuzzy
+    /// cover is a handful of sets over small feature ranges; anything
+    /// bigger is a misconfiguration, not a hot path).
+    const MAX_POINTS: usize = 1 << 16;
+
+    fn build(queue_var: &FuzzyVariable, idle_var: &FuzzyVariable) -> Option<Self> {
+        let q_clamp = queue_var.saturation_point();
+        let i_clamp = idle_var.saturation_point();
+        if q_clamp >= 4096.0 || i_clamp >= 4096.0 {
+            return None;
+        }
+        let q_clamp = q_clamp as usize;
+        let i_clamp_u = i_clamp as u64;
+        let i_rows = i_clamp as usize + 1;
+        if (q_clamp + 1) * i_rows > Self::MAX_POINTS {
+            return None;
+        }
+        let ni = idle_var.n_sets();
+        let mut offsets = Vec::with_capacity((q_clamp + 1) * i_rows + 1);
+        let mut entries = Vec::new();
+        offsets.push(0u32);
+        for q in 0..=q_clamp {
+            let qm = queue_var.memberships(q as f64);
+            for i in 0..i_rows {
+                let im = idle_var.memberships(i as f64);
+                // Exactly the original active-cell loop: same order, same
+                // skip conditions, same product — bit-identical weights.
+                for (qi, &qw) in qm.iter().enumerate() {
+                    if qw == 0.0 {
+                        continue;
+                    }
+                    for (ii, &iw) in im.iter().enumerate() {
+                        let w = qw * iw;
+                        if w > 0.0 {
+                            entries.push(((qi * ni + ii) as u32, w));
+                        }
+                    }
+                }
+                offsets.push(u32::try_from(entries.len()).ok()?);
+            }
+        }
+        Some(JointRuleLut {
+            q_clamp,
+            i_clamp: i_clamp_u,
+            i_rows,
+            offsets,
+            entries,
+        })
+    }
+
+    #[inline]
+    fn row(&self, queue_len: usize, idle_slices: u64) -> &[(u32, f64)] {
+        let q = queue_len.min(self.q_clamp);
+        let i = idle_slices.min(self.i_clamp) as usize;
+        let at = q * self.i_rows + i;
+        &self.entries[self.offsets[at] as usize..self.offsets[at + 1] as usize]
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<u32>()
+            + self.entries.len() * std::mem::size_of::<(u32, f64)>()
+    }
+}
+
 /// Fuzzy Q-DPM agent: fuzzy state over (queue depth, idle time), crisp over
 /// device mode.
 #[derive(Debug)]
@@ -277,8 +383,15 @@ pub struct FuzzyQDpmAgent {
     n_actions: usize,
     /// Precomputed device-mode index and per-mode legal-action sets.
     legal: LegalActionTable,
+    /// Precomputed rule strengths per integer feature pair (`None` only
+    /// for covers too large to tabulate; those evaluate directly).
+    rules: Option<JointRuleLut>,
     steps: u64,
     pending: Option<PendingFuzzy>,
+    /// Recycled cell buffers: the steady-state decide/observe cycle is
+    /// allocation-free.
+    spare: Vec<(usize, f64)>,
+    next_cells_buf: Vec<(usize, f64)>,
     name: String,
 }
 
@@ -303,14 +416,18 @@ impl FuzzyQDpmAgent {
         let n_op = power.n_states();
         let legal = LegalActionTable::new(power);
         let n_cells = legal.n_modes() * config.queue_var.n_sets() * config.idle_var.n_sets();
+        let rules = JointRuleLut::build(&config.queue_var, &config.idle_var);
         Ok(FuzzyQDpmAgent {
             q: vec![0.0; n_cells * n_op],
             n_cells,
             n_actions: n_op,
             legal,
+            rules,
             config,
             steps: 0,
             pending: None,
+            spare: Vec::new(),
+            next_cells_buf: Vec::new(),
             name: "fuzzy-q-dpm".to_string(),
         })
     }
@@ -327,26 +444,54 @@ impl FuzzyQDpmAgent {
         self.q.len() * std::mem::size_of::<f64>()
     }
 
-    /// Active fuzzy cells of an observation with their normalized weights.
-    fn cells(&self, obs: &Observation) -> Vec<(usize, f64)> {
+    /// Footprint of the precomputed rule-strength table in bytes (0 when
+    /// the cover was too large to tabulate and memberships are evaluated
+    /// per decide).
+    #[must_use]
+    pub fn rule_table_bytes(&self) -> usize {
+        self.rules.as_ref().map_or(0, JointRuleLut::memory_bytes)
+    }
+
+    /// Writes the active fuzzy cells of an observation (with their
+    /// normalized weights) into `out`: one lookup in the precomputed rule
+    /// table plus the device-mode offset, no membership evaluation and no
+    /// allocation in steady state. The rare untabulated cover evaluates
+    /// memberships directly (the original per-decide path).
+    fn cells_into(&self, obs: &Observation, out: &mut Vec<(usize, f64)>) {
+        out.clear();
         let dev = self.legal.mode_index(obs.device_mode);
-        let qm = self.config.queue_var.memberships(obs.queue_len as f64);
-        let im = self.config.idle_var.memberships(obs.idle_slices as f64);
         let nq = self.config.queue_var.n_sets();
         let ni = self.config.idle_var.n_sets();
-        let mut out = Vec::new();
-        for (qi, &qw) in qm.iter().enumerate() {
-            if qw == 0.0 {
-                continue;
+        let base = dev * nq * ni;
+        if let Some(rules) = &self.rules {
+            for &(rel, w) in rules.row(obs.queue_len, obs.idle_slices) {
+                out.push((base + rel as usize, w));
             }
-            for (ii, &iw) in im.iter().enumerate() {
-                let w = qw * iw;
-                if w > 0.0 {
-                    out.push(((dev * nq + qi) * ni + ii, w));
+        } else {
+            let qm = self.config.queue_var.memberships(obs.queue_len as f64);
+            let im = self.config.idle_var.memberships(obs.idle_slices as f64);
+            for (qi, &qw) in qm.iter().enumerate() {
+                if qw == 0.0 {
+                    continue;
+                }
+                for (ii, &iw) in im.iter().enumerate() {
+                    let w = qw * iw;
+                    if w > 0.0 {
+                        out.push((base + qi * ni + ii, w));
+                    }
                 }
             }
         }
         debug_assert!(!out.is_empty());
+    }
+
+    /// Active fuzzy cells of an observation with their normalized weights
+    /// (allocating convenience over [`FuzzyQDpmAgent::cells_into`]; tests
+    /// and diagnostics only — the hot path recycles buffers).
+    #[cfg(test)]
+    fn cells(&self, obs: &Observation) -> Vec<(usize, f64)> {
+        let mut out = Vec::new();
+        self.cells_into(obs, &mut out);
         out
     }
 
@@ -361,7 +506,9 @@ impl FuzzyQDpmAgent {
 
 impl PowerManager for FuzzyQDpmAgent {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
-        let cells = self.cells(obs);
+        // Recycle the cell buffer retired by the previous observe.
+        let mut cells = std::mem::take(&mut self.spare);
+        self.cells_into(obs, &mut cells);
         let legal = self.legal.legal(obs.device_mode);
         let eps = self.config.exploration.epsilon_at(self.steps);
         let a = if legal.len() > 1 && uniform(rng) < eps {
@@ -381,12 +528,14 @@ impl PowerManager for FuzzyQDpmAgent {
             return;
         };
         let reward = self.config.weights.reward(outcome);
-        let next_cells = self.cells(next_obs);
+        let mut next_cells = std::mem::take(&mut self.next_cells_buf);
+        self.cells_into(next_obs, &mut next_cells);
         let next_legal = self.legal.legal(next_obs.device_mode);
         let bootstrap = next_legal
             .iter()
             .map(|&b| self.q_hat(&next_cells, b))
             .fold(f64::NEG_INFINITY, f64::max);
+        self.next_cells_buf = next_cells;
         let target = reward + self.config.discount * bootstrap;
         let q_taken = self.q_hat(&pending.cells, pending.action);
         let delta = target - q_taken;
@@ -395,6 +544,8 @@ impl PowerManager for FuzzyQDpmAgent {
             self.q[c * self.n_actions + pending.action] += gamma * w * delta;
         }
         self.steps += 1;
+        // Retire the pending buffer for the next decide.
+        self.spare = pending.cells;
     }
 
     fn name(&self) -> &str {
@@ -405,7 +556,7 @@ impl PowerManager for FuzzyQDpmAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qdpm_device::{presets, DeviceMode};
+    use qdpm_device::{presets, DeviceMode, PowerStateId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -522,6 +673,91 @@ mod tests {
         let q_stay = agent.q_hat(&cells, sleep.index());
         assert!(q_stay < -0.5, "q_stay {q_stay} should be strongly negative");
         assert!(q_stay > -1.5, "q_stay {q_stay} should approach -1.0");
+    }
+
+    /// The LUT satellite's contract: looked-up cells are bit-identical to
+    /// evaluating the membership functions directly, for every reachable
+    /// integer feature pair (including values beyond the saturation
+    /// points, which clamp onto constant rows).
+    #[test]
+    fn rule_lut_is_bit_identical_to_direct_evaluation() {
+        let power = presets::three_state_generic();
+        let config = FuzzyConfig::standard(8).unwrap();
+        let agent = FuzzyQDpmAgent::new(&power, config.clone()).unwrap();
+        assert!(agent.rules.is_some(), "standard cover must tabulate");
+        assert!(agent.rule_table_bytes() > 0);
+        let nq = config.queue_var.n_sets();
+        let ni = config.idle_var.n_sets();
+        for mode_state in 0..power.n_states() {
+            let mode = DeviceMode::Operational(PowerStateId::from_index(mode_state));
+            let dev = agent.legal.mode_index(mode);
+            for q in 0..=30usize {
+                for idle in (0..=100u64).chain([1_000, 1 << 40]) {
+                    let obs = Observation {
+                        device_mode: mode,
+                        queue_len: q,
+                        idle_slices: idle,
+                        sr_mode_hint: None,
+                    };
+                    let got = agent.cells(&obs);
+                    // Direct evaluation, replicated verbatim.
+                    let qm = config.queue_var.memberships(q as f64);
+                    let im = config.idle_var.memberships(idle as f64);
+                    let mut want = Vec::new();
+                    for (qi, &qw) in qm.iter().enumerate() {
+                        if qw == 0.0 {
+                            continue;
+                        }
+                        for (ii, &iw) in im.iter().enumerate() {
+                            let w = qw * iw;
+                            if w > 0.0 {
+                                want.push(((dev * nq + qi) * ni + ii, w));
+                            }
+                        }
+                    }
+                    assert_eq!(got.len(), want.len(), "q={q} idle={idle}");
+                    for (g, w) in got.iter().zip(&want) {
+                        assert_eq!(g.0, w.0, "cell index q={q} idle={idle}");
+                        assert_eq!(
+                            g.1.to_bits(),
+                            w.1.to_bits(),
+                            "weight bits q={q} idle={idle}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A cover with an enormous support falls back to direct evaluation
+    /// (no multi-megabyte tables behind a config knob).
+    #[test]
+    fn oversized_cover_skips_the_lut() {
+        let power = presets::three_state_generic();
+        let mut config = FuzzyConfig::standard(8).unwrap();
+        config.idle_var = FuzzyVariable::new(vec![
+            FuzzySet::LeftShoulder {
+                full: 1.0,
+                zero: 1_000_000.0,
+            },
+            FuzzySet::RightShoulder {
+                zero: 1.0,
+                full: 1_000_000.0,
+            },
+        ])
+        .unwrap();
+        let agent = FuzzyQDpmAgent::new(&power, config).unwrap();
+        assert!(agent.rules.is_none());
+        assert_eq!(agent.rule_table_bytes(), 0);
+        // The direct path still produces normalized covers.
+        let obs = Observation {
+            device_mode: DeviceMode::Operational(power.highest_power_state()),
+            queue_len: 2,
+            idle_slices: 500_000,
+            sr_mode_hint: None,
+        };
+        let total: f64 = agent.cells(&obs).iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub use agent::{
 pub use encoder::{DpmStateEncoder, IdleBuckets, Observation, QueueBuckets, StateEncoder};
 pub use error::CoreError;
 pub use fuzzy::{FuzzyConfig, FuzzyQDpmAgent, FuzzySet, FuzzyVariable};
-pub use learner::QLearner;
+pub use learner::{QLearner, StayRun};
 pub use legal::{LegalActionTable, TransientModeIndex};
 pub use qos::{QosConfig, QosQDpmAgent};
 pub use qtable::QTable;

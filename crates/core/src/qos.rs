@@ -72,6 +72,9 @@ pub struct QosQDpmAgent {
     /// Precomputed per-mode legal-action sets (no per-slice allocation).
     legal: LegalActionTable,
     pending: Option<(usize, usize)>,
+    /// Action pre-drawn by a quiescent stay run, to be served verbatim by
+    /// the next `decide` (see [`PowerManager::commit_quiescent`]).
+    deviation: Option<usize>,
     lambda: f64,
     config: QosConfig,
     window_perf: f64,
@@ -116,6 +119,7 @@ impl QosQDpmAgent {
             encoder,
             legal: LegalActionTable::new(power),
             pending: None,
+            deviation: None,
             lambda: 1.0,
             config,
             window_perf: 0.0,
@@ -130,6 +134,35 @@ impl QosQDpmAgent {
         self.lambda
     }
 
+    /// Closes the adjustment window if it is full: adapts the multiplier
+    /// toward the performance target and resets the accumulators. The one
+    /// copy of the slow-timescale law, shared by the per-slice `observe`
+    /// and the event-skip window replay.
+    fn maybe_close_window(&mut self) {
+        if self.window_count >= self.config.window {
+            let avg = self.window_perf / self.window_count as f64;
+            let violation = avg - self.config.perf_target;
+            self.lambda = (self.lambda + self.config.lambda_step * violation)
+                .clamp(0.0, self.config.lambda_max);
+            self.window_perf = 0.0;
+            self.window_count = 0;
+        }
+    }
+
+    /// Replays the slow-timescale window bookkeeping for `slices`
+    /// zero-performance slices: the perf accumulator gains nothing, only
+    /// the counter advances, possibly across several multiplier
+    /// adjustments.
+    fn advance_window(&mut self, slices: u64) {
+        let mut left = slices;
+        while left > 0 {
+            let take = left.min(self.config.window - self.window_count);
+            self.window_count += take;
+            left -= take;
+            self.maybe_close_window();
+        }
+    }
+
     /// Read access to the learner.
     #[must_use]
     pub fn learner(&self) -> &QLearner {
@@ -140,6 +173,12 @@ impl QosQDpmAgent {
 impl PowerManager for QosQDpmAgent {
     fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
         let s = self.encoder.encode(obs);
+        // A stay run pre-drew the action ending the quiescent stretch;
+        // serve it verbatim (no redraw — see `commit_quiescent`).
+        if let Some(a) = self.deviation.take() {
+            self.pending = Some((s, a));
+            return PowerStateId::from_index(a);
+        }
         let a = self
             .learner
             .select_action(s, self.legal.legal(obs.device_mode), rng);
@@ -159,14 +198,57 @@ impl PowerManager for QosQDpmAgent {
         // Slow timescale: multiplier adaptation on windowed performance.
         self.window_perf += perf;
         self.window_count += 1;
-        if self.window_count >= self.config.window {
-            let avg = self.window_perf / self.window_count as f64;
-            let violation = avg - self.config.perf_target;
-            self.lambda = (self.lambda + self.config.lambda_step * violation)
-                .clamp(0.0, self.config.lambda_max);
-            self.window_perf = 0.0;
-            self.window_count = 0;
+        self.maybe_close_window();
+    }
+
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        per_slice: &StepOutcome,
+        max: u64,
+        rng: &mut dyn Rng,
+    ) -> u64 {
+        if self.deviation.is_some() || self.pending.is_some() {
+            return 0;
         }
+        if obs.queue_len != 0 {
+            return 0;
+        }
+        // Quiescent slices carry zero performance penalty (empty queue, no
+        // drops), so the Lagrangian reward reduces to `-energy` and stays
+        // constant even when `lambda` adjusts at a window boundary crossed
+        // inside the stretch.
+        let perf =
+            per_slice.queue_len as f64 + self.config.drop_weight * f64::from(per_slice.dropped);
+        let reward = -(per_slice.energy + self.lambda * perf);
+        // Mid-transition the decide is pinned to the transition target:
+        // replay the per-slice decide/observe pairs verbatim (shared with
+        // the plain agent; the Lagrangian reward is this agent's own).
+        if obs.device_mode.is_transitioning() {
+            let k = crate::agent::replay_transient_march(
+                &mut self.learner,
+                &self.encoder,
+                &self.legal,
+                obs,
+                reward,
+                max,
+                rng,
+            );
+            self.advance_window(k);
+            return k;
+        }
+        let run = crate::agent::commit_operational_stay(
+            &mut self.learner,
+            &self.encoder,
+            &self.legal,
+            obs,
+            reward,
+            max,
+            rng,
+        );
+        self.advance_window(run.slices);
+        self.deviation = run.deviation;
+        run.slices
     }
 
     fn name(&self) -> &str {

@@ -106,6 +106,17 @@ impl QTable {
         self.visits[i]
     }
 
+    /// Overwrites the visit count of `(s, a)` — the bulk write-back of the
+    /// learner's closed-form stay run, which tracks visits in a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub(crate) fn set_visit_count(&mut self, s: usize, a: usize, visits: u32) {
+        let i = self.idx(s, a);
+        self.visits[i] = visits;
+    }
+
     /// The Q-row of state `s`: one value per action, as a borrowed slice.
     ///
     /// This is the allocation-free bulk accessor the hot path iterates

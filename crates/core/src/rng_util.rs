@@ -30,6 +30,33 @@ pub fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
     ((uniform(rng) * n as f64) as usize).min(n - 1)
 }
 
+/// Samples a geometric gap on `{1, 2, ...}` with per-trial success
+/// probability `p` by inversion of one [`uniform`] draw: the law of
+/// "trials until (and including) the first success" of i.i.d.
+/// Bernoulli(`p`) trials. Returns `u64::MAX` for `p <= 0` (no success
+/// ever, no draw consumed) and 1 for `p >= 1`.
+///
+/// This is the primitive behind event skipping: workload generators use
+/// it to jump to the next arrival, learners to jump to the next
+/// epsilon-greedy exploration event.
+#[must_use]
+pub fn geometric_gap(rng: &mut dyn Rng, p: f64) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let u = uniform(rng);
+    // Smallest g with 1 - (1-p)^g >= u; ln(1-p) < 0 flips the inequality.
+    let g = ((1.0 - u).ln() / (1.0 - p).ln()).floor() + 1.0;
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        (g as u64).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,7 +26,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::rng_util::{uniform, uniform_index};
-use crate::{CoreError, Exploration, LearningRate, QLearner, QTable};
+use crate::{CoreError, Exploration, LearningRate, QLearner, QTable, StayRun};
 
 /// Protocol shared by all tabular learners usable inside a Q-DPM agent.
 ///
@@ -46,6 +46,25 @@ pub trait TabularLearner: std::fmt::Debug + Send {
 
     /// Consumes one observed transition.
     fn update(&mut self, s: usize, a: usize, reward: f64, next_s: usize, next_legal: &[usize]);
+
+    /// Event-skip support: commit up to `max` quiescent self-loop slices
+    /// in state `s` (see [`QLearner::commit_stay_run`], the only learner
+    /// that implements it). The default commits nothing, so every variant
+    /// is stepped per slice by the event-skipping engine — on-policy and
+    /// trace-based learners have per-slice state the closed form cannot
+    /// replay.
+    fn commit_stay_run(
+        &mut self,
+        s: usize,
+        stay: usize,
+        legal: &[usize],
+        reward: f64,
+        max: u64,
+        rng: &mut dyn Rng,
+    ) -> StayRun {
+        let _ = (s, stay, legal, reward, max, rng);
+        StayRun::none()
+    }
 
     /// Total updates performed.
     fn steps(&self) -> u64;
@@ -71,6 +90,18 @@ impl TabularLearner for QLearner {
 
     fn update(&mut self, s: usize, a: usize, reward: f64, next_s: usize, next_legal: &[usize]) {
         QLearner::update(self, s, a, reward, next_s, next_legal);
+    }
+
+    fn commit_stay_run(
+        &mut self,
+        s: usize,
+        stay: usize,
+        legal: &[usize],
+        reward: f64,
+        max: u64,
+        rng: &mut dyn Rng,
+    ) -> StayRun {
+        QLearner::commit_stay_run(self, s, stay, legal, reward, max, rng)
     }
 
     fn steps(&self) -> u64 {

@@ -225,6 +225,17 @@ impl Device {
         }
     }
 
+    /// Per-slice energy of the in-flight transition (`None` when
+    /// operational) — what every remaining [`Device::tick`] of the
+    /// transition will charge. The event-skipping engine uses it to
+    /// account a transient stretch without inspecting individual ticks.
+    #[must_use]
+    pub fn transient_slice_energy(&self) -> Option<f64> {
+        self.active_transition
+            .as_ref()
+            .map(TransitionSpec::energy_per_step)
+    }
+
     /// Resets the device to a given operational state, cancelling any
     /// in-flight transition (used when reusing a device across runs).
     ///

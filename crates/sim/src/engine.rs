@@ -4,10 +4,48 @@ use serde::{Deserialize, Serialize};
 
 use qdpm_core::rng_util::uniform;
 use qdpm_core::{Observation, PowerManager, RewardWeights, StepOutcome};
-use qdpm_device::{Device, PowerModel, Queue, Server, ServiceModel, Step};
-use qdpm_workload::RequestGenerator;
+use qdpm_device::{Device, DeviceMode, PowerModel, Queue, Server, ServiceModel, Step};
+use qdpm_workload::{ArrivalGap, RequestGenerator};
 
 use crate::{RunStats, SeriesRecorder, SimError, WindowPoint};
+
+/// How [`Simulator::run`] advances simulated time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineMode {
+    /// Execute every slice (the reference semantics; default).
+    #[default]
+    PerSlice,
+    /// Fast-forward quiescent stretches: while the queue is empty, the
+    /// engine prefetches the gap to the next arrival from the workload
+    /// ([`RequestGenerator::next_arrival_gap`]) and asks the power manager
+    /// to commit slices it will pass without per-slice consultation
+    /// ([`PowerManager::commit_quiescent`]); committed slices are
+    /// accounted in closed form. Slices nobody commits to — non-empty
+    /// queues, arrival slices, managers that opt out — run through the
+    /// ordinary per-slice body.
+    ///
+    /// Equivalence to [`EngineMode::PerSlice`]: *exact* (equal metrics)
+    /// whenever neither the workload gap sampler nor the manager's
+    /// commitment consumes randomness differently — trace-driven/countdown
+    /// workloads with deterministic baselines, or a zero-epsilon Q-DPM
+    /// agent; *statistical* (identical law, different RNG draw order) for
+    /// stochastic workloads/managers with closed-form gap draws. With
+    /// observation noise, an attached series recorder, or exposed
+    /// requester modes the engine silently falls back to per-slice
+    /// stepping, which needs no further qualification.
+    EventSkip,
+}
+
+/// Prefetched workload state while fast-forwarding: how far away the next
+/// arrival is and how large it will be.
+#[derive(Debug, Clone, Copy)]
+struct PendingGap {
+    /// Arrival-free slices left before `arrival` lands.
+    empty_left: u64,
+    /// Arrivals of the slice that ends the gap (`None`: quiet prefetch —
+    /// nothing known beyond the empty slices).
+    arrival: Option<u32>,
+}
 
 /// Observation noise injected between the system and the power manager
 /// (the "noisy environment" of the Fuzzy Q-DPM experiment, F4).
@@ -56,6 +94,8 @@ pub struct SimConfig {
     pub expose_sr_mode: bool,
     /// Observation noise (F4).
     pub noise: ObservationNoise,
+    /// How `run` advances time (default: per-slice).
+    pub mode: EngineMode,
 }
 
 impl Default for SimConfig {
@@ -66,6 +106,7 @@ impl Default for SimConfig {
             seed: 42,
             expose_sr_mode: false,
             noise: ObservationNoise::none(),
+            mode: EngineMode::PerSlice,
         }
     }
 }
@@ -119,6 +160,10 @@ pub struct Simulator {
     idle_slices: u64,
     stats: RunStats,
     recorder: Option<SeriesRecorder>,
+    mode: EngineMode,
+    /// Workload prefetch of the event-skipping engine; per-slice stepping
+    /// drains it before touching the live generator again.
+    pending_gap: Option<PendingGap>,
     /// The noisy observation handed to the PM as `next_obs` at the end of
     /// the previous slice, carried over so the next `decide` sees the
     /// *same* corrupted view (noise is drawn once per slice boundary).
@@ -156,6 +201,8 @@ impl Simulator {
             idle_slices: 0,
             stats: RunStats::new(),
             recorder: None,
+            mode: config.mode,
+            pending_gap: None,
             carried_obs: None,
         })
     }
@@ -223,6 +270,32 @@ impl Simulator {
         self.noise.queue_misread_prob > 0.0 || self.noise.idle_jitter > 0
     }
 
+    /// This slice's arrival count: drains the event-skip prefetch buffer
+    /// first (in per-slice mode the buffer is always empty and this is a
+    /// single predictable branch), then the live generator.
+    #[inline]
+    fn slice_arrivals(&mut self) -> u32 {
+        let Some(mut gap) = self.pending_gap else {
+            return self.generator.next_arrivals(&mut self.rng_workload);
+        };
+        if gap.empty_left > 0 {
+            gap.empty_left -= 1;
+            self.pending_gap = if gap.empty_left == 0 && gap.arrival.is_none() {
+                None
+            } else {
+                Some(gap)
+            };
+            0
+        } else if let Some(count) = gap.arrival {
+            self.pending_gap = None;
+            count
+        } else {
+            // Fully drained quiet prefetch: back to the live generator.
+            self.pending_gap = None;
+            self.generator.next_arrivals(&mut self.rng_workload)
+        }
+    }
+
     /// Applies observation noise for the PM's view.
     fn noisy(&mut self, obs: Observation) -> Observation {
         let mut out = obs;
@@ -282,8 +355,8 @@ impl Simulator {
         // 2. Command takes effect; instant switches pay their energy now.
         let cmd_energy = self.device.command(command).immediate_energy();
 
-        // 3. Arrivals.
-        let arrivals = self.generator.next_arrivals(&mut self.rng_workload);
+        // 3. Arrivals (served from the event-skip prefetch when present).
+        let arrivals = self.slice_arrivals();
         let mut dropped = 0u32;
         for _ in 0..arrivals {
             if !self.queue.push(self.now) {
@@ -342,13 +415,150 @@ impl Simulator {
         outcome
     }
 
+    /// Makes sure the gap to the next arrival is prefetched (drawing from
+    /// the workload when nothing is buffered; the prefetch window is
+    /// `limit` slices) and returns how many arrival-free slices lie ahead.
+    fn ensure_gap(&mut self, limit: u64) -> u64 {
+        if self.pending_gap.is_none() {
+            let gap = self
+                .generator
+                .next_arrival_gap(&mut self.rng_workload, limit);
+            self.pending_gap = Some(match gap {
+                ArrivalGap::Arrival { empty, count } => PendingGap {
+                    empty_left: empty,
+                    arrival: Some(count),
+                },
+                ArrivalGap::Quiet { advanced } => PendingGap {
+                    empty_left: advanced,
+                    arrival: None,
+                },
+            });
+        }
+        self.pending_gap.map_or(0, |g| g.empty_left)
+    }
+
+    /// The event-skipping run loop (see [`EngineMode::EventSkip`]).
+    ///
+    /// Per iteration: a non-empty queue or an imminent arrival runs one
+    /// ordinary slice; otherwise the manager is offered the arrival-free
+    /// window (capped to the in-flight transition, if any) and every slice
+    /// it commits to is accounted in closed form — no decide/observe, no
+    /// device/queue/service work, no RNG. A zero commitment also runs one
+    /// ordinary slice, so every iteration makes progress.
+    fn run_event_skip(&mut self, steps: Step) -> RunStats {
+        // Per-slice-only machinery configured: fall back wholesale onto
+        // the hoisted specialized loops.
+        if self.has_noise() || self.recorder.is_some() || self.expose_sr_mode {
+            return self.run_per_slice(steps);
+        }
+        let before = self.stats.clone();
+        let mut remaining = steps;
+        while remaining > 0 {
+            if !self.queue.is_empty() {
+                self.step_impl::<false, false>();
+                remaining -= 1;
+                continue;
+            }
+            let empty_ahead = self.ensure_gap(remaining).min(remaining);
+            if empty_ahead == 0 {
+                self.step_impl::<false, false>();
+                remaining -= 1;
+                continue;
+            }
+            // How much was actually offered to the manager (the transient
+            // arm caps the window at the transition end, which is not a
+            // decline).
+            let mut offered = empty_ahead;
+            let committed = match self.device.mode() {
+                DeviceMode::Operational(state) => {
+                    let per_slice = StepOutcome {
+                        energy: self.device.model().state(state).power,
+                        queue_len: 0,
+                        dropped: 0,
+                        completed: 0,
+                        arrivals: 0,
+                    };
+                    let obs = self.observation();
+                    let k = self
+                        .pm
+                        .commit_quiescent(&obs, &per_slice, empty_ahead, &mut self.rng_policy)
+                        .min(empty_ahead); // never trust a manager past its window
+                    if k > 0 {
+                        // Residency in an operational state leaves the
+                        // device untouched; only the books move.
+                        self.stats.record_quiescent(&per_slice, &self.weights, k);
+                    }
+                    k
+                }
+                DeviceMode::Transitioning {
+                    remaining: left, ..
+                } => {
+                    let per_slice = StepOutcome {
+                        energy: self
+                            .device
+                            .transient_slice_energy()
+                            .expect("transitioning device has an active transition"),
+                        queue_len: 0,
+                        dropped: 0,
+                        completed: 0,
+                        arrivals: 0,
+                    };
+                    let cap = empty_ahead.min(u64::from(left));
+                    offered = cap;
+                    let obs = self.observation();
+                    let k = self
+                        .pm
+                        .commit_quiescent(&obs, &per_slice, cap, &mut self.rng_policy)
+                        .min(cap); // never trust a manager past its window
+                                   // The transition countdown must actually advance (and
+                                   // complete when the stretch covers it).
+                    for _ in 0..k {
+                        let tick = self.device.tick();
+                        debug_assert_eq!(tick.energy, per_slice.energy);
+                    }
+                    if k > 0 {
+                        self.stats.record_quiescent(&per_slice, &self.weights, k);
+                    }
+                    k
+                }
+            };
+            self.now += committed;
+            self.idle_slices += committed;
+            if let Some(gap) = &mut self.pending_gap {
+                gap.empty_left -= committed;
+            }
+            remaining -= committed;
+            // The manager declined (part of) the offered window: the next
+            // slice is its decision epoch — run it per slice right away
+            // instead of re-offering a window it just turned down.
+            if committed < offered && remaining > 0 {
+                self.step_impl::<false, false>();
+                remaining -= 1;
+            }
+        }
+        diff_stats(&self.stats, &before)
+    }
+
     /// Runs `steps` slices and returns the statistics of that stretch.
     ///
-    /// The noise/recorder configuration is loop-invariant, so the dispatch
-    /// is hoisted out of the loop and each slice runs the already
-    /// specialized body (identical streams and outcomes to calling
-    /// [`Simulator::step`] in a loop).
+    /// In [`EngineMode::PerSlice`] (the default) the noise/recorder
+    /// configuration is loop-invariant, so the dispatch is hoisted out of
+    /// the loop and each slice runs the already specialized body
+    /// (identical streams and outcomes to calling [`Simulator::step`] in a
+    /// loop). In [`EngineMode::EventSkip`] quiescent stretches are
+    /// fast-forwarded instead (see the mode's documentation for the exact
+    /// equivalence contract); calling [`Simulator::step`] directly always
+    /// executes a single ordinary slice in either mode.
     pub fn run(&mut self, steps: Step) -> RunStats {
+        if self.mode == EngineMode::EventSkip {
+            return self.run_event_skip(steps);
+        }
+        self.run_per_slice(steps)
+    }
+
+    /// The per-slice run loop: dispatches once on the loop-invariant
+    /// (noise, recorder) configuration, then drives the specialized body.
+    fn run_per_slice(&mut self, steps: Step) -> RunStats {
         let before = self.stats.clone();
         match (self.has_noise(), self.recorder.is_some()) {
             (false, false) => {
@@ -659,5 +869,166 @@ mod tests {
         assert_eq!(first.steps, 100);
         assert_eq!(second.steps, 100);
         assert_eq!(sim.stats().steps, 200);
+    }
+
+    /// Builds a simulator over a sparse looping trace (long sleepable gaps
+    /// plus short ones around the break-even point) with the given policy
+    /// and engine mode.
+    fn trace_sim(pm: Box<dyn PowerManager>, mode: EngineMode) -> Simulator {
+        let mut arrivals = vec![0u32; 64];
+        arrivals[3] = 1;
+        arrivals[5] = 2;
+        arrivals[30] = 1;
+        arrivals[33] = 1;
+        arrivals[60] = 1;
+        Simulator::new(
+            presets::three_state_generic(),
+            presets::default_service(),
+            WorkloadSpec::Trace { arrivals }.build(),
+            pm,
+            SimConfig {
+                seed: 11,
+                mode,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// Event skipping on a trace workload with deterministic policies must
+    /// reproduce the per-slice metrics *exactly* (bit-for-bit f64 totals),
+    /// transitions and timeouts included.
+    #[test]
+    fn event_skip_is_exact_on_traces_for_deterministic_policies() {
+        type PmBuilder<'a> = Box<dyn Fn() -> Box<dyn PowerManager> + 'a>;
+        let power = presets::three_state_generic();
+        let builders: Vec<(&str, PmBuilder)> = vec![
+            ("always-on", Box::new(|| Box::new(AlwaysOn::new(&power)))),
+            (
+                "greedy-off",
+                Box::new(|| Box::new(crate::policies::GreedyOff::new(&power))),
+            ),
+            (
+                "fixed-timeout",
+                Box::new(|| Box::new(crate::policies::FixedTimeout::new(&power, 6))),
+            ),
+            (
+                "adaptive-timeout",
+                Box::new(|| Box::new(crate::policies::AdaptiveTimeout::new(&power))),
+            ),
+        ];
+        for (name, build) in builders {
+            let mut per = trace_sim(build(), EngineMode::PerSlice);
+            let mut skip = trace_sim(build(), EngineMode::EventSkip);
+            let a = per.run(5_000);
+            let b = skip.run(5_000);
+            assert_eq!(a, b, "{name}: stats must match exactly");
+            assert_eq!(
+                per.observation(),
+                skip.observation(),
+                "{name}: end state must match"
+            );
+            // A second stretch exercises stretches spanning run() calls.
+            assert_eq!(per.run(777), skip.run(777), "{name}: second stretch");
+        }
+    }
+
+    /// A zero-epsilon Q-DPM agent consumes no randomness, so event
+    /// skipping must be metric-exact for it too (the learner's stay run
+    /// replicates the update arithmetic bit for bit).
+    #[test]
+    fn event_skip_is_exact_for_greedy_q_dpm_on_traces() {
+        let build = || {
+            let power = presets::three_state_generic();
+            let agent = qdpm_core::QDpmAgent::new(
+                &power,
+                qdpm_core::QDpmConfig {
+                    exploration: qdpm_core::Exploration::EpsilonGreedy { epsilon: 0.0 },
+                    ..qdpm_core::QDpmConfig::default()
+                },
+            )
+            .unwrap();
+            Box::new(agent) as Box<dyn PowerManager>
+        };
+        let mut per = trace_sim(build(), EngineMode::PerSlice);
+        let mut skip = trace_sim(build(), EngineMode::EventSkip);
+        assert_eq!(per.run(20_000), skip.run(20_000));
+        assert_eq!(per.observation(), skip.observation());
+    }
+
+    /// With observation noise configured the event-skip engine falls back
+    /// to per-slice stepping wholesale, which is stream-identical.
+    #[test]
+    fn event_skip_with_noise_is_stream_identical_fallback() {
+        let build = |mode| {
+            let power = presets::three_state_generic();
+            let pm = qdpm_core::QDpmAgent::new(&power, qdpm_core::QDpmConfig::default()).unwrap();
+            Simulator::new(
+                power,
+                presets::default_service(),
+                WorkloadSpec::bernoulli(0.1).unwrap().build(),
+                Box::new(pm),
+                SimConfig {
+                    seed: 3,
+                    mode,
+                    noise: ObservationNoise {
+                        queue_misread_prob: 0.3,
+                        idle_jitter: 1,
+                    },
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut per = build(EngineMode::PerSlice);
+        let mut skip = build(EngineMode::EventSkip);
+        assert_eq!(per.run(3_000), skip.run(3_000));
+    }
+
+    /// Event skipping on a sparse Bernoulli workload changes RNG draw
+    /// order but not the law: long-run averages must agree closely for a
+    /// learning agent.
+    #[test]
+    fn event_skip_sparse_bernoulli_averages_agree() {
+        let build = |mode| {
+            let power = presets::three_state_generic();
+            let pm = qdpm_core::QDpmAgent::new(&power, qdpm_core::QDpmConfig::default()).unwrap();
+            Simulator::new(
+                power,
+                presets::default_service(),
+                WorkloadSpec::bernoulli(0.03).unwrap().build(),
+                Box::new(pm),
+                SimConfig {
+                    seed: 19,
+                    mode,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut per = build(EngineMode::PerSlice);
+        let mut skip = build(EngineMode::EventSkip);
+        let a = per.run(120_000);
+        let b = skip.run(120_000);
+        let rel = |x: f64, y: f64| (x - y).abs() / x.abs().max(1e-12);
+        assert!(
+            rel(a.avg_power(), b.avg_power()) < 0.05,
+            "avg power {} vs {}",
+            a.avg_power(),
+            b.avg_power()
+        );
+        assert!(
+            rel(a.avg_cost(), b.avg_cost()) < 0.05,
+            "avg cost {} vs {}",
+            a.avg_cost(),
+            b.avg_cost()
+        );
+        // Arrival laws agree (different draws, same Bernoulli rate).
+        let (ra, rb) = (
+            a.arrivals as f64 / a.steps as f64,
+            b.arrivals as f64 / b.steps as f64,
+        );
+        assert!((ra - 0.03).abs() < 0.003, "per-slice rate {ra}");
+        assert!((rb - 0.03).abs() < 0.003, "event-skip rate {rb}");
     }
 }

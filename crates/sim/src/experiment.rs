@@ -726,6 +726,7 @@ fn evaluate_cell(cell: &ScenarioCell, gain: f64) -> Result<SweepRow, SimError> {
             seed: cell.seed,
             weights: cell.weights,
             queue_cap: cell.queue_cap,
+            mode: cell.engine_mode,
             ..SimConfig::default()
         },
     )?;
@@ -848,6 +849,7 @@ pub fn bernoulli_sweep_grid(
             train,
             evaluate,
             master_seed: seed,
+            ..GridParams::default()
         },
     ))
 }

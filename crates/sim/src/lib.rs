@@ -36,7 +36,7 @@ pub mod parallel;
 pub mod policies;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveSolver, ModelBasedAdaptive};
-pub use engine::{ObservationNoise, SimConfig, Simulator};
+pub use engine::{EngineMode, ObservationNoise, SimConfig, Simulator};
 pub use error::SimError;
 pub use metrics::{RunStats, SeriesRecorder, WindowPoint};
 pub use parallel::{

@@ -50,6 +50,37 @@ impl RunStats {
         self.total_wait += wait_of_completed;
     }
 
+    /// Folds `slices` identical quiescent slices into the totals — the
+    /// closed-form accounting of the event-skipping engine. The outcome
+    /// must carry no arrivals, completions or drops (a quiescent slice
+    /// moves nothing but energy and time).
+    ///
+    /// The float totals are accumulated with one addition per slice rather
+    /// than a single multiply-add, so the result is bit-identical to
+    /// having called [`RunStats::record`] `slices` times (the exact-
+    /// equality gate of the event-skip engine depends on this); the
+    /// zero-valued queue and wait contributions are exact no-ops and are
+    /// skipped.
+    pub fn record_quiescent(
+        &mut self,
+        outcome: &StepOutcome,
+        weights: &RewardWeights,
+        slices: u64,
+    ) {
+        debug_assert_eq!(
+            (outcome.arrivals, outcome.completed, outcome.dropped),
+            (0, 0, 0),
+            "quiescent slices move nothing but energy"
+        );
+        debug_assert_eq!(outcome.queue_len, 0, "quiescent slices have empty queues");
+        self.steps += slices;
+        let cost = -weights.reward(outcome);
+        for _ in 0..slices {
+            self.total_energy += outcome.energy;
+            self.total_cost += cost;
+        }
+    }
+
     /// Mean energy per slice (average power).
     #[must_use]
     pub fn avg_power(&self) -> f64 {
@@ -293,6 +324,32 @@ mod tests {
         assert!((pts[1].energy_per_slice - 0.5).abs() < 1e-12);
         assert!((pts[1].energy_reduction - 0.5).abs() < 1e-12);
         assert_eq!(pts[2].end, 12);
+    }
+
+    #[test]
+    fn record_quiescent_is_bit_identical_to_repeated_record() {
+        let w = RewardWeights::default();
+        let quiet = StepOutcome {
+            energy: 0.05, // a power that is not exactly representable-sum-friendly
+            queue_len: 0,
+            dropped: 0,
+            completed: 0,
+            arrivals: 0,
+        };
+        let mut folded = RunStats::new();
+        // Interleave with a non-trivial starting state.
+        folded.record(&outcome(1.7, 2, 0), &w, 3);
+        let mut stepped = folded.clone();
+        folded.record_quiescent(&quiet, &w, 10_007);
+        for _ in 0..10_007 {
+            stepped.record(&quiet, &w, 0);
+        }
+        assert_eq!(folded, stepped);
+        assert_eq!(
+            folded.total_energy.to_bits(),
+            stepped.total_energy.to_bits()
+        );
+        assert_eq!(folded.total_cost.to_bits(), stepped.total_cost.to_bits());
     }
 
     #[test]

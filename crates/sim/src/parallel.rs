@@ -38,7 +38,7 @@ use qdpm_device::{PowerModel, ServiceModel, Step};
 use qdpm_mdp::{build_dpm_mdp, solvers, CostWeights};
 use qdpm_workload::{PiecewiseStationary, RequestGenerator, Segment, WorkloadSpec};
 
-use crate::SimError;
+use crate::{EngineMode, SimError};
 
 /// Number of worker threads the host offers (`available_parallelism`,
 /// falling back to 1 when undetectable).
@@ -221,6 +221,11 @@ pub struct GridParams {
     pub evaluate: Step,
     /// Master seed; each cell receives [`derive_cell_seed`]`(master, index)`.
     pub master_seed: u64,
+    /// Engine mode every cell's simulator runs under. The default
+    /// per-slice mode keeps published TSVs byte-identical; opting into
+    /// [`EngineMode::EventSkip`] trades bit-exact streams for throughput
+    /// (see the mode's equivalence contract).
+    pub engine_mode: EngineMode,
 }
 
 impl Default for GridParams {
@@ -231,6 +236,7 @@ impl Default for GridParams {
             train: 200_000,
             evaluate: 100_000,
             master_seed: 3,
+            engine_mode: EngineMode::PerSlice,
         }
     }
 }
@@ -263,6 +269,9 @@ pub struct ScenarioCell {
     pub index: usize,
     /// The cell's independent derived seed.
     pub seed: u64,
+    /// Engine mode for this cell's simulator (from
+    /// [`GridParams::engine_mode`]).
+    pub engine_mode: EngineMode,
 }
 
 /// An ordered collection of [`ScenarioCell`]s with deterministic indices
@@ -307,6 +316,7 @@ impl ScenarioGrid {
                             replicate,
                             index,
                             seed: derive_cell_seed(params.master_seed, index as u64),
+                            engine_mode: params.engine_mode,
                         });
                         index += 1;
                     }

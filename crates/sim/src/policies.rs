@@ -30,6 +30,22 @@ impl PowerManager for AlwaysOn {
         self.serve
     }
 
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        _per_slice: &StepOutcome,
+        max: u64,
+        _rng: &mut dyn Rng,
+    ) -> u64 {
+        match obs.device_mode {
+            // Commands are ignored mid-transition; the command is `serve`
+            // only once resident there.
+            DeviceMode::Transitioning { .. } => max,
+            DeviceMode::Operational(here) if here == self.serve => max,
+            DeviceMode::Operational(_) => 0,
+        }
+    }
+
     fn name(&self) -> &str {
         "always-on"
     }
@@ -66,6 +82,20 @@ impl PowerManager for GreedyOff {
                     self.sleep
                 }
             }
+        }
+    }
+
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        _per_slice: &StepOutcome,
+        max: u64,
+        _rng: &mut dyn Rng,
+    ) -> u64 {
+        match obs.device_mode {
+            DeviceMode::Transitioning { .. } => max,
+            DeviceMode::Operational(here) if here == self.sleep && obs.queue_len == 0 => max,
+            DeviceMode::Operational(_) => 0,
         }
     }
 
@@ -126,6 +156,30 @@ impl PowerManager for FixedTimeout {
                     self.sleep
                 } else {
                     here
+                }
+            }
+        }
+    }
+
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        _per_slice: &StepOutcome,
+        max: u64,
+        _rng: &mut dyn Rng,
+    ) -> u64 {
+        match obs.device_mode {
+            DeviceMode::Transitioning { .. } => max,
+            DeviceMode::Operational(here) => {
+                if obs.queue_len > 0 {
+                    0
+                } else if here == self.sleep {
+                    // Both branches of `decide` command sleep.
+                    max
+                } else {
+                    // Stays put until idle time reaches the timeout: the
+                    // decide at idle `timeout` is a real decision epoch.
+                    max.min(self.timeout.saturating_sub(obs.idle_slices))
                 }
             }
         }
@@ -212,6 +266,37 @@ impl PowerManager for AdaptiveTimeout {
 
     fn observe(&mut self, _outcome: &StepOutcome, _next_obs: &Observation) {
         self.now += 1;
+    }
+
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        _per_slice: &StepOutcome,
+        max: u64,
+        _rng: &mut dyn Rng,
+    ) -> u64 {
+        let k = match obs.device_mode {
+            DeviceMode::Transitioning { .. } => max,
+            DeviceMode::Operational(here) => {
+                if obs.queue_len > 0 {
+                    0
+                } else if here == self.sleep {
+                    // Asleep with an empty queue: decide commands sleep and
+                    // touches no episode bookkeeping (the `sleep_started`
+                    // stamp only fires when entering sleep from elsewhere).
+                    max
+                } else {
+                    // Stays put below the (current) timeout; the decide at
+                    // the timeout starts a sleep episode — a decision
+                    // epoch.
+                    max.min(self.timeout.saturating_sub(obs.idle_slices))
+                }
+            }
+        };
+        // `observe` only advances the local clock; replay it for the
+        // committed slices.
+        self.now += k;
+        k
     }
 
     fn name(&self) -> &str {
@@ -336,6 +421,63 @@ impl PowerManager for Oracle {
         self.now += 1;
     }
 
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        _per_slice: &StepOutcome,
+        max: u64,
+        _rng: &mut dyn Rng,
+    ) -> u64 {
+        let now = self.now;
+        let k = match obs.device_mode {
+            DeviceMode::Transitioning { .. } => max,
+            DeviceMode::Operational(here) => {
+                if obs.queue_len > 0 {
+                    0
+                } else {
+                    match self.next_arrival_at_or_after(now) {
+                        // Silence forever: decide commands sleep throughout.
+                        None => {
+                            if here == self.sleep {
+                                max
+                            } else {
+                                0
+                            }
+                        }
+                        Some(next) => {
+                            let gap = next.saturating_sub(now);
+                            if here == self.sleep {
+                                if self.prewake {
+                                    // Asleep until the pre-wake point.
+                                    max.min(gap.saturating_sub(self.wake_latency))
+                                } else {
+                                    // Reactive: asleep until work arrives.
+                                    max
+                                }
+                            } else {
+                                let threshold = if self.prewake {
+                                    self.break_even_prewake.max(self.wake_latency + 1)
+                                } else {
+                                    self.break_even_reactive
+                                };
+                                if gap >= threshold {
+                                    0 // about to command sleep
+                                } else {
+                                    // Gap too short to sleep through — and
+                                    // it only shrinks — so stays put until
+                                    // the arrival.
+                                    max.min(gap)
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        self.now += k;
+        k
+    }
+
     fn name(&self) -> &str {
         "oracle"
     }
@@ -401,6 +543,38 @@ impl PowerManager for MdpPolicyController {
             PolicyKind::Stochastic(p) => p.sample(s, uniform(rng)),
         };
         PowerStateId::from_index(a)
+    }
+
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        _per_slice: &StepOutcome,
+        max: u64,
+        _rng: &mut dyn Rng,
+    ) -> u64 {
+        match obs.device_mode {
+            // Mid-transition any command (even a sampled one) is ignored;
+            // skipping a stochastic policy's draws only shifts an i.i.d.
+            // uniform stream.
+            DeviceMode::Transitioning { .. } => max,
+            DeviceMode::Operational(here) => {
+                // The encoded state is constant over the stretch only with
+                // an empty queue and no (possibly changing) mode hint; a
+                // randomized policy redraws per slice and cannot commit.
+                if obs.queue_len > 0 || obs.sr_mode_hint.is_some() {
+                    return 0;
+                }
+                let PolicyKind::Deterministic(p) = &self.policy else {
+                    return 0;
+                };
+                let s = self.space.index_of(0, obs.device_mode, 0);
+                if p.action(s) == here.index() {
+                    max
+                } else {
+                    0
+                }
+            }
+        }
     }
 
     fn name(&self) -> &str {

@@ -1,0 +1,252 @@
+//! Engine-mode equivalence suite: `EngineMode::EventSkip` against the
+//! per-slice reference.
+//!
+//! Two gates, matching the mode's contract:
+//!
+//! * **exact** — on trace-driven (deterministic) workloads with policies
+//!   whose commitment consumes no randomness, the two modes must produce
+//!   *exactly* equal metrics (f64 totals bit-for-bit, via `PartialEq` on
+//!   `RunStats`); a property test sweeps random traces, policies, device
+//!   timings and run lengths;
+//! * **statistical** — on stochastic workloads (Bernoulli, MMPP) the gap
+//!   samplers and the learning agent's stay runs legitimately reorder RNG
+//!   draws, so the modes are only equal in law: a pinned multi-seed suite
+//!   checks that the per-mode means agree within a Welch-style confidence
+//!   band.
+
+use proptest::prelude::*;
+use qdpm_core::{Exploration, PowerManager, QDpmAgent, QDpmConfig, QosConfig, QosQDpmAgent};
+use qdpm_device::presets;
+use qdpm_sim::{policies, EngineMode, RunStats, SimConfig, Simulator};
+use qdpm_workload::WorkloadSpec;
+
+/// SplitMix64 finalizer: deterministic trace material from a seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A random sparse looping trace: mostly zeros with occasional bursts,
+/// so event skipping has both long quiescent stretches and busy pockets.
+fn random_trace(seed: u64, len: usize, sparsity: u64) -> Vec<u32> {
+    let mut state = seed;
+    let mut arrivals = vec![0u32; len];
+    for slot in arrivals.iter_mut() {
+        let r = splitmix(&mut state);
+        if r.is_multiple_of(sparsity) {
+            *slot = 1 + (r >> 32) as u32 % 2;
+        }
+    }
+    // Guarantee at least one arrival so the trace is not degenerate.
+    if arrivals.iter().all(|&a| a == 0) {
+        arrivals[len / 2] = 1;
+    }
+    arrivals
+}
+
+fn policy_for(power: &qdpm_device::PowerModel, id: usize, trace: &[u32]) -> Box<dyn PowerManager> {
+    match id {
+        0 => Box::new(policies::AlwaysOn::new(power)),
+        1 => Box::new(policies::GreedyOff::new(power)),
+        2 => Box::new(policies::FixedTimeout::break_even(power)),
+        3 => Box::new(policies::FixedTimeout::new(power, 2)),
+        4 => Box::new(policies::AdaptiveTimeout::new(power)),
+        5 => Box::new(policies::Oracle::from_trace(power, trace)),
+        6 => Box::new(policies::Oracle::from_trace(power, trace).with_prewake()),
+        // Zero-epsilon Q-DPM: greedy decides and stay runs consume no
+        // randomness, so even the learner must be metric-exact.
+        7 => Box::new(
+            QDpmAgent::new(
+                power,
+                QDpmConfig {
+                    exploration: Exploration::EpsilonGreedy { epsilon: 0.0 },
+                    ..QDpmConfig::default()
+                },
+            )
+            .unwrap(),
+        ),
+        _ => Box::new(
+            QosQDpmAgent::new(
+                power,
+                QosConfig {
+                    exploration: Exploration::EpsilonGreedy { epsilon: 0.0 },
+                    ..QosConfig::default()
+                },
+            )
+            .unwrap(),
+        ),
+    }
+}
+
+fn run_trace(
+    trace: &[u32],
+    policy_id: usize,
+    mode: EngineMode,
+    steps: u64,
+    chunks: &[u64],
+) -> (Vec<RunStats>, qdpm_core::Observation) {
+    let power = presets::three_state_generic();
+    let pm = policy_for(&power, policy_id, trace);
+    let mut sim = Simulator::new(
+        power,
+        presets::default_service(),
+        WorkloadSpec::Trace {
+            arrivals: trace.to_vec(),
+        }
+        .build(),
+        pm,
+        SimConfig {
+            seed: 9,
+            mode,
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    // Split the run at the given chunk boundaries (stretches must survive
+    // run() call boundaries), then finish the remainder.
+    let mut out = Vec::new();
+    let mut done = 0;
+    for &c in chunks {
+        let c = c.min(steps - done);
+        out.push(sim.run(c));
+        done += c;
+    }
+    out.push(sim.run(steps - done));
+    (out, sim.observation())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact equivalence on random trace-driven workloads, all policies
+    /// with randomness-free commitments, arbitrary chunking.
+    #[test]
+    fn event_skip_is_exact_on_random_traces(
+        seed in 0u64..10_000,
+        len in 20usize..160,
+        sparsity in 2u64..40,
+        policy_id in 0usize..9,
+        steps in 500u64..4_000,
+        chunk in 1u64..2_000,
+    ) {
+        let trace = random_trace(seed, len, sparsity);
+        let (per, obs_per) = run_trace(&trace, policy_id, EngineMode::PerSlice, steps, &[chunk]);
+        let (skip, obs_skip) = run_trace(&trace, policy_id, EngineMode::EventSkip, steps, &[chunk]);
+        prop_assert_eq!(&per, &skip);
+        prop_assert_eq!(obs_per, obs_skip);
+    }
+}
+
+/// Pinned exact case: the acceptance gate's canonical trace scenario.
+#[test]
+fn event_skip_pinned_trace_is_exact_for_all_deterministic_policies() {
+    let mut trace = vec![0u32; 97];
+    for at in [3usize, 5, 6, 40, 44, 90] {
+        trace[at] = 1;
+    }
+    trace[41] = 3; // a burst that overflows service for a while
+    for policy_id in 0..9 {
+        let (per, obs_per) = run_trace(&trace, policy_id, EngineMode::PerSlice, 12_000, &[4_321]);
+        let (skip, obs_skip) =
+            run_trace(&trace, policy_id, EngineMode::EventSkip, 12_000, &[4_321]);
+        assert_eq!(per, skip, "policy {policy_id}");
+        assert_eq!(obs_per, obs_skip, "policy {policy_id}");
+    }
+}
+
+/// Mean and standard deviation of a sample.
+fn mean_sd(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Welch z statistic for the difference of two sample means.
+fn welch_z(a: &[f64], b: &[f64]) -> f64 {
+    let (ma, sa) = mean_sd(a);
+    let (mb, sb) = mean_sd(b);
+    let se = (sa * sa / a.len() as f64 + sb * sb / b.len() as f64).sqrt();
+    if se == 0.0 {
+        if (ma - mb).abs() < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (ma - mb) / se
+    }
+}
+
+/// Multi-seed statistical equivalence on stochastic workloads: for each
+/// (workload, policy) pair, the per-mode means of average power, average
+/// cost and arrival rate must agree within ~4 standard errors. Gap
+/// sampling and stay runs change the draw order, so per-seed trajectories
+/// differ — only the law is preserved.
+#[test]
+fn event_skip_is_statistically_equivalent_on_stochastic_workloads() {
+    let workloads: Vec<(&str, WorkloadSpec)> = vec![
+        ("bernoulli(0.04)", WorkloadSpec::bernoulli(0.04).unwrap()),
+        (
+            "mmpp(sparse)",
+            WorkloadSpec::two_mode_mmpp(0.01, 0.30, 0.002).unwrap(),
+        ),
+    ];
+    let power = presets::three_state_generic();
+    let build_pm = |which: usize| -> Box<dyn PowerManager> {
+        match which {
+            // The learning agent exercises stay runs (constant epsilon).
+            0 => Box::new(QDpmAgent::new(&power, QDpmConfig::default()).unwrap()),
+            _ => Box::new(policies::FixedTimeout::break_even(&power)),
+        }
+    };
+    let seeds: Vec<u64> = (0..24).map(|i| 1000 + 7 * i).collect();
+    let slices = 30_000u64;
+    for (wl_name, spec) in &workloads {
+        for which in 0..2 {
+            let collect = |mode: EngineMode| {
+                let mut powers = Vec::new();
+                let mut costs = Vec::new();
+                let mut rates = Vec::new();
+                for &seed in &seeds {
+                    let mut sim = Simulator::new(
+                        power.clone(),
+                        presets::default_service(),
+                        spec.build(),
+                        build_pm(which),
+                        SimConfig {
+                            seed,
+                            mode,
+                            ..SimConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    let stats = sim.run(slices);
+                    powers.push(stats.avg_power());
+                    costs.push(stats.avg_cost());
+                    rates.push(stats.arrivals as f64 / stats.steps as f64);
+                }
+                (powers, costs, rates)
+            };
+            let (pa, ca, ra) = collect(EngineMode::PerSlice);
+            let (pb, cb, rb) = collect(EngineMode::EventSkip);
+            for (metric, a, b) in [
+                ("avg_power", &pa, &pb),
+                ("avg_cost", &ca, &cb),
+                ("arrival_rate", &ra, &rb),
+            ] {
+                let z = welch_z(a, b);
+                assert!(
+                    z.abs() < 4.0,
+                    "{wl_name}/pm{which}/{metric}: |z| = {:.2} (means {:.6} vs {:.6})",
+                    z.abs(),
+                    mean_sd(a).0,
+                    mean_sd(b).0,
+                );
+            }
+        }
+    }
+}

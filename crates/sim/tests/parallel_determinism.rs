@@ -51,6 +51,7 @@ fn diverse_grid() -> ScenarioGrid {
             train: 4_000,
             evaluate: 1_000,
             master_seed: 5,
+            ..GridParams::default()
         },
     )
 }

@@ -1,4 +1,4 @@
-use crate::{RequestGenerator, WorkloadError};
+use crate::{geometric_gap, ArrivalGap, RequestGenerator, WorkloadError};
 use rand::Rng;
 
 // The workspace's canonical samplers (bit-identical everywhere a seed is
@@ -46,6 +46,25 @@ impl BernoulliArrivals {
 impl RequestGenerator for BernoulliArrivals {
     fn next_arrivals(&mut self, rng: &mut dyn Rng) -> u32 {
         u32::from(uniform(rng) < self.p)
+    }
+
+    /// Exact gap sampler: one geometric inversion draw replaces the
+    /// per-slice Bernoulli loop. Exact in distribution; the RNG stream
+    /// differs from per-slice stepping (fewer draws). Truncation past
+    /// `limit` is sound because the geometric law is memoryless.
+    fn next_arrival_gap(&mut self, rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        if limit == 0 {
+            return ArrivalGap::Quiet { advanced: 0 };
+        }
+        let g = geometric_gap(rng, self.p);
+        if g > limit {
+            ArrivalGap::Quiet { advanced: limit }
+        } else {
+            ArrivalGap::Arrival {
+                empty: g - 1,
+                count: 1,
+            }
+        }
     }
 
     fn mean_rate(&self) -> Option<f64> {
@@ -139,6 +158,27 @@ impl MmppArrivals {
     pub fn transition_matrix(&self) -> &[f64] {
         &self.transition
     }
+
+    /// Moves the hidden chain to a destination sampled *conditional on
+    /// leaving* the current mode (the per-slice CDF scan restricted to
+    /// `j != mode`, normalized by `1 - stay`).
+    fn leave_mode(&mut self, rng: &mut dyn Rng) {
+        let row = &self.transition[self.mode * self.n..(self.mode + 1) * self.n];
+        let total = 1.0 - row[self.mode];
+        let mut u = uniform(rng) * total;
+        let mut next = self.mode;
+        for (j, &p) in row.iter().enumerate() {
+            if j == self.mode {
+                continue;
+            }
+            next = j;
+            u -= p;
+            if u < 0.0 {
+                break;
+            }
+        }
+        self.mode = next;
+    }
 }
 
 impl RequestGenerator for MmppArrivals {
@@ -158,6 +198,44 @@ impl RequestGenerator for MmppArrivals {
         }
         self.mode = next;
         arrived
+    }
+
+    /// Exact gap sampler by mode-sojourn walking: per sojourn in mode `m`,
+    /// the slice of the first arrival (`Geom(p_m)`) and the slice of the
+    /// first mode departure (`Geom(1 - T[m][m])`) are sampled with one
+    /// draw each — valid because the per-slice arrival and mode-evolution
+    /// draws are independent — and the earlier event wins; departures
+    /// resample the destination conditional on leaving. Exact in
+    /// distribution, draw order differs from per-slice stepping.
+    /// Truncation past `limit` is sound by memorylessness of both laws.
+    fn next_arrival_gap(&mut self, rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        let mut consumed = 0u64;
+        while consumed < limit {
+            let rem = limit - consumed;
+            let p = self.arrival_prob[self.mode];
+            let stay = self.transition[self.mode * self.n + self.mode];
+            let a = geometric_gap(rng, p);
+            let c = geometric_gap(rng, 1.0 - stay);
+            if a > rem && c > rem {
+                return ArrivalGap::Quiet { advanced: limit };
+            }
+            if a <= c {
+                // Arrival on slice `a` of this sojourn; if the chain also
+                // departs on that very slice, it does so after the arrival
+                // (matching the per-slice draw order).
+                if a == c {
+                    self.leave_mode(rng);
+                }
+                return ArrivalGap::Arrival {
+                    empty: consumed + a - 1,
+                    count: 1,
+                };
+            }
+            // Departure first: `c` arrival-free slices, then a new sojourn.
+            consumed += c;
+            self.leave_mode(rng);
+        }
+        ArrivalGap::Quiet { advanced: limit }
     }
 
     fn mode(&self) -> usize {
@@ -318,6 +396,28 @@ impl RequestGenerator for ParetoArrivals {
         u32::from(self.countdown == 0)
     }
 
+    /// Exact and stream-identical to per-slice stepping: the countdown
+    /// already is the gap; it is only consumed in bulk.
+    fn next_arrival_gap(&mut self, rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        if limit == 0 {
+            return ArrivalGap::Quiet { advanced: 0 };
+        }
+        if self.countdown == 0 {
+            self.countdown = self.sample_gap(rng);
+        }
+        if self.countdown > limit {
+            self.countdown -= limit;
+            ArrivalGap::Quiet { advanced: limit }
+        } else {
+            let gap = self.countdown;
+            self.countdown = 0;
+            ArrivalGap::Arrival {
+                empty: gap - 1,
+                count: 1,
+            }
+        }
+    }
+
     fn mean_rate(&self) -> Option<f64> {
         // Continuous-Pareto approximation of the discretized mean gap; the
         // ceil() discretization adds at most one slice to the true mean.
@@ -373,6 +473,30 @@ impl RequestGenerator for PeriodicArrivals {
         }
         self.countdown -= 1;
         u32::from(self.countdown == 0)
+    }
+
+    /// Exact and stream-identical to per-slice stepping: the (possibly
+    /// jittered) countdown already is the gap; it is only consumed in bulk.
+    fn next_arrival_gap(&mut self, rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        if limit == 0 {
+            return ArrivalGap::Quiet { advanced: 0 };
+        }
+        if self.countdown == 0 {
+            let spread = 2 * self.jitter + 1;
+            let offset = uniform_index(rng, spread as usize) as u64;
+            self.countdown = self.period + offset - self.jitter;
+        }
+        if self.countdown > limit {
+            self.countdown -= limit;
+            ArrivalGap::Quiet { advanced: limit }
+        } else {
+            let gap = self.countdown;
+            self.countdown = 0;
+            ArrivalGap::Arrival {
+                empty: gap - 1,
+                count: 1,
+            }
+        }
     }
 
     fn mean_rate(&self) -> Option<f64> {
@@ -558,5 +682,153 @@ mod tests {
             let u = uniform(&mut rng);
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    /// Expands gap-API consumption back into a per-slice arrival sequence.
+    fn arrivals_via_gaps(
+        gen: &mut dyn RequestGenerator,
+        rng: &mut dyn Rng,
+        steps: u64,
+        chunk: u64,
+    ) -> Vec<u32> {
+        let mut out = Vec::new();
+        while (out.len() as u64) < steps {
+            let limit = chunk.min(steps - out.len() as u64);
+            match gen.next_arrival_gap(rng, limit) {
+                ArrivalGap::Arrival { empty, count } => {
+                    out.extend(std::iter::repeat_n(0, empty as usize));
+                    out.push(count);
+                }
+                ArrivalGap::Quiet { advanced } => {
+                    out.extend(std::iter::repeat_n(0, advanced as usize));
+                    assert!(advanced > 0 || limit == 0, "quiet gap must make progress");
+                }
+            }
+        }
+        out.truncate(steps as usize);
+        out
+    }
+
+    #[test]
+    fn geometric_gap_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(geometric_gap(&mut rng, 0.0), u64::MAX);
+        assert_eq!(geometric_gap(&mut rng, -0.5), u64::MAX);
+        assert_eq!(geometric_gap(&mut rng, 1.0), 1);
+        for _ in 0..1000 {
+            assert!(geometric_gap(&mut rng, 0.3) >= 1);
+        }
+    }
+
+    #[test]
+    fn geometric_gap_mean_matches_analytic() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for p in [0.02, 0.1, 0.5, 0.9] {
+            let n = 40_000;
+            let total: f64 = (0..n).map(|_| geometric_gap(&mut rng, p) as f64).sum();
+            let mean = total / n as f64;
+            assert!(
+                (mean - 1.0 / p).abs() < 0.05 / p,
+                "p={p}: mean {mean} vs {}",
+                1.0 / p
+            );
+        }
+    }
+
+    #[test]
+    fn default_gap_fallback_is_stream_identical_to_per_slice() {
+        // OnOff has no override: gap consumption must reproduce the exact
+        // per-slice sequence from the same seed.
+        let mut a = OnOffArrivals::new(0.05, 0.03, 0.7).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = StdRng::seed_from_u64(4242);
+        let mut rng_b = StdRng::seed_from_u64(4242);
+        let per_slice: Vec<u32> = (0..5_000).map(|_| a.next_arrivals(&mut rng_a)).collect();
+        let via_gaps = arrivals_via_gaps(&mut b, &mut rng_b, 5_000, 37);
+        assert_eq!(per_slice, via_gaps);
+    }
+
+    #[test]
+    fn pareto_and_periodic_gaps_are_stream_identical() {
+        let mut a = ParetoArrivals::new(2.0, 4.0).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let per_slice: Vec<u32> = (0..4_000).map(|_| a.next_arrivals(&mut rng_a)).collect();
+        assert_eq!(per_slice, arrivals_via_gaps(&mut b, &mut rng_b, 4_000, 23));
+
+        let mut a = PeriodicArrivals::new(10, 3).unwrap();
+        let mut b = a.clone();
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let per_slice: Vec<u32> = (0..4_000).map(|_| a.next_arrivals(&mut rng_a)).collect();
+        assert_eq!(per_slice, arrivals_via_gaps(&mut b, &mut rng_b, 4_000, 7));
+    }
+
+    #[test]
+    fn bernoulli_gap_rate_matches_per_slice_rate() {
+        // Different draw order, same law: empirical rates agree closely.
+        let p = 0.04;
+        let steps = 400_000;
+        let mut per = BernoulliArrivals::new(p).unwrap();
+        let count_per = run(&mut per, steps, 311);
+        let mut gap = BernoulliArrivals::new(p).unwrap();
+        let mut rng = StdRng::seed_from_u64(312);
+        let count_gap: u64 = arrivals_via_gaps(&mut gap, &mut rng, steps, 501)
+            .iter()
+            .map(|&a| u64::from(a))
+            .sum();
+        let (r1, r2) = (
+            count_per as f64 / steps as f64,
+            count_gap as f64 / steps as f64,
+        );
+        assert!((r1 - p).abs() < 0.005, "per-slice rate {r1}");
+        assert!((r2 - p).abs() < 0.005, "gap rate {r2}");
+    }
+
+    #[test]
+    fn bernoulli_gap_extremes() {
+        let mut never = BernoulliArrivals::new(0.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            never.next_arrival_gap(&mut rng, 1000),
+            ArrivalGap::Quiet { advanced: 1000 }
+        );
+        let mut always = BernoulliArrivals::new(1.0).unwrap();
+        assert_eq!(
+            always.next_arrival_gap(&mut rng, 1000),
+            ArrivalGap::Arrival { empty: 0, count: 1 }
+        );
+        assert_eq!(
+            always.next_arrival_gap(&mut rng, 0),
+            ArrivalGap::Quiet { advanced: 0 }
+        );
+    }
+
+    #[test]
+    fn mmpp_gap_rate_matches_analytic() {
+        let mut gen = MmppArrivals::new(vec![0.98, 0.02, 0.10, 0.90], vec![0.01, 0.30]).unwrap();
+        let analytic = gen.mean_rate().unwrap();
+        let steps = 400_000;
+        let mut rng = StdRng::seed_from_u64(55);
+        let count: u64 = arrivals_via_gaps(&mut gen, &mut rng, steps, 701)
+            .iter()
+            .map(|&a| u64::from(a))
+            .sum();
+        let rate = count as f64 / steps as f64;
+        assert!(
+            (rate - analytic).abs() < 0.01,
+            "gap rate {rate} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn mmpp_gap_deterministic_alternation_tracks_modes() {
+        // Chain that deterministically alternates; only mode 1 emits.
+        let mut gen = MmppArrivals::new(vec![0.0, 1.0, 1.0, 0.0], vec![0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // Slice pattern: mode 0 (no arrival) -> mode 1 (arrival) -> ...
+        let seq = arrivals_via_gaps(&mut gen, &mut rng, 10, 64);
+        assert_eq!(seq, vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1]);
     }
 }

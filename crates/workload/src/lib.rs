@@ -58,6 +58,28 @@ pub use trace::{TraceRecorder, TraceReplay};
 /// Discrete simulation time, measured in slices since the start of a run.
 pub type Step = u64;
 
+/// Result of fast-forwarding a generator across a run of request-free
+/// slices (see [`RequestGenerator::next_arrival_gap`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalGap {
+    /// The next `empty` slices carry no arrivals and the slice after them
+    /// carries `count >= 1` arrivals; the generator advanced past all
+    /// `empty + 1` slices.
+    Arrival {
+        /// Number of leading arrival-free slices (possibly 0).
+        empty: u64,
+        /// Arrivals in the slice that ends the gap (at least 1).
+        count: u32,
+    },
+    /// No arrival within the requested window: the generator advanced
+    /// exactly `advanced` arrival-free slices (`advanced <= limit`; a
+    /// segmented generator may stop early at an internal boundary).
+    Quiet {
+        /// Arrival-free slices consumed.
+        advanced: u64,
+    },
+}
+
 /// Per-slice request source: the Service Requester of the DPM system model.
 ///
 /// Implementations sample the number of arrivals for the current slice and
@@ -84,12 +106,42 @@ pub trait RequestGenerator: std::fmt::Debug + Send {
         1
     }
 
+    /// Fast-forwards the generator to the next arrival, up to `limit`
+    /// slices ahead — the primitive behind the event-skipping simulation
+    /// engine (`qdpm_sim::EngineMode::EventSkip`).
+    ///
+    /// Semantically equivalent to calling [`RequestGenerator::next_arrivals`]
+    /// until it returns a positive count or `limit` slices elapse, and the
+    /// default implementation does exactly that (bit-identical RNG stream
+    /// to per-slice stepping). Generators with a closed-form interarrival
+    /// law override it with a direct gap draw — exact in *distribution*
+    /// but using fewer RNG draws, so the stream differs from per-slice
+    /// stepping (callers that require bit-identical streams must step per
+    /// slice).
+    ///
+    /// `limit == 0` returns [`ArrivalGap::Quiet`] with nothing consumed.
+    fn next_arrival_gap(&mut self, rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        for empty in 0..limit {
+            let count = self.next_arrivals(rng);
+            if count > 0 {
+                return ArrivalGap::Arrival { empty, count };
+            }
+        }
+        ArrivalGap::Quiet { advanced: limit }
+    }
+
     /// Long-run mean arrivals per slice, when analytically defined.
     fn mean_rate(&self) -> Option<f64>;
 
     /// Restores the generator to its initial state.
     fn reset(&mut self);
 }
+
+// The geometric gap draw shared with the learners (one inversion draw for
+// "slices until the next Bernoulli success") lives with the other canonical
+// samplers in `qdpm_core::rng_util`; re-exported here because it is the
+// natural vocabulary of workload gap sampling.
+pub use qdpm_core::rng_util::geometric_gap;
 
 #[cfg(test)]
 mod tests {

@@ -1,7 +1,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{RequestGenerator, Step, WorkloadError, WorkloadSpec};
+use crate::{ArrivalGap, RequestGenerator, Step, WorkloadError, WorkloadSpec};
 
 /// One stationary stretch of a piecewise-stationary workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,6 +110,32 @@ impl RequestGenerator for PiecewiseStationary {
         self.active.next_arrivals(rng)
     }
 
+    /// Delegates to the active segment without crossing its boundary: the
+    /// request is capped at the slices left in the segment, so a `Quiet`
+    /// result may consume fewer than `limit` slices — the caller re-asks
+    /// and the next call enters the following segment, mirroring
+    /// [`PiecewiseStationary::next_arrivals`]' per-slice switch check.
+    fn next_arrival_gap(&mut self, rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        if self.into_segment >= self.segments[self.current].duration
+            && self.current + 1 < self.segments.len()
+        {
+            self.current += 1;
+            self.into_segment = 0;
+            self.active = self.segments[self.current].spec.build();
+        }
+        let capped = if self.current + 1 < self.segments.len() {
+            limit.min(self.segments[self.current].duration - self.into_segment)
+        } else {
+            limit // the final segment runs forever
+        };
+        let gap = self.active.next_arrival_gap(rng, capped);
+        self.into_segment += match gap {
+            ArrivalGap::Arrival { empty, .. } => empty + 1,
+            ArrivalGap::Quiet { advanced } => advanced,
+        };
+        gap
+    }
+
     fn mode(&self) -> usize {
         self.active.mode()
     }
@@ -202,6 +228,49 @@ mod tests {
         ])
         .unwrap();
         assert!((w.mean_rate().unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_api_respects_segment_boundaries() {
+        // Trace segments make the gap API fully deterministic: the exact
+        // per-slice sequence must be reproduced, including the switch.
+        let build = || {
+            PiecewiseStationary::new(vec![
+                Segment::new(
+                    7,
+                    WorkloadSpec::Trace {
+                        arrivals: vec![0, 0, 1, 0, 0, 0, 0],
+                    },
+                ),
+                Segment::new(
+                    5,
+                    WorkloadSpec::Trace {
+                        arrivals: vec![0, 1, 0, 0, 1],
+                    },
+                ),
+            ])
+            .unwrap()
+        };
+        let mut per = build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let expected: Vec<u32> = (0..12).map(|_| per.next_arrivals(&mut rng)).collect();
+
+        let mut gaps = build();
+        let mut got = Vec::new();
+        while got.len() < 12 {
+            match gaps.next_arrival_gap(&mut rng, 12 - got.len() as u64) {
+                crate::ArrivalGap::Arrival { empty, count } => {
+                    got.extend(std::iter::repeat_n(0, empty as usize));
+                    got.push(count);
+                }
+                crate::ArrivalGap::Quiet { advanced } => {
+                    assert!(advanced > 0, "quiet gap must make progress");
+                    got.extend(std::iter::repeat_n(0, advanced as usize));
+                }
+            }
+        }
+        assert_eq!(expected, got);
+        assert_eq!(gaps.current_segment(), 1);
     }
 
     #[test]

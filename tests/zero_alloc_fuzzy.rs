@@ -1,0 +1,82 @@
+//! Steady-state allocation gate for the fuzzy agent's hot path.
+//!
+//! PR 3 left `FuzzyQDpmAgent` as the one agent still allocating per slice
+//! (its active-cell list). With membership grades and rule strengths
+//! precomputed into dense lookup tables and the cell buffers recycled
+//! between decide/observe, the fuzzy per-slice path joins the
+//! zero-allocation club.
+//!
+//! This file holds exactly one test so the counting global allocator
+//! cannot race with unrelated tests in the same binary (it is a separate
+//! test target, so it runs in its own process).
+
+// A counting global allocator requires `unsafe impl GlobalAlloc`; the
+// workspace denies unsafe code everywhere else.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qdpm::core::{FuzzyConfig, FuzzyQDpmAgent};
+use qdpm::device::presets;
+use qdpm::sim::{SimConfig, Simulator};
+use qdpm::workload::WorkloadSpec;
+
+/// Forwards to the system allocator, counting every allocation event
+/// (fresh allocations and reallocations; frees are not counted).
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn fuzzy_agent_step_is_allocation_free_in_steady_state() {
+    let power = presets::three_state_generic();
+    let agent = FuzzyQDpmAgent::new(&power, FuzzyConfig::standard(8).unwrap()).unwrap();
+    let mut sim = Simulator::new(
+        power,
+        presets::default_service(),
+        WorkloadSpec::bernoulli(0.15).unwrap().build(),
+        Box::new(agent),
+        SimConfig::default(),
+    )
+    .unwrap();
+
+    // Warm up: the cell buffers reach their high-water capacity within the
+    // first few slices; give the queue and workload time to as well.
+    for _ in 0..5_000 {
+        sim.step();
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..20_000 {
+        sim.step();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "fuzzy Simulator::step allocated {} times over 20k steady-state slices",
+        after - before
+    );
+    assert_eq!(sim.stats().steps, 25_000);
+    assert!(sim.stats().arrivals > 0);
+}
