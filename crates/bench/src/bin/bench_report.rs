@@ -2,9 +2,11 @@
 //!
 //! Measures steady-state simulation throughput (slices per second) on
 //! pinned scenarios — serial single-simulator runs per policy, a parallel
-//! grid driven through `qdpm_sim::parallel::run_indexed`, and the
-//! event-skipping engine on a sparse workload — and writes the result to
-//! `BENCH_throughput.json` at the workspace root. Every PR regenerates
+//! grid driven through `qdpm_sim::parallel::run_indexed`, the
+//! event-skipping engine on a sparse workload, and a 1000-device fleet
+//! (`qdpm_sim::fleet`) timed serial vs parallel in both engine modes —
+//! and writes the result to `BENCH_throughput.json` at the workspace
+//! root. Every PR regenerates
 //! the file (CI runs `--quick`, diffs the serial numbers against the
 //! committed point, and uploads the artifact), so the sequence of JSONs
 //! across PRs is the throughput trajectory of the hot path.
@@ -21,9 +23,10 @@ use qdpm_core::{
     Exploration, FuzzyConfig, FuzzyQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QosConfig,
     QosQDpmAgent,
 };
+use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetSim};
 use qdpm_sim::parallel::{derive_cell_seed, run_indexed};
-use qdpm_sim::{policies, EngineMode, SimConfig, Simulator};
-use qdpm_workload::WorkloadSpec;
+use qdpm_sim::{policies, EngineMode, ScenarioWorkload, SimConfig, Simulator};
+use qdpm_workload::{DispatchPolicy, WorkloadSpec};
 
 /// The pinned serial scenario: the paper's standard three-state device,
 /// geometric service, Bernoulli(0.1) arrivals, master seed 42.
@@ -104,6 +107,50 @@ fn grid_seconds(cells: usize, slices_per_cell: u64, threads: usize) -> f64 {
     secs
 }
 
+/// The pinned fleet scenario: `devices` standard three-state devices under
+/// break-even timeouts, one aggregate Bernoulli(0.5) stream round-robin
+/// dispatched across them (per-device rate 0.5/devices — the quiescent
+/// regime a real fleet lives in).
+fn fleet_sim(devices: usize, horizon: u64, mode: EngineMode) -> FleetSim {
+    let (power, service) = standard_device();
+    let members: Vec<FleetMember> = (0..devices)
+        .map(|i| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service,
+            policy: FleetPolicy::BreakEvenTimeout,
+        })
+        .collect();
+    let aggregate = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    FleetSim::new(
+        &members,
+        &aggregate,
+        &FleetConfig {
+            seed: SEED,
+            engine_mode: mode,
+            dispatch: DispatchPolicy::RoundRobin,
+            horizon,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("pinned fleet scenario builds")
+}
+
+/// Wall-clock seconds to run the pinned fleet on `threads` workers
+/// (construction and dispatch excluded — only simulation is timed).
+fn fleet_seconds(devices: usize, horizon: u64, mode: EngineMode, threads: usize) -> f64 {
+    let fleet = fleet_sim(devices, horizon, mode);
+    let start = Instant::now();
+    let report = fleet.run(threads);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.stats.total.steps,
+        devices as u64 * horizon,
+        "every device must run the full horizon"
+    );
+    secs
+}
+
 fn main() {
     let quick = has_flag("--quick");
     let threads_requested = threads_from_args();
@@ -128,6 +175,11 @@ fn main() {
             1_000_000u64,
             10_000_000u64,
         )
+    };
+    let (fleet_devices, fleet_horizon) = if quick {
+        (1_000usize, 20_000u64)
+    } else {
+        (1_000usize, 100_000u64)
     };
 
     let policies = [
@@ -199,13 +251,45 @@ fn main() {
         grid_slices / parallel_secs,
     );
 
+    // Fleet section: the pinned 1k-device Bernoulli fleet timed serial vs
+    // parallel in both engine modes. As with the parallel grid, the
+    // speedup is only meaningful when more than one worker can run;
+    // otherwise it is recorded as null.
+    let fleet_threads = threads_requested.min(fleet_devices).max(1);
+    let fleet_slices = (fleet_devices as u64 * fleet_horizon) as f64;
+    let mut fleet_lines = Vec::new();
+    for (key, mode) in [
+        ("per_slice", EngineMode::PerSlice),
+        ("event_skip", EngineMode::EventSkip),
+    ] {
+        let serial_secs = fleet_seconds(fleet_devices, fleet_horizon, mode, 1);
+        let (parallel_secs, speedup_json) = if fleet_threads > 1 {
+            let psecs = fleet_seconds(fleet_devices, fleet_horizon, mode, fleet_threads);
+            (psecs, format!("{:.3}", serial_secs / psecs))
+        } else {
+            (serial_secs, "null".to_string())
+        };
+        eprintln!(
+            "fleet {key} ({fleet_devices} devices x {fleet_horizon} slices): serial {:.0} \
+             slices/sec, {fleet_threads}-thread {:.0} slices/sec, speedup {speedup_json}",
+            fleet_slices / serial_secs,
+            fleet_slices / parallel_secs,
+        );
+        fleet_lines.push(format!(
+            "      \"{key}\": {{ \"serial_slices_per_sec\": {:.1}, \
+             \"parallel_slices_per_sec\": {:.1}, \"speedup\": {speedup_json} }}",
+            fleet_slices / serial_secs,
+            fleet_slices / parallel_secs,
+        ));
+    }
+
     let generated_unix = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"qdpm-bench-throughput/v2\",\n\
+         \x20 \"schema\": \"qdpm-bench-throughput/v3\",\n\
          \x20 \"generated_unix\": {generated_unix},\n\
          \x20 \"quick\": {quick},\n\
          \x20 \"machine\": {{\n\
@@ -236,6 +320,15 @@ fn main() {
          \x20   \"serial_slices_per_sec\": {gser:.1},\n\
          \x20   \"parallel_slices_per_sec\": {gpar:.1},\n\
          \x20   \"speedup\": {speedup}\n\
+         \x20 }},\n\
+         \x20 \"fleet\": {{\n\
+         \x20   \"scenario\": \"{fleet_devices} x three_state_generic (break-even timeout) + aggregate bernoulli(0.5) round-robin, seed {seed}\",\n\
+         \x20   \"devices\": {fleet_devices},\n\
+         \x20   \"horizon_slices\": {fleet_horizon},\n\
+         \x20   \"threads_requested\": {threads_requested},\n\
+         \x20   \"threads_effective\": {fleet_threads},\n\
+         \x20   \"modes\": {{\n{fleet}\n\
+         \x20   }}\n\
          \x20 }}\n\
          }}\n",
         os = std::env::consts::OS,
@@ -249,6 +342,7 @@ fn main() {
         gser = grid_slices / serial_secs,
         gpar = grid_slices / parallel_secs,
         speedup = speedup_json,
+        fleet = fleet_lines.join(",\n"),
     );
 
     let path = workspace_root().join("BENCH_throughput.json");

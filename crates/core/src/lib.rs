@@ -23,7 +23,10 @@
 //!   two-timescale constrained Q-learning with an adaptive Lagrange
 //!   multiplier;
 //! * [`fuzzy`] — Fuzzy Q-DPM (future-work item 2): membership-weighted
-//!   Q-learning robust to observation noise.
+//!   Q-learning robust to observation noise;
+//! * [`SharedQLearner`] — a cloneable handle letting a fleet of identical
+//!   devices learn into one shared Q-table (the `qdpm-sim` fleet layer's
+//!   experience pooling).
 //!
 //! # Example
 //!
@@ -58,6 +61,7 @@ mod qos;
 mod qtable;
 pub mod rng_util;
 mod schedule;
+mod shared;
 pub mod variants;
 
 pub use agent::{
@@ -71,4 +75,5 @@ pub use legal::{LegalActionTable, TransientModeIndex};
 pub use qos::{QosConfig, QosQDpmAgent};
 pub use qtable::QTable;
 pub use schedule::{Exploration, LearningRate};
+pub use shared::SharedQLearner;
 pub use variants::{DoubleQLearner, QLambdaLearner, SarsaLearner, TabularLearner};

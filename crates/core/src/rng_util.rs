@@ -57,6 +57,26 @@ pub fn geometric_gap(rng: &mut dyn Rng, p: f64) -> u64 {
     }
 }
 
+/// SplitMix64-style mix of a master value and an index into an
+/// independent 64-bit stream member: the finalizer applied to
+/// `master + index * golden_gamma` — the same mixing family
+/// `SeedableRng::seed_from_u64` uses to expand seeds.
+///
+/// This is the workspace's one keyed hash: `qdpm_sim::parallel` derives
+/// per-cell seeds from it (pinned by a unit test — published sweeps
+/// depend on the values) and `qdpm_workload`'s hash-sharded dispatcher
+/// assigns arrivals to devices with it. Keeping a single definition keeps
+/// those streams from silently de-synchronizing.
+#[must_use]
+pub fn splitmix64(master: u64, index: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +90,14 @@ mod tests {
             let u = uniform(&mut rng);
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn splitmix64_is_pinned() {
+        // The values qdpm_sim::parallel::derive_cell_seed publishes.
+        assert_eq!(splitmix64(3, 0), 0x1d0b_14e4_db01_8fed);
+        assert_eq!(splitmix64(3, 1), 0xb346_6f8a_7b81_a989);
+        assert_eq!(splitmix64(7, 0), 0x63cb_e1e4_5932_0dd7);
     }
 
     #[test]

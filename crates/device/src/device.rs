@@ -247,6 +247,15 @@ impl Device {
         self.mode = DeviceMode::Operational(state);
         self.active_transition = None;
     }
+
+    /// Resets the device to its initial condition (resident in the
+    /// highest-power state, no in-flight transition) without touching the
+    /// model — the cheap per-device reset the fleet runner uses when
+    /// recycling device instances between runs, avoiding a model re-clone.
+    pub fn reset(&mut self) {
+        let initial = self.model.highest_power_state();
+        self.reset_to(initial);
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +346,16 @@ mod tests {
         let t = d.tick();
         assert_eq!(t.energy, 1.0);
         assert!(t.can_serve);
+    }
+
+    #[test]
+    fn reset_returns_to_initial_condition() {
+        let mut d = Device::new(model());
+        let off = d.model().state_by_name("off").unwrap();
+        d.command(off);
+        d.tick();
+        d.reset();
+        assert_eq!(d, Device::new(model()), "reset restores the fresh state");
     }
 
     #[test]

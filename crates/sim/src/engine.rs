@@ -233,6 +233,12 @@ impl Simulator {
         self.now
     }
 
+    /// The engine mode `run` advances time under (fixed at construction).
+    #[must_use]
+    pub fn engine_mode(&self) -> EngineMode {
+        self.mode
+    }
+
     /// Statistics accumulated so far.
     #[must_use]
     pub fn stats(&self) -> &RunStats {

@@ -1,0 +1,949 @@
+//! Fleet-scale simulation: N heterogeneous power-managed devices serving
+//! one aggregate workload.
+//!
+//! The paper evaluates Q-DPM on a single service provider; a production
+//! deployment manages *fleets* — thousands of disks, radios, or nodes
+//! behind one request stream. This module composes the existing layers
+//! into that shape:
+//!
+//! * a [`qdpm_workload::WorkloadDispatcher`] strictly partitions the
+//!   aggregate arrival stream into one [`qdpm_workload::SparseTrace`] per
+//!   device (round-robin, least-loaded, or hash-sharded), *ahead of*
+//!   simulation — so per-device runs stay embarrassingly parallel and
+//!   deterministic;
+//! * a [`FleetSim`] builds one [`Simulator`] per [`FleetMember`] (mixed
+//!   device presets, mixed [`FleetPolicy`] power managers, per-device or
+//!   shared Q-tables) and drives them over the horizon, sharded across
+//!   worker threads via [`crate::parallel::run_indexed_mut`];
+//! * a [`FleetStats`] folds the per-device [`RunStats`] — in device order,
+//!   bit-for-bit — and adds fleet-level aggregates: per-device energy and
+//!   delay percentiles and the end-of-run device-mode occupancy;
+//! * a [`FleetGrid`] sweeps fleet size × dispatcher × workload the same
+//!   way [`crate::ScenarioGrid`] sweeps single-device scenarios, with
+//!   per-cell derived seeds.
+//!
+//! Both engine modes compose: each member's simulator runs under the
+//! fleet's [`EngineMode`], and because the per-device workloads are
+//! randomness-free sparse traces, [`EngineMode::EventSkip`] is *exact*
+//! (bit-for-bit equal [`FleetStats`]) for every policy whose quiescent
+//! commitment consumes no randomness — the fleet conformance suite
+//! (`crates/sim/tests/fleet_conformance.rs`) pins this across all
+//! policies and dispatchers.
+//!
+//! # Determinism
+//!
+//! A fleet run is a pure function of (members, aggregate workload,
+//! config): the dispatch depends only on the aggregate stream, every
+//! device's simulator seeds its own RNG streams from
+//! [`crate::parallel::derive_cell_seed`]`(seed, device_index)`, and results are
+//! collected in device order at any thread count. The one exception is
+//! sharing: a fleet containing [`FleetPolicy::SharedQDpm`] members runs
+//! serially regardless of the requested thread count, because concurrent
+//! updates to the one shared Q-table would interleave in scheduling order.
+//!
+//! # Example
+//!
+//! ```
+//! use qdpm_device::presets;
+//! use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetSim};
+//! use qdpm_sim::ScenarioWorkload;
+//! use qdpm_workload::{DispatchPolicy, WorkloadSpec};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let members: Vec<FleetMember> = (0..4)
+//!     .map(|i| FleetMember {
+//!         label: format!("hdd-{i}"),
+//!         power: presets::three_state_generic(),
+//!         service: presets::default_service(),
+//!         policy: FleetPolicy::BreakEvenTimeout,
+//!     })
+//!     .collect();
+//! let aggregate = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.3)?);
+//! let fleet = FleetSim::new(
+//!     &members,
+//!     &aggregate,
+//!     &FleetConfig {
+//!         horizon: 5_000,
+//!         dispatch: DispatchPolicy::LeastLoaded,
+//!         ..FleetConfig::default()
+//!     },
+//! )?;
+//! let report = fleet.run(2);
+//! assert_eq!(report.stats.devices, 4);
+//! assert_eq!(report.stats.total.steps, 4 * 5_000);
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use qdpm_core::{
+    Exploration, GenericQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QLearner, QosConfig,
+    QosQDpmAgent, RewardWeights, SharedQLearner, StateEncoder,
+};
+use qdpm_device::{DeviceMode, PowerModel, ServiceModel, Step};
+use qdpm_workload::{DispatchPolicy, SparseTrace, WorkloadDispatcher};
+
+use crate::parallel::{derive_cell_seed, run_indexed_mut, ScenarioWorkload};
+use crate::{policies, EngineMode, RunStats, SimConfig, SimError, Simulator};
+
+/// Declarative power-management policy of one fleet member.
+///
+/// A fleet spec must be buildable for *any* member device and cloneable
+/// across engine modes (the conformance suite builds the identical fleet
+/// twice), so policies are described declaratively and instantiated by
+/// [`FleetSim::new`] — the clairvoyant oracles against the member's own
+/// dispatched trace, the learners from their configs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetPolicy {
+    /// [`policies::AlwaysOn`].
+    AlwaysOn,
+    /// [`policies::GreedyOff`].
+    GreedyOff,
+    /// [`policies::FixedTimeout::break_even`].
+    BreakEvenTimeout,
+    /// [`policies::FixedTimeout`] with an explicit timeout.
+    FixedTimeout(u64),
+    /// [`policies::AdaptiveTimeout`].
+    AdaptiveTimeout,
+    /// [`policies::Oracle`] built from the member's dispatched trace
+    /// (reactive wake).
+    Oracle,
+    /// [`policies::Oracle`] with pre-waking.
+    OraclePrewake,
+    /// A per-device [`QDpmAgent`] (its own Q-table).
+    QDpm(QDpmConfig),
+    /// A per-device QoS-constrained agent ([`QosQDpmAgent`]).
+    QosQDpm(QosConfig),
+    /// A Q-DPM agent learning into the fleet's *shared* Q-table. All
+    /// shared members of a fleet must carry the identical config and
+    /// identically-dimensioned devices (same encoder/action space); the
+    /// first shared member creates the table. See the module notes on
+    /// determinism: shared fleets run serially.
+    SharedQDpm(QDpmConfig),
+}
+
+impl FleetPolicy {
+    /// A frozen-exploration (`epsilon = 0`) Q-DPM config — the learner
+    /// configuration whose event-skip commitments consume no randomness,
+    /// making fleet runs engine-exact.
+    #[must_use]
+    pub fn frozen_q_dpm() -> FleetPolicy {
+        FleetPolicy::QDpm(QDpmConfig {
+            exploration: Exploration::EpsilonGreedy { epsilon: 0.0 },
+            ..QDpmConfig::default()
+        })
+    }
+
+    /// A frozen-exploration QoS-constrained config (see
+    /// [`FleetPolicy::frozen_q_dpm`]).
+    #[must_use]
+    pub fn frozen_qos_q_dpm() -> FleetPolicy {
+        FleetPolicy::QosQDpm(QosConfig {
+            exploration: Exploration::EpsilonGreedy { epsilon: 0.0 },
+            ..QosConfig::default()
+        })
+    }
+
+    /// A frozen-exploration shared-table config (see
+    /// [`FleetPolicy::frozen_q_dpm`]).
+    #[must_use]
+    pub fn frozen_shared_q_dpm() -> FleetPolicy {
+        FleetPolicy::SharedQDpm(QDpmConfig {
+            exploration: Exploration::EpsilonGreedy { epsilon: 0.0 },
+            ..QDpmConfig::default()
+        })
+    }
+
+    /// Every policy kind in a configuration whose event-skip commitments
+    /// consume no randomness, so `PerSlice` and `EventSkip` fleets agree
+    /// *exactly* — the population the conformance proptest samples from.
+    #[must_use]
+    pub fn all_exact() -> Vec<FleetPolicy> {
+        vec![
+            FleetPolicy::AlwaysOn,
+            FleetPolicy::GreedyOff,
+            FleetPolicy::BreakEvenTimeout,
+            FleetPolicy::FixedTimeout(2),
+            FleetPolicy::AdaptiveTimeout,
+            FleetPolicy::Oracle,
+            FleetPolicy::OraclePrewake,
+            FleetPolicy::frozen_q_dpm(),
+            FleetPolicy::frozen_qos_q_dpm(),
+            FleetPolicy::frozen_shared_q_dpm(),
+        ]
+    }
+
+    /// Short display name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetPolicy::AlwaysOn => "always-on",
+            FleetPolicy::GreedyOff => "greedy-off",
+            FleetPolicy::BreakEvenTimeout => "break-even-timeout",
+            FleetPolicy::FixedTimeout(_) => "fixed-timeout",
+            FleetPolicy::AdaptiveTimeout => "adaptive-timeout",
+            FleetPolicy::Oracle => "oracle",
+            FleetPolicy::OraclePrewake => "oracle-prewake",
+            FleetPolicy::QDpm(_) => "q-dpm",
+            FleetPolicy::QosQDpm(_) => "qos-q-dpm",
+            FleetPolicy::SharedQDpm(_) => "shared-q-dpm",
+        }
+    }
+}
+
+/// One device of a fleet: a power model, its service process, and the
+/// policy managing it.
+#[derive(Debug, Clone)]
+pub struct FleetMember {
+    /// Report label (e.g. the preset name).
+    pub label: String,
+    /// Device power model.
+    pub power: PowerModel,
+    /// Service process.
+    pub service: ServiceModel,
+    /// Power-management policy.
+    pub policy: FleetPolicy,
+}
+
+/// Fleet-wide simulation parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Queue capacity of every device.
+    pub queue_cap: usize,
+    /// Reward/cost weights shared by metrics and learners.
+    pub weights: RewardWeights,
+    /// Master seed: drives the aggregate workload stream and derives every
+    /// device's independent simulator seed
+    /// ([`derive_cell_seed`]`(seed, device_index)`).
+    pub seed: u64,
+    /// Engine mode every member's simulator runs under.
+    pub engine_mode: EngineMode,
+    /// How aggregate arrivals are assigned to devices.
+    pub dispatch: DispatchPolicy,
+    /// Slices each device simulates (the dispatch horizon).
+    pub horizon: Step,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            queue_cap: 8,
+            weights: RewardWeights::default(),
+            seed: 42,
+            engine_mode: EngineMode::PerSlice,
+            dispatch: DispatchPolicy::RoundRobin,
+            horizon: 50_000,
+        }
+    }
+}
+
+/// The one shared Q-table of a fleet, created by its first
+/// [`FleetPolicy::SharedQDpm`] member.
+#[derive(Debug)]
+struct SharedPool {
+    learner: SharedQLearner,
+    config: QDpmConfig,
+    dims: (usize, usize),
+}
+
+/// Builds the boxed power manager for one member.
+fn build_policy(
+    member: &FleetMember,
+    trace: &SparseTrace,
+    pool: &mut Option<SharedPool>,
+) -> Result<Box<dyn PowerManager>, SimError> {
+    let power = &member.power;
+    Ok(match &member.policy {
+        FleetPolicy::AlwaysOn => Box::new(policies::AlwaysOn::new(power)),
+        FleetPolicy::GreedyOff => Box::new(policies::GreedyOff::new(power)),
+        FleetPolicy::BreakEvenTimeout => Box::new(policies::FixedTimeout::break_even(power)),
+        FleetPolicy::FixedTimeout(t) => Box::new(policies::FixedTimeout::new(power, *t)),
+        FleetPolicy::AdaptiveTimeout => Box::new(policies::AdaptiveTimeout::new(power)),
+        FleetPolicy::Oracle => Box::new(policies::Oracle::from_trace(power, &trace.to_dense())),
+        FleetPolicy::OraclePrewake => {
+            Box::new(policies::Oracle::from_trace(power, &trace.to_dense()).with_prewake())
+        }
+        FleetPolicy::QDpm(config) => Box::new(QDpmAgent::new(power, config.clone())?),
+        FleetPolicy::QosQDpm(config) => Box::new(QosQDpmAgent::new(power, config.clone())?),
+        FleetPolicy::SharedQDpm(config) => {
+            let encoder = config.encoder_for(power)?;
+            let dims = (encoder.n_states(), power.n_states());
+            let pool = match pool {
+                Some(existing) => {
+                    if existing.dims != dims {
+                        return Err(SimError::BadConfig(format!(
+                            "shared-Q-table fleet members must agree on table dimensions: \
+                             {:?} vs {dims:?} ({})",
+                            existing.dims, member.label
+                        )));
+                    }
+                    if existing.config != *config {
+                        return Err(SimError::BadConfig(format!(
+                            "shared-Q-table fleet members must carry identical configs \
+                             ({} deviates)",
+                            member.label
+                        )));
+                    }
+                    existing
+                }
+                None => {
+                    let learner = QLearner::new(
+                        dims.0,
+                        dims.1,
+                        config.discount,
+                        config.learning_rate,
+                        config.exploration,
+                    )?;
+                    pool.insert(SharedPool {
+                        learner: SharedQLearner::new(learner),
+                        config: config.clone(),
+                        dims,
+                    })
+                }
+            };
+            Box::new(
+                GenericQDpmAgent::with_learner(power, config, pool.learner.handle())?
+                    .with_name("shared-q-dpm"),
+            )
+        }
+    })
+}
+
+/// Aggregate statistics of a fleet run.
+///
+/// `total` is the left fold of the per-device [`RunStats`] *in device
+/// order* via [`RunStats::merge`] — the defined aggregation order, so the
+/// f64 totals are reproducible bit-for-bit at any thread count (the fleet
+/// conservation tests pin `total` against a manual fold). The percentile
+/// fields are nearest-rank percentiles over per-device values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Number of devices.
+    pub devices: usize,
+    /// Fold of every device's stats (totals across the fleet).
+    pub total: RunStats,
+    /// Mean per-device total energy.
+    pub mean_energy: f64,
+    /// Median per-device total energy (nearest rank).
+    pub energy_p50: f64,
+    /// 90th-percentile per-device total energy.
+    pub energy_p90: f64,
+    /// 99th-percentile per-device total energy.
+    pub energy_p99: f64,
+    /// Fleet-wide mean waiting time of completed requests, in slices.
+    pub mean_wait: f64,
+    /// Median per-device mean wait.
+    pub wait_p50: f64,
+    /// 90th-percentile per-device mean wait.
+    pub wait_p90: f64,
+    /// 99th-percentile per-device mean wait.
+    pub wait_p99: f64,
+    /// End-of-run device-mode occupancy: fraction of devices resident in
+    /// each power-state index (indices beyond a device's model count it
+    /// as never occupied). Sums with `transitioning` to 1.
+    pub mode_occupancy: Vec<f64>,
+    /// Fraction of devices mid-transition at the end of the run.
+    pub transitioning: f64,
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of a sorted sample.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl FleetStats {
+    /// Aggregates per-device stats and final modes (`n_states` is the
+    /// widest member model's state count, sizing `mode_occupancy`).
+    #[must_use]
+    pub fn aggregate(per_device: &[RunStats], final_modes: &[DeviceMode], n_states: usize) -> Self {
+        assert_eq!(per_device.len(), final_modes.len());
+        let devices = per_device.len();
+        let mut total = RunStats::new();
+        for stats in per_device {
+            total.merge(stats);
+        }
+        let mut energies: Vec<f64> = per_device.iter().map(|s| s.total_energy).collect();
+        energies.sort_by(f64::total_cmp);
+        let mut waits: Vec<f64> = per_device.iter().map(RunStats::mean_wait).collect();
+        waits.sort_by(f64::total_cmp);
+        let mut mode_occupancy = vec![0.0; n_states];
+        let mut transitioning = 0.0;
+        let share = if devices == 0 {
+            0.0
+        } else {
+            1.0 / devices as f64
+        };
+        for mode in final_modes {
+            match mode {
+                DeviceMode::Operational(s) => mode_occupancy[s.index()] += share,
+                DeviceMode::Transitioning { .. } => transitioning += share,
+            }
+        }
+        FleetStats {
+            devices,
+            mean_energy: if devices == 0 {
+                0.0
+            } else {
+                total.total_energy / devices as f64
+            },
+            energy_p50: percentile(&energies, 50.0),
+            energy_p90: percentile(&energies, 90.0),
+            energy_p99: percentile(&energies, 99.0),
+            mean_wait: if total.completed == 0 {
+                0.0
+            } else {
+                total.total_wait as f64 / total.completed as f64
+            },
+            wait_p50: percentile(&waits, 50.0),
+            wait_p90: percentile(&waits, 90.0),
+            wait_p99: percentile(&waits, 99.0),
+            mode_occupancy,
+            transitioning,
+            total,
+        }
+    }
+}
+
+/// Everything a finished fleet run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Member labels, in device order.
+    pub labels: Vec<String>,
+    /// Per-device run statistics, in device order.
+    pub per_device: Vec<RunStats>,
+    /// Each device's mode at the end of the run, in device order.
+    pub final_modes: Vec<DeviceMode>,
+    /// The fleet aggregate.
+    pub stats: FleetStats,
+}
+
+/// A fleet of per-device simulators sharing one dispatched workload,
+/// ready to run. See the [module docs](self) for the full picture.
+#[derive(Debug)]
+pub struct FleetSim {
+    sims: Vec<Simulator>,
+    labels: Vec<String>,
+    horizon: Step,
+    n_states: usize,
+    has_shared: bool,
+    aggregate_arrivals: u64,
+}
+
+impl FleetSim {
+    /// Assembles a fleet: draws `config.horizon` slices of the aggregate
+    /// workload, partitions them across the members with the configured
+    /// dispatcher, and builds one seeded simulator per member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an empty member list, invalid aggregate
+    /// workloads, inconsistent shared-table members, or invalid simulator
+    /// parameters.
+    pub fn new(
+        members: &[FleetMember],
+        aggregate: &ScenarioWorkload,
+        config: &FleetConfig,
+    ) -> Result<Self, SimError> {
+        if members.is_empty() {
+            return Err(SimError::BadConfig(
+                "a fleet needs at least one member".to_string(),
+            ));
+        }
+        let mut generator = aggregate.build()?;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut dispatcher = WorkloadDispatcher::new(config.dispatch, members.len())?;
+        let traces = dispatcher.split(generator.as_mut(), &mut rng, config.horizon);
+        let aggregate_arrivals = traces.iter().map(SparseTrace::total_arrivals).sum();
+
+        let mut pool: Option<SharedPool> = None;
+        let mut sims = Vec::with_capacity(members.len());
+        for (index, (member, trace)) in members.iter().zip(traces).enumerate() {
+            let pm = build_policy(member, &trace, &mut pool)?;
+            let sim_config = SimConfig {
+                queue_cap: config.queue_cap,
+                weights: config.weights,
+                seed: derive_cell_seed(config.seed, index as u64),
+                expose_sr_mode: false,
+                noise: crate::ObservationNoise::none(),
+                mode: config.engine_mode,
+            };
+            sims.push(Simulator::new(
+                member.power.clone(),
+                member.service,
+                Box::new(trace),
+                pm,
+                sim_config,
+            )?);
+        }
+        Ok(FleetSim {
+            labels: members.iter().map(|m| m.label.clone()).collect(),
+            n_states: members
+                .iter()
+                .map(|m| m.power.n_states())
+                .max()
+                .unwrap_or(0),
+            sims,
+            horizon: config.horizon,
+            has_shared: pool.is_some(),
+            aggregate_arrivals,
+        })
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether the fleet has no devices (never true for a constructed
+    /// fleet).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Total arrivals the dispatcher assigned across the horizon — by the
+    /// partition property, exactly the aggregate stream's arrivals (the
+    /// conservation tests compare this against the summed per-device
+    /// [`RunStats::arrivals`]).
+    #[must_use]
+    pub fn dispatched_arrivals(&self) -> u64 {
+        self.aggregate_arrivals
+    }
+
+    /// Whether this fleet pools experience in a shared Q-table (and will
+    /// therefore run serially at any requested thread count).
+    #[must_use]
+    pub fn has_shared_table(&self) -> bool {
+        self.has_shared
+    }
+
+    /// Runs every device for the dispatch horizon on up to `threads`
+    /// workers and aggregates the fleet statistics. Results are identical
+    /// at any thread count; fleets with a shared Q-table run serially
+    /// (see the module notes on determinism).
+    #[must_use]
+    pub fn run(mut self, threads: usize) -> FleetReport {
+        let threads = if self.has_shared { 1 } else { threads };
+        let horizon = self.horizon;
+        let results: Vec<(RunStats, DeviceMode)> =
+            run_indexed_mut(&mut self.sims, threads, |_, sim| {
+                let stats = sim.run(horizon);
+                (stats, sim.observation().device_mode)
+            });
+        let (per_device, final_modes): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let stats = FleetStats::aggregate(&per_device, &final_modes, self.n_states);
+        FleetReport {
+            labels: self.labels,
+            per_device,
+            final_modes,
+            stats,
+        }
+    }
+}
+
+/// Shared parameters of a [`FleetGrid`]: the member templates cycled
+/// across each cell's devices plus the per-cell simulation knobs.
+#[derive(Debug, Clone)]
+pub struct FleetGridParams {
+    /// Device templates, cycled across a cell's devices
+    /// (`device_mix[i % len]` is device `i`).
+    pub device_mix: Vec<(String, PowerModel, ServiceModel)>,
+    /// Policy templates, cycled across a cell's devices.
+    pub policy_mix: Vec<FleetPolicy>,
+    /// Queue capacity of every device.
+    pub queue_cap: usize,
+    /// Reward/cost weights.
+    pub weights: RewardWeights,
+    /// Slices each device simulates.
+    pub horizon: Step,
+    /// Master seed; each cell receives
+    /// [`derive_cell_seed`]`(master_seed, index)`.
+    pub master_seed: u64,
+    /// Engine mode of every cell.
+    pub engine_mode: EngineMode,
+}
+
+impl Default for FleetGridParams {
+    fn default() -> Self {
+        FleetGridParams {
+            device_mix: vec![(
+                "three-state".to_string(),
+                qdpm_device::presets::three_state_generic(),
+                qdpm_device::presets::default_service(),
+            )],
+            policy_mix: vec![FleetPolicy::BreakEvenTimeout],
+            queue_cap: 8,
+            weights: RewardWeights::default(),
+            horizon: 50_000,
+            master_seed: 42,
+            engine_mode: EngineMode::PerSlice,
+        }
+    }
+}
+
+/// One fully-specified fleet experiment cell: everything needed to build
+/// and run one fleet, independently of every other cell.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    /// Workload label (report label).
+    pub workload_label: String,
+    /// Aggregate workload of this cell.
+    pub workload: ScenarioWorkload,
+    /// Fleet size (devices).
+    pub size: usize,
+    /// Dispatch policy.
+    pub dispatch: DispatchPolicy,
+    /// Member templates and simulation knobs.
+    pub params: FleetGridParams,
+    /// The cell's independent derived seed.
+    pub seed: u64,
+    /// Flat cell index in the grid (row-major).
+    pub index: usize,
+}
+
+impl FleetCell {
+    /// The cell's member list: the parameter mixes cycled across `size`
+    /// devices.
+    #[must_use]
+    pub fn members(&self) -> Vec<FleetMember> {
+        (0..self.size)
+            .map(|i| {
+                let (label, power, service) =
+                    &self.params.device_mix[i % self.params.device_mix.len()];
+                FleetMember {
+                    label: format!("{label}-{i}"),
+                    power: power.clone(),
+                    service: *service,
+                    policy: self.params.policy_mix[i % self.params.policy_mix.len()].clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the cell's fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FleetSim::new`] errors.
+    pub fn build(&self) -> Result<FleetSim, SimError> {
+        FleetSim::new(
+            &self.members(),
+            &self.workload,
+            &FleetConfig {
+                queue_cap: self.params.queue_cap,
+                weights: self.params.weights,
+                seed: self.seed,
+                engine_mode: self.params.engine_mode,
+                dispatch: self.dispatch,
+                horizon: self.params.horizon,
+            },
+        )
+    }
+
+    /// Builds and runs the cell's fleet on up to `threads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FleetSim::new`] errors.
+    pub fn run(&self, threads: usize) -> Result<FleetReport, SimError> {
+        Ok(self.build()?.run(threads))
+    }
+}
+
+/// An ordered collection of [`FleetCell`]s with deterministic indices and
+/// per-cell derived seeds — the fleet analog of [`crate::ScenarioGrid`].
+#[derive(Debug, Clone, Default)]
+pub struct FleetGrid {
+    cells: Vec<FleetCell>,
+}
+
+impl FleetGrid {
+    /// The full cartesian grid size-major × dispatcher × workload, in
+    /// row-major order, each cell seeded with
+    /// [`derive_cell_seed`]`(params.master_seed, index)`.
+    #[must_use]
+    pub fn cartesian(
+        sizes: &[usize],
+        dispatchers: &[DispatchPolicy],
+        workloads: &[(String, ScenarioWorkload)],
+        params: &FleetGridParams,
+    ) -> Self {
+        let mut cells = Vec::with_capacity(sizes.len() * dispatchers.len() * workloads.len());
+        let mut index = 0usize;
+        for &size in sizes {
+            for &dispatch in dispatchers {
+                for (workload_label, workload) in workloads {
+                    cells.push(FleetCell {
+                        workload_label: workload_label.clone(),
+                        workload: workload.clone(),
+                        size,
+                        dispatch,
+                        params: params.clone(),
+                        seed: derive_cell_seed(params.master_seed, index as u64),
+                        index,
+                    });
+                    index += 1;
+                }
+            }
+        }
+        FleetGrid { cells }
+    }
+
+    /// The cells, in index order.
+    #[must_use]
+    pub fn cells(&self) -> &[FleetCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdpm_device::presets;
+    use qdpm_workload::WorkloadSpec;
+
+    fn bernoulli(p: f64) -> ScenarioWorkload {
+        ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(p).unwrap())
+    }
+
+    fn uniform_fleet(n: usize, policy: FleetPolicy) -> Vec<FleetMember> {
+        (0..n)
+            .map(|i| FleetMember {
+                label: format!("dev-{i}"),
+                power: presets::three_state_generic(),
+                service: presets::default_service(),
+                policy: policy.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_fleet_rejected() {
+        let err = FleetSim::new(&[], &bernoulli(0.1), &FleetConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn fleet_runs_all_devices_for_the_horizon() {
+        let members = uniform_fleet(5, FleetPolicy::BreakEvenTimeout);
+        let config = FleetConfig {
+            horizon: 3_000,
+            ..FleetConfig::default()
+        };
+        let report = FleetSim::new(&members, &bernoulli(0.2), &config)
+            .unwrap()
+            .run(2);
+        assert_eq!(report.per_device.len(), 5);
+        assert!(report.per_device.iter().all(|s| s.steps == 3_000));
+        assert_eq!(report.stats.total.steps, 5 * 3_000);
+        assert_eq!(report.labels[3], "dev-3");
+    }
+
+    #[test]
+    fn fleet_total_arrivals_match_dispatched() {
+        let members = uniform_fleet(4, FleetPolicy::GreedyOff);
+        let config = FleetConfig {
+            horizon: 5_000,
+            dispatch: DispatchPolicy::LeastLoaded,
+            ..FleetConfig::default()
+        };
+        let fleet = FleetSim::new(&members, &bernoulli(0.35), &config).unwrap();
+        let dispatched = fleet.dispatched_arrivals();
+        assert!(dispatched > 0);
+        let report = fleet.run(1);
+        assert_eq!(report.stats.total.arrivals, dispatched);
+    }
+
+    #[test]
+    fn fleet_is_thread_count_invariant() {
+        let members = uniform_fleet(7, FleetPolicy::frozen_q_dpm());
+        let config = FleetConfig {
+            horizon: 2_000,
+            ..FleetConfig::default()
+        };
+        let build = || FleetSim::new(&members, &bernoulli(0.3), &config).unwrap();
+        let serial = build().run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, build().run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn shared_table_fleet_pools_experience_and_forces_serial() {
+        let members = uniform_fleet(3, FleetPolicy::frozen_shared_q_dpm());
+        let config = FleetConfig {
+            horizon: 2_000,
+            ..FleetConfig::default()
+        };
+        let fleet = FleetSim::new(&members, &bernoulli(0.3), &config).unwrap();
+        assert!(fleet.has_shared_table());
+        // Requesting many threads must still be deterministic (serial).
+        let a = FleetSim::new(&members, &bernoulli(0.3), &config)
+            .unwrap()
+            .run(8);
+        let b = fleet.run(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shared_table_dimension_mismatch_is_rejected() {
+        let mut members = uniform_fleet(2, FleetPolicy::frozen_shared_q_dpm());
+        members[1].power = presets::ibm_hdd(); // 4 states vs 3
+        let err = FleetSim::new(&members, &bernoulli(0.1), &FleetConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn shared_table_config_mismatch_is_rejected() {
+        let mut members = uniform_fleet(2, FleetPolicy::frozen_shared_q_dpm());
+        members[1].policy = FleetPolicy::SharedQDpm(QDpmConfig::default());
+        let err = FleetSim::new(&members, &bernoulli(0.1), &FleetConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn mixed_fleet_builds_every_policy_kind() {
+        let policies = FleetPolicy::all_exact();
+        assert!(policies.len() >= 9, "conformance gate needs >= 9 policies");
+        let members: Vec<FleetMember> = policies
+            .iter()
+            .enumerate()
+            .map(|(i, policy)| FleetMember {
+                label: format!("{}-{i}", policy.name()),
+                power: presets::three_state_generic(),
+                service: presets::default_service(),
+                policy: policy.clone(),
+            })
+            .collect();
+        let config = FleetConfig {
+            horizon: 1_000,
+            ..FleetConfig::default()
+        };
+        let report = FleetSim::new(&members, &bernoulli(0.4), &config)
+            .unwrap()
+            .run(2);
+        assert_eq!(report.per_device.len(), policies.len());
+    }
+
+    #[test]
+    fn fleet_stats_percentiles_and_occupancy() {
+        let mk = |energy: f64| {
+            let mut s = RunStats::new();
+            s.steps = 10;
+            s.total_energy = energy;
+            s
+        };
+        let per_device: Vec<RunStats> = (1..=10).map(|i| mk(i as f64)).collect();
+        let active = presets::three_state_generic().highest_power_state();
+        let modes: Vec<DeviceMode> = (0..10)
+            .map(|i| {
+                if i < 5 {
+                    DeviceMode::Operational(active)
+                } else {
+                    DeviceMode::Transitioning {
+                        from: active,
+                        to: active,
+                        remaining: 1,
+                    }
+                }
+            })
+            .collect();
+        let stats = FleetStats::aggregate(&per_device, &modes, 3);
+        assert_eq!(stats.devices, 10);
+        assert!((stats.total.total_energy - 55.0).abs() < 1e-12);
+        assert!((stats.mean_energy - 5.5).abs() < 1e-12);
+        assert_eq!(stats.energy_p50, 5.0);
+        assert_eq!(stats.energy_p90, 9.0);
+        assert_eq!(stats.energy_p99, 10.0);
+        assert!((stats.mode_occupancy[active.index()] - 0.5).abs() < 1e-12);
+        assert!((stats.transitioning - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_edges() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 100.0), 7.0);
+        assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 51.0), 2.0);
+    }
+
+    #[test]
+    fn fleet_grid_shape_order_and_seeds() {
+        let params = FleetGridParams {
+            horizon: 100,
+            ..FleetGridParams::default()
+        };
+        let grid = FleetGrid::cartesian(
+            &[2, 8],
+            &DispatchPolicy::all(),
+            &[("bern".to_string(), bernoulli(0.2))],
+            &params,
+        );
+        assert_eq!(grid.len(), 6);
+        for (i, cell) in grid.cells().iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert_eq!(cell.seed, derive_cell_seed(params.master_seed, i as u64));
+        }
+        assert_eq!(grid.cells()[0].size, 2);
+        assert_eq!(grid.cells()[3].size, 8);
+        let report = grid.cells()[0].run(2).unwrap();
+        assert_eq!(report.stats.devices, 2);
+        assert_eq!(report.stats.total.steps, 2 * 100);
+    }
+
+    #[test]
+    fn fleet_cell_members_cycle_the_mixes() {
+        let params = FleetGridParams {
+            device_mix: vec![
+                (
+                    "a".to_string(),
+                    presets::three_state_generic(),
+                    presets::default_service(),
+                ),
+                (
+                    "b".to_string(),
+                    presets::two_state(1.0, 0.1, 3, 1.2),
+                    presets::default_service(),
+                ),
+            ],
+            policy_mix: vec![FleetPolicy::AlwaysOn, FleetPolicy::GreedyOff],
+            ..FleetGridParams::default()
+        };
+        let cell = FleetCell {
+            workload_label: "bern".to_string(),
+            workload: bernoulli(0.1),
+            size: 5,
+            dispatch: DispatchPolicy::RoundRobin,
+            params,
+            seed: 1,
+            index: 0,
+        };
+        let members = cell.members();
+        assert_eq!(members.len(), 5);
+        assert_eq!(members[0].label, "a-0");
+        assert_eq!(members[1].label, "b-1");
+        assert_eq!(members[2].policy, FleetPolicy::AlwaysOn);
+        assert_eq!(members[3].policy, FleetPolicy::GreedyOff);
+    }
+}

@@ -26,11 +26,19 @@
 //! [`parallel::ScenarioGrid`] abstraction over arbitrary
 //! (device × workload × service × replicate) experiment grids — parallel
 //! output is byte-identical to the serial path at any thread count.
+//!
+//! The [`fleet`] module scales along the other axis: one [`FleetSim`]
+//! steps N heterogeneous devices (mixed presets, mixed policies,
+//! per-device or shared Q-tables) against a single aggregate workload
+//! strictly partitioned across them by a
+//! [`qdpm_workload::WorkloadDispatcher`], with closed-form [`FleetStats`]
+//! aggregation and a [`FleetGrid`] for fleet-size sweeps.
 
 mod adaptive;
 mod engine;
 mod error;
 pub mod experiment;
+pub mod fleet;
 mod metrics;
 pub mod parallel;
 pub mod policies;
@@ -38,6 +46,10 @@ pub mod policies;
 pub use adaptive::{AdaptiveConfig, AdaptiveSolver, ModelBasedAdaptive};
 pub use engine::{EngineMode, ObservationNoise, SimConfig, Simulator};
 pub use error::SimError;
+pub use fleet::{
+    FleetCell, FleetConfig, FleetGrid, FleetGridParams, FleetMember, FleetPolicy, FleetReport,
+    FleetSim, FleetStats,
+};
 pub use metrics::{RunStats, SeriesRecorder, WindowPoint};
 pub use parallel::{
     derive_cell_seed, run_indexed, GridParams, ScenarioCell, ScenarioGrid, ScenarioWorkload,

@@ -81,6 +81,22 @@ impl RunStats {
         }
     }
 
+    /// Folds another run's totals into these, field by field — the
+    /// aggregate accounting of the fleet layer. A left fold of per-device
+    /// stats in device order is the *defined* aggregation order, so fleet
+    /// totals are reproducible bit-for-bit (float addition is not
+    /// associative; re-ordering the fold would drift the low bits).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.steps += other.steps;
+        self.total_energy += other.total_energy;
+        self.total_cost += other.total_cost;
+        self.arrivals += other.arrivals;
+        self.completed += other.completed;
+        self.dropped += other.dropped;
+        self.queue_len_sum += other.queue_len_sum;
+        self.total_wait += other.total_wait;
+    }
+
     /// Mean energy per slice (average power).
     #[must_use]
     pub fn avg_power(&self) -> f64 {
@@ -350,6 +366,24 @@ mod tests {
             stepped.total_energy.to_bits()
         );
         assert_eq!(folded.total_cost.to_bits(), stepped.total_cost.to_bits());
+    }
+
+    #[test]
+    fn merge_is_the_field_by_field_fold() {
+        let w = RewardWeights::default();
+        let mut a = RunStats::new();
+        a.record(&outcome(1.7, 2, 0), &w, 3);
+        a.record(&outcome(0.3, 1, 1), &w, 0);
+        let mut b = RunStats::new();
+        b.record(&outcome(0.05, 0, 0), &w, 5);
+        // Recording b's slices directly after a's must equal merging.
+        let mut direct = a.clone();
+        direct.record(&outcome(0.05, 0, 0), &w, 5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.total_energy.to_bits(), direct.total_energy.to_bits());
+        assert_eq!(merged.steps, 3);
     }
 
     #[test]

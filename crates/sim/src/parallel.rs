@@ -58,12 +58,7 @@ pub fn available_threads() -> usize {
 /// reproducible.
 #[must_use]
 pub fn derive_cell_seed(master: u64, index: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-        .wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    qdpm_core::rng_util::splitmix64(master, index)
 }
 
 /// Runs `f` over every item on `threads` workers and returns the results
@@ -96,6 +91,55 @@ where
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let result = f(i, item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index visited exactly once")
+        })
+        .collect()
+}
+
+/// Runs `f` over every item *by mutable reference* on `threads` workers
+/// and returns the results in item order — the in-place sibling of
+/// [`run_indexed`], used by the fleet runner to drive a vector of live
+/// simulators without moving them.
+///
+/// Same sharding and determinism story as [`run_indexed`]: workers claim
+/// indices from a shared atomic cursor, each index is claimed exactly once
+/// (so every item's mutex is uncontended — it exists only to hand the
+/// mutable borrow across the scope safely under the workspace's
+/// `unsafe_code = "deny"`), results land in per-index slots, and
+/// `threads <= 1` runs serially on the caller's thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn run_indexed_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cells: Vec<Mutex<&mut T>> = items.iter_mut().map(Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let mut item = cell.lock().expect("item cell poisoned");
+                let result = f(i, &mut item);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -357,6 +401,25 @@ mod tests {
         for threads in [2, 4, 8] {
             let parallel = run_indexed(&items, threads, |i, &x| x * 3 + i as u64);
             assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_mut_mutates_in_place_and_preserves_order() {
+        let make = || (0..23u64).collect::<Vec<_>>();
+        let mut serial_items = make();
+        let serial = run_indexed_mut(&mut serial_items, 1, |i, x| {
+            *x += 100;
+            *x + i as u64
+        });
+        for threads in [2, 4, 8] {
+            let mut items = make();
+            let parallel = run_indexed_mut(&mut items, threads, |i, x| {
+                *x += 100;
+                *x + i as u64
+            });
+            assert_eq!(serial, parallel, "threads={threads}");
+            assert_eq!(serial_items, items, "threads={threads}: in-place effects");
         }
     }
 

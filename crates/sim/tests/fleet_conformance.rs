@@ -1,0 +1,325 @@
+//! Fleet-level cross-engine conformance and conservation suite.
+//!
+//! Mirrors `event_skip_equivalence.rs` one level up: a fleet built from
+//! randomness-free-commitment policies must produce *exactly* equal
+//! [`FleetStats`] (f64 totals bit-for-bit, via `PartialEq`) under
+//! `EngineMode::PerSlice` and `EngineMode::EventSkip`, because every
+//! per-device workload is a dispatched [`qdpm_workload::SparseTrace`]
+//! whose gap sampler consumes no randomness. A property test sweeps
+//! random fleets — mixed device presets, all ten [`FleetPolicy`] kinds,
+//! every dispatcher — and pinned cases cover each dispatcher explicitly.
+//!
+//! The same suite pins the fleet conservation laws:
+//!
+//! * **partition** — the dispatcher assigns every aggregate arrival to
+//!   exactly one device (fleet arrivals == dispatched == an independent
+//!   re-draw of the aggregate stream);
+//! * **fold** — `FleetStats::total` equals the left fold of the
+//!   per-device `RunStats` in device order, bit-for-bit.
+
+use proptest::prelude::*;
+use qdpm_device::presets;
+use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetReport, FleetSim};
+use qdpm_sim::{EngineMode, RunStats, ScenarioWorkload, SimConfig};
+use qdpm_workload::{DispatchPolicy, WorkloadSpec};
+
+/// The mixed-preset pool fleets draw from.
+fn preset_pool() -> Vec<(String, qdpm_device::PowerModel)> {
+    ["three-state-generic", "two-state", "ibm-hdd", "wlan-card"]
+        .iter()
+        .map(|name| {
+            (
+                (*name).to_string(),
+                presets::by_name(name).expect("known preset"),
+            )
+        })
+        .collect()
+}
+
+/// Builds a mixed fleet: device presets and exact policies cycled from
+/// the given offsets. Shared-table members are pinned to the generic
+/// three-state device so their table dimensions agree regardless of the
+/// preset cycle.
+fn mixed_members(size: usize, policy_offset: usize, preset_offset: usize) -> Vec<FleetMember> {
+    let presets_pool = preset_pool();
+    let policies = FleetPolicy::all_exact();
+    (0..size)
+        .map(|i| {
+            let policy = policies[(policy_offset + i) % policies.len()].clone();
+            let (label, power) = if matches!(policy, FleetPolicy::SharedQDpm(_)) {
+                (
+                    "three-state-generic".to_string(),
+                    presets::three_state_generic(),
+                )
+            } else {
+                presets_pool[(preset_offset + i) % presets_pool.len()].clone()
+            };
+            FleetMember {
+                label: format!("{label}-{i}"),
+                power,
+                service: presets::default_service(),
+                policy,
+            }
+        })
+        .collect()
+}
+
+fn aggregate_workload(kind: usize, rate: f64) -> ScenarioWorkload {
+    match kind {
+        0 => ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(rate).unwrap()),
+        1 => ScenarioWorkload::Stationary(
+            WorkloadSpec::two_mode_mmpp(rate * 0.2, (rate * 4.0).min(0.9), 0.01).unwrap(),
+        ),
+        _ => ScenarioWorkload::Piecewise(vec![
+            (700, WorkloadSpec::bernoulli(rate).unwrap()),
+            (500, WorkloadSpec::bernoulli((rate * 3.0).min(0.9)).unwrap()),
+        ]),
+    }
+}
+
+fn dispatcher(id: usize) -> DispatchPolicy {
+    DispatchPolicy::all()[id % DispatchPolicy::all().len()]
+}
+
+fn run_fleet(
+    members: &[FleetMember],
+    workload: &ScenarioWorkload,
+    dispatch: DispatchPolicy,
+    mode: EngineMode,
+    horizon: u64,
+    seed: u64,
+    threads: usize,
+) -> FleetReport {
+    FleetSim::new(
+        members,
+        workload,
+        &FleetConfig {
+            seed,
+            engine_mode: mode,
+            dispatch,
+            horizon,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("fleet builds")
+    .run(threads)
+}
+
+/// Left fold of per-device stats in device order — the defined
+/// aggregation `FleetStats::total` must match bit-for-bit.
+fn manual_fold(per_device: &[RunStats]) -> RunStats {
+    let mut total = RunStats::new();
+    for stats in per_device {
+        total.merge(stats);
+    }
+    total
+}
+
+fn assert_conservation(report: &FleetReport, dispatched: u64) {
+    // Partition: no aggregate arrival lost or duplicated.
+    assert_eq!(report.stats.total.arrivals, dispatched);
+    // Fold: fleet totals are exactly the ordered fold of device stats.
+    let fold = manual_fold(&report.per_device);
+    assert_eq!(report.stats.total, fold);
+    assert_eq!(
+        report.stats.total.total_energy.to_bits(),
+        fold.total_energy.to_bits()
+    );
+    assert_eq!(
+        report.stats.total.total_cost.to_bits(),
+        fold.total_cost.to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random mixed fleets: `PerSlice` and `EventSkip` agree exactly on
+    /// the full `FleetStats` (totals bit-for-bit, percentiles, occupancy)
+    /// across every dispatcher and all ten exact policies, at any thread
+    /// count — and both satisfy the conservation laws.
+    #[test]
+    fn fleet_event_skip_is_exact_on_random_fleets(
+        size in 1usize..14,
+        policy_offset in 0usize..10,
+        preset_offset in 0usize..4,
+        dispatch_id in 0usize..3,
+        workload_kind in 0usize..3,
+        rate in 0.02f64..0.6,
+        horizon in 300u64..2_500,
+        seed in 0u64..10_000,
+        threads in 1usize..5,
+    ) {
+        let members = mixed_members(size, policy_offset, preset_offset);
+        let workload = aggregate_workload(workload_kind, rate);
+        let dispatch = dispatcher(dispatch_id);
+        let per = run_fleet(&members, &workload, dispatch, EngineMode::PerSlice,
+                            horizon, seed, 1);
+        let skip = run_fleet(&members, &workload, dispatch, EngineMode::EventSkip,
+                             horizon, seed, threads);
+        prop_assert_eq!(&per.stats, &skip.stats);
+        prop_assert_eq!(&per.per_device, &skip.per_device);
+        prop_assert_eq!(&per.final_modes, &skip.final_modes);
+
+        let dispatched = FleetSim::new(&members, &workload, &FleetConfig {
+            seed, dispatch, horizon, ..FleetConfig::default()
+        }).unwrap().dispatched_arrivals();
+        assert_conservation(&per, dispatched);
+        assert_conservation(&skip, dispatched);
+    }
+}
+
+/// Pinned exact case per dispatcher: a 10-device fleet carrying every
+/// exact policy kind exactly once, on a bursty MMPP aggregate. This is
+/// the acceptance gate's canonical scenario: >= 9 policies x all
+/// dispatchers, `PerSlice` == `EventSkip` exactly.
+#[test]
+fn fleet_event_skip_pinned_all_policies_all_dispatchers() {
+    let policies = FleetPolicy::all_exact();
+    assert!(policies.len() >= 9, "gate requires >= 9 policies");
+    let members = mixed_members(policies.len(), 0, 0);
+    let workload = aggregate_workload(1, 0.3);
+    for dispatch in DispatchPolicy::all() {
+        let per = run_fleet(
+            &members,
+            &workload,
+            dispatch,
+            EngineMode::PerSlice,
+            6_000,
+            17,
+            1,
+        );
+        let skip = run_fleet(
+            &members,
+            &workload,
+            dispatch,
+            EngineMode::EventSkip,
+            6_000,
+            17,
+            4,
+        );
+        assert_eq!(per.stats, skip.stats, "{}", dispatch.name());
+        assert_eq!(per.per_device, skip.per_device, "{}", dispatch.name());
+    }
+}
+
+/// The fleet's per-device accounting is the single-device simulator's: a
+/// one-member fleet reproduces a standalone `Simulator` run over the same
+/// dispatched trace, stat for stat.
+#[test]
+fn one_member_fleet_matches_standalone_simulator() {
+    let members = mixed_members(1, 2, 0); // break-even timeout on 3-state
+    let workload = aggregate_workload(0, 0.25);
+    let horizon = 4_000u64;
+    let seed = 5u64;
+    let report = run_fleet(
+        &members,
+        &workload,
+        DispatchPolicy::RoundRobin,
+        EngineMode::PerSlice,
+        horizon,
+        seed,
+        1,
+    );
+
+    // Rebuild the identical dispatched trace by hand: with one device,
+    // the dispatch is the aggregate stream itself.
+    use rand::SeedableRng;
+    let mut gen = workload.build().unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut dispatcher =
+        qdpm_workload::WorkloadDispatcher::new(DispatchPolicy::RoundRobin, 1).unwrap();
+    let trace = dispatcher.split(gen.as_mut(), &mut rng, horizon).remove(0);
+
+    let power = presets::three_state_generic();
+    let pm = qdpm_sim::policies::FixedTimeout::break_even(&power);
+    let mut sim = qdpm_sim::Simulator::new(
+        power,
+        presets::default_service(),
+        Box::new(trace),
+        Box::new(pm),
+        SimConfig {
+            seed: qdpm_sim::derive_cell_seed(seed, 0),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
+    let standalone = sim.run(horizon);
+    assert_eq!(report.per_device[0], standalone);
+    assert_eq!(report.stats.total, standalone);
+}
+
+/// Conservation against an independent re-draw of the aggregate stream:
+/// the dispatched total is exactly what the aggregate generator emits
+/// over the horizon (the dispatcher invents and loses nothing), and the
+/// fleet's simulated arrivals agree.
+#[test]
+fn fleet_arrivals_equal_independent_aggregate_redraw() {
+    use rand::SeedableRng;
+    let seed = 23u64;
+    let horizon = 5_000u64;
+    let workload = aggregate_workload(1, 0.4);
+    for dispatch in DispatchPolicy::all() {
+        let members = mixed_members(6, 1, 1);
+        let fleet = FleetSim::new(
+            &members,
+            &workload,
+            &FleetConfig {
+                seed,
+                dispatch,
+                horizon,
+                ..FleetConfig::default()
+            },
+        )
+        .unwrap();
+        let dispatched = fleet.dispatched_arrivals();
+
+        // Same seed, same spec: the aggregate stream re-drawn directly.
+        let mut gen = workload.build().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let direct: u64 = (0..horizon)
+            .map(|_| u64::from(gen.next_arrivals(&mut rng)))
+            .sum();
+        assert_eq!(dispatched, direct, "{}", dispatch.name());
+
+        let report = fleet.run(3);
+        assert_eq!(report.stats.total.arrivals, direct, "{}", dispatch.name());
+        assert_conservation(&report, direct);
+    }
+}
+
+/// Shared-table fleets conform too: the serialized (forced single-thread)
+/// execution is engine-exact, and pooling actually happened (the shared
+/// members' devices all contributed updates to one table).
+#[test]
+fn shared_table_fleet_is_engine_exact() {
+    let members: Vec<FleetMember> = (0..5)
+        .map(|i| FleetMember {
+            label: format!("shared-{i}"),
+            power: presets::three_state_generic(),
+            service: presets::default_service(),
+            policy: FleetPolicy::frozen_shared_q_dpm(),
+        })
+        .collect();
+    let workload = aggregate_workload(0, 0.3);
+    let per = run_fleet(
+        &members,
+        &workload,
+        DispatchPolicy::LeastLoaded,
+        EngineMode::PerSlice,
+        5_000,
+        3,
+        4,
+    );
+    let skip = run_fleet(
+        &members,
+        &workload,
+        DispatchPolicy::LeastLoaded,
+        EngineMode::EventSkip,
+        5_000,
+        3,
+        4,
+    );
+    assert_eq!(per.stats, skip.stats);
+    assert_eq!(per.per_device, skip.per_device);
+}

@@ -1,0 +1,555 @@
+//! Splitting one aggregate arrival stream across a fleet of devices.
+//!
+//! The fleet layer in `qdpm-sim` models a service population (millions of
+//! users) as a *single* aggregate [`RequestGenerator`] whose arrivals are
+//! assigned to individual devices by a [`WorkloadDispatcher`]. The split is
+//! a strict partition — every aggregate arrival lands on exactly one
+//! device, none are invented — which the fleet conservation property tests
+//! in `qdpm-sim` pin.
+//!
+//! Dispatch happens *ahead of* simulation: [`WorkloadDispatcher::split`]
+//! materializes one [`SparseTrace`] per device over a fixed horizon, so the
+//! per-device simulations stay embarrassingly parallel (no cross-device
+//! coupling at run time) and deterministic (the assignment depends only on
+//! the aggregate stream and the dispatch policy, never on simulation
+//! scheduling).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{ArrivalGap, RequestGenerator, WorkloadError};
+
+/// How a [`WorkloadDispatcher`] assigns each aggregate arrival to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Arrival `i` goes to device `i mod n` (in arrival order, across
+    /// slices).
+    RoundRobin,
+    /// Each arrival goes to the device with the smallest *nominal backlog*:
+    /// the count of requests assigned to it so far minus a unit-rate drain
+    /// (each device sheds at most one outstanding request per slice, the
+    /// single-server queue's best case). Ties rotate fairly: among the
+    /// minimal-backlog devices, the one at or after a moving cursor wins —
+    /// without the rotation, any stream sparser than one arrival per slice
+    /// has all backlogs pinned at zero and every arrival would land on
+    /// device 0. The drain is a deterministic stand-in for the actual
+    /// stochastic service process — the dispatcher never inspects live
+    /// queues, so the split stays precomputable and device-independent.
+    LeastLoaded,
+    /// Arrival `i` goes to device `splitmix64(salt, i) mod n` — a
+    /// stateless, salted shard assignment (the fleet analog of consistent
+    /// hashing on a request key).
+    HashSharded {
+        /// Salt mixed into the per-arrival hash.
+        salt: u64,
+    },
+}
+
+impl DispatchPolicy {
+    /// Short display name for reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastLoaded => "least-loaded",
+            DispatchPolicy::HashSharded { .. } => "hash-sharded",
+        }
+    }
+
+    /// All policy kinds with default parameters, for sweep harnesses and
+    /// the fleet conformance suite.
+    #[must_use]
+    pub fn all() -> Vec<DispatchPolicy> {
+        vec![
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastLoaded,
+            DispatchPolicy::HashSharded { salt: 0 },
+        ]
+    }
+}
+
+// The workspace's one keyed SplitMix64 hash (shared with the parallel
+// runner's per-cell seed derivation), used here for stateless shard
+// hashing.
+use qdpm_core::rng_util::splitmix64;
+
+/// Assigns the arrivals of an aggregate stream to `n` devices, slice by
+/// slice, under a [`DispatchPolicy`].
+///
+/// The dispatcher is deterministic: given the same aggregate per-slice
+/// counts it produces the same assignment, independent of anything the
+/// devices do. Its only state is the policy's own (round-robin cursor,
+/// nominal backlogs, arrival sequence number).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadDispatcher {
+    policy: DispatchPolicy,
+    n_devices: usize,
+    /// Next device for round-robin assignment.
+    cursor: usize,
+    /// Aggregate arrivals assigned so far (the hash-shard key).
+    seq: u64,
+    /// Nominal per-device backlog for least-loaded assignment.
+    backlog: Vec<u64>,
+}
+
+impl WorkloadDispatcher {
+    /// Creates a dispatcher over `n_devices` devices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::EmptyFleet`] when `n_devices` is zero.
+    pub fn new(policy: DispatchPolicy, n_devices: usize) -> Result<Self, WorkloadError> {
+        if n_devices == 0 {
+            return Err(WorkloadError::EmptyFleet);
+        }
+        Ok(WorkloadDispatcher {
+            policy,
+            n_devices,
+            cursor: 0,
+            seq: 0,
+            backlog: vec![0; n_devices],
+        })
+    }
+
+    /// The dispatch policy.
+    #[must_use]
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// Number of devices arrivals are split across.
+    #[must_use]
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Assigns one slice's `count` aggregate arrivals across the devices,
+    /// writing per-device counts into `assign` (zeroed first). The sum of
+    /// `assign` always equals `count` — a strict partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len() != n_devices`.
+    pub fn dispatch_slice(&mut self, count: u32, assign: &mut [u32]) {
+        assert_eq!(
+            assign.len(),
+            self.n_devices,
+            "assignment buffer must have one slot per device"
+        );
+        assign.fill(0);
+        for _ in 0..count {
+            let target = match self.policy {
+                DispatchPolicy::RoundRobin => {
+                    let t = self.cursor;
+                    self.cursor = (self.cursor + 1) % self.n_devices;
+                    t
+                }
+                DispatchPolicy::LeastLoaded => {
+                    // Smallest backlog; ties rotate via the cursor (cyclic
+                    // distance from it breaks the tie) so an all-quiet
+                    // fleet spreads arrivals instead of piling device 0.
+                    let n = self.n_devices;
+                    let cursor = self.cursor;
+                    let t = self
+                        .backlog
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, &b)| (b, (i + n - cursor % n) % n))
+                        .map(|(i, _)| i)
+                        .expect("dispatcher has at least one device");
+                    self.backlog[t] += 1;
+                    self.cursor = (t + 1) % n;
+                    t
+                }
+                DispatchPolicy::HashSharded { salt } => {
+                    (splitmix64(salt, self.seq) % self.n_devices as u64) as usize
+                }
+            };
+            self.seq += 1;
+            assign[target] += 1;
+        }
+        if self.policy == DispatchPolicy::LeastLoaded {
+            // End of slice: nominal unit-rate drain.
+            for b in &mut self.backlog {
+                *b = b.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Applies the end-of-slice bookkeeping of `slices` arrival-free
+    /// slices in one step (for [`DispatchPolicy::LeastLoaded`], the
+    /// nominal unit-rate drain; the other policies are stateless across
+    /// quiet slices). `saturating_sub` makes the bulk drain exactly equal
+    /// to `slices` repeated [`WorkloadDispatcher::dispatch_slice`]`(0, ..)`
+    /// calls.
+    pub fn advance_quiet(&mut self, slices: u64) {
+        if self.policy == DispatchPolicy::LeastLoaded && slices > 0 {
+            for b in &mut self.backlog {
+                *b = b.saturating_sub(slices);
+            }
+        }
+    }
+
+    /// Draws `slices` slices from `aggregate` and splits them into one
+    /// [`SparseTrace`] per device over that horizon. The returned traces
+    /// partition the aggregate stream: summed per slice they reproduce the
+    /// aggregate counts exactly, and the assignment is identical to
+    /// driving [`WorkloadDispatcher::dispatch_slice`] slice by slice
+    /// (quiet slices drain via [`WorkloadDispatcher::advance_quiet`]).
+    pub fn split(
+        &mut self,
+        aggregate: &mut dyn RequestGenerator,
+        rng: &mut dyn Rng,
+        slices: u64,
+    ) -> Vec<SparseTrace> {
+        let mut events: Vec<Vec<(u64, u32)>> = vec![Vec::new(); self.n_devices];
+        let mut assign = vec![0u32; self.n_devices];
+        let mut quiet = 0u64;
+        for now in 0..slices {
+            let count = aggregate.next_arrivals(rng);
+            if count == 0 {
+                quiet += 1;
+                continue;
+            }
+            self.advance_quiet(quiet);
+            quiet = 0;
+            self.dispatch_slice(count, &mut assign);
+            for (device, &c) in assign.iter().enumerate() {
+                if c > 0 {
+                    events[device].push((now, c));
+                }
+            }
+        }
+        self.advance_quiet(quiet);
+        events
+            .into_iter()
+            .map(|ev| SparseTrace::new(ev, slices).expect("split emits sorted in-horizon events"))
+            .collect()
+    }
+
+    /// Restores the dispatcher's initial state.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+        self.seq = 0;
+        self.backlog.fill(0);
+    }
+}
+
+/// A non-looping arrival trace stored sparsely as `(slice, count)` events
+/// over a fixed horizon — the per-device output of a fleet dispatch.
+///
+/// Beyond the horizon the trace is quiet forever (unlike [`crate::TraceReplay`],
+/// which wraps around); fleet simulations run exactly the horizon, so the
+/// tail is never observed. [`RequestGenerator::next_arrival_gap`] is
+/// overridden with an exact, randomness-free jump to the next event, so
+/// the event-skipping engine is *bit-exact* against per-slice stepping on
+/// these traces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseTrace {
+    /// `(slice, count)` events, strictly increasing in slice, counts >= 1.
+    events: Vec<(u64, u32)>,
+    /// Slices the trace is defined over; events all land before it.
+    horizon: u64,
+    /// Next event index.
+    pos: usize,
+    /// Current slice.
+    now: u64,
+}
+
+impl SparseTrace {
+    /// Creates a sparse trace from sorted events over `horizon` slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::UnsortedEvents`] when slices are not
+    /// strictly increasing, a count is zero, or an event lies at or beyond
+    /// the horizon.
+    pub fn new(events: Vec<(u64, u32)>, horizon: u64) -> Result<Self, WorkloadError> {
+        let mut last: Option<u64> = None;
+        for &(slice, count) in &events {
+            if count == 0 || slice >= horizon || last.is_some_and(|l| slice <= l) {
+                return Err(WorkloadError::UnsortedEvents { slice, count });
+            }
+            last = Some(slice);
+        }
+        Ok(SparseTrace {
+            events,
+            horizon,
+            pos: 0,
+            now: 0,
+        })
+    }
+
+    /// The horizon (slices the trace is defined over).
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The `(slice, count)` events.
+    #[must_use]
+    pub fn events(&self) -> &[(u64, u32)] {
+        &self.events
+    }
+
+    /// Total arrivals across the horizon.
+    #[must_use]
+    pub fn total_arrivals(&self) -> u64 {
+        self.events.iter().map(|&(_, c)| u64::from(c)).sum()
+    }
+
+    /// Expands to a dense per-slice count vector of horizon length (for
+    /// consumers that need random access, e.g. the clairvoyant oracle).
+    /// Costs `O(horizon)` memory — intended for test- and report-sized
+    /// horizons, not million-slice fleets.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<u32> {
+        let mut dense = vec![0u32; usize::try_from(self.horizon).expect("horizon fits usize")];
+        for &(slice, count) in &self.events {
+            dense[usize::try_from(slice).expect("event within horizon")] = count;
+        }
+        dense
+    }
+}
+
+impl RequestGenerator for SparseTrace {
+    fn next_arrivals(&mut self, _rng: &mut dyn Rng) -> u32 {
+        let count = match self.events.get(self.pos) {
+            Some(&(slice, count)) if slice == self.now => {
+                self.pos += 1;
+                count
+            }
+            _ => 0,
+        };
+        self.now += 1;
+        count
+    }
+
+    fn next_arrival_gap(&mut self, _rng: &mut dyn Rng, limit: u64) -> ArrivalGap {
+        // Exact, randomness-free: identical arrival sequence to per-slice
+        // stepping, no RNG consumed either way.
+        match self.events.get(self.pos) {
+            Some(&(slice, count)) if slice - self.now < limit => {
+                let empty = slice - self.now;
+                self.now = slice + 1;
+                self.pos += 1;
+                ArrivalGap::Arrival { empty, count }
+            }
+            _ => {
+                self.now += limit;
+                ArrivalGap::Quiet { advanced: limit }
+            }
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        if self.horizon == 0 {
+            return None;
+        }
+        Some(self.total_arrivals() as f64 / self.horizon as f64)
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+        self.now = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BernoulliArrivals, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn replayed(traces: &[SparseTrace], slices: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(0);
+        traces
+            .iter()
+            .map(|t| {
+                let mut t = t.clone();
+                (0..slices).map(|_| t.next_arrivals(&mut rng)).collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_devices_rejected() {
+        assert_eq!(
+            WorkloadDispatcher::new(DispatchPolicy::RoundRobin, 0).unwrap_err(),
+            WorkloadError::EmptyFleet
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles_across_slices() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::RoundRobin, 3).unwrap();
+        let mut a = vec![0u32; 3];
+        d.dispatch_slice(4, &mut a);
+        assert_eq!(a, vec![2, 1, 1]);
+        d.dispatch_slice(2, &mut a);
+        // Cursor carried over: next arrivals land on devices 1 and 2.
+        assert_eq!(a, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_emptiest_and_drains() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::LeastLoaded, 2).unwrap();
+        let mut a = vec![0u32; 2];
+        // Burst of 3: device 0 gets 2 (ties break low), device 1 gets 1.
+        d.dispatch_slice(3, &mut a);
+        assert_eq!(a, vec![2, 1]);
+        // After the unit drain backlogs are [1, 0]: next arrival goes to 1.
+        d.dispatch_slice(1, &mut a);
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn hash_sharded_is_stateless_in_position_but_keyed_by_seq() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::HashSharded { salt: 7 }, 4).unwrap();
+        let mut a = vec![0u32; 4];
+        d.dispatch_slice(100, &mut a);
+        let first: u32 = a.iter().sum();
+        assert_eq!(first, 100);
+        // A different salt shards differently.
+        let mut d2 = WorkloadDispatcher::new(DispatchPolicy::HashSharded { salt: 8 }, 4).unwrap();
+        let mut b = vec![0u32; 4];
+        d2.dispatch_slice(100, &mut b);
+        assert_ne!(a, b, "salts must change the assignment");
+    }
+
+    #[test]
+    fn split_partitions_the_aggregate_stream() {
+        for policy in DispatchPolicy::all() {
+            let slices = 500u64;
+            let mut gen = BernoulliArrivals::new(0.4).unwrap();
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut d = WorkloadDispatcher::new(policy, 3).unwrap();
+            let traces = d.split(&mut gen, &mut rng, slices);
+
+            // Re-draw the identical aggregate stream.
+            let mut gen2 = BernoulliArrivals::new(0.4).unwrap();
+            let mut rng2 = StdRng::seed_from_u64(11);
+            let aggregate: Vec<u32> = (0..slices).map(|_| gen2.next_arrivals(&mut rng2)).collect();
+
+            let per_device = replayed(&traces, slices);
+            for (t, agg) in (0..slices as usize).map(|t| (t, aggregate[t])) {
+                let sum: u32 = per_device.iter().map(|d| d[t]).sum();
+                assert_eq!(sum, agg, "{}: slice {t} not partitioned", policy.name());
+            }
+        }
+    }
+
+    #[test]
+    fn split_matches_slice_by_slice_dispatch() {
+        // Bursts followed by long quiet gaps, so the least-loaded drain
+        // actually has backlog to shed across the gaps.
+        let pattern = vec![5u32, 0, 0, 2, 0, 0, 0, 0, 3, 0, 1, 0, 0, 0, 0, 4];
+        let slices = 400u64;
+        for policy in DispatchPolicy::all() {
+            let mut gen = crate::TraceReplay::new(pattern.clone()).unwrap();
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut d = WorkloadDispatcher::new(policy, 4).unwrap();
+            let traces = d.split(&mut gen, &mut rng, slices);
+            let via_split = replayed(&traces, slices);
+
+            let mut gen2 = crate::TraceReplay::new(pattern.clone()).unwrap();
+            let mut rng2 = StdRng::seed_from_u64(77);
+            let mut d2 = WorkloadDispatcher::new(policy, 4).unwrap();
+            let mut assign = vec![0u32; 4];
+            let mut manual = vec![vec![0u32; slices as usize]; 4];
+            for t in 0..slices as usize {
+                let count = gen2.next_arrivals(&mut rng2);
+                d2.dispatch_slice(count, &mut assign);
+                for (device, row) in manual.iter_mut().enumerate() {
+                    row[t] = assign[device];
+                }
+            }
+            assert_eq!(via_split, manual, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn advance_quiet_equals_repeated_empty_slices() {
+        let mut bulk = WorkloadDispatcher::new(DispatchPolicy::LeastLoaded, 3).unwrap();
+        let mut step = bulk.clone();
+        let mut assign = vec![0u32; 3];
+        bulk.dispatch_slice(7, &mut assign);
+        step.dispatch_slice(7, &mut assign);
+        bulk.advance_quiet(5);
+        for _ in 0..5 {
+            step.dispatch_slice(0, &mut assign);
+        }
+        assert_eq!(bulk, step);
+    }
+
+    #[test]
+    fn sparse_trace_validates() {
+        assert!(SparseTrace::new(vec![(0, 1), (5, 2)], 10).is_ok());
+        assert!(SparseTrace::new(vec![(5, 1), (5, 2)], 10).is_err()); // duplicate
+        assert!(SparseTrace::new(vec![(5, 1), (3, 2)], 10).is_err()); // unsorted
+        assert!(SparseTrace::new(vec![(5, 0)], 10).is_err()); // zero count
+        assert!(SparseTrace::new(vec![(10, 1)], 10).is_err()); // beyond horizon
+        assert!(SparseTrace::new(vec![], 10).is_ok()); // all-quiet is fine
+    }
+
+    #[test]
+    fn sparse_trace_replays_and_is_quiet_past_horizon() {
+        let mut t = SparseTrace::new(vec![(1, 2), (3, 1)], 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let seq: Vec<u32> = (0..8).map(|_| t.next_arrivals(&mut rng)).collect();
+        assert_eq!(seq, vec![0, 2, 0, 1, 0, 0, 0, 0]);
+        t.reset();
+        assert_eq!(t.next_arrivals(&mut rng), 0);
+        assert_eq!(t.next_arrivals(&mut rng), 2);
+    }
+
+    #[test]
+    fn sparse_trace_gap_matches_per_slice_stepping_exactly() {
+        let trace = SparseTrace::new(vec![(2, 1), (3, 2), (40, 1)], 64).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        // Walk via gaps with varying limits and mirror per-slice.
+        let mut via_gap = trace.clone();
+        let mut via_step = trace.clone();
+        let mut gap_seq = Vec::new();
+        let mut consumed = 0u64;
+        for limit in [1u64, 2, 5, 64, 7, 64] {
+            match via_gap.next_arrival_gap(&mut rng, limit) {
+                ArrivalGap::Arrival { empty, count } => {
+                    gap_seq.extend(std::iter::repeat_n(0, empty as usize));
+                    gap_seq.push(count);
+                    consumed += empty + 1;
+                }
+                ArrivalGap::Quiet { advanced } => {
+                    gap_seq.extend(std::iter::repeat_n(0, advanced as usize));
+                    consumed += advanced;
+                }
+            }
+        }
+        let step_seq: Vec<u32> = (0..consumed)
+            .map(|_| via_step.next_arrivals(&mut rng))
+            .collect();
+        assert_eq!(gap_seq, step_seq);
+    }
+
+    #[test]
+    fn sparse_trace_mean_rate_and_dense() {
+        let t = SparseTrace::new(vec![(0, 1), (7, 3)], 8).unwrap();
+        assert_eq!(t.total_arrivals(), 4);
+        assert!((t.mean_rate().unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(t.to_dense(), vec![1, 0, 0, 0, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn split_of_spec_built_generator_runs() {
+        let mut gen = WorkloadSpec::two_mode_mmpp(0.05, 0.6, 0.01)
+            .unwrap()
+            .build();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::LeastLoaded, 8).unwrap();
+        let traces = d.split(gen.as_mut(), &mut rng, 2_000);
+        assert_eq!(traces.len(), 8);
+        let total: u64 = traces.iter().map(SparseTrace::total_arrivals).sum();
+        assert!(total > 0);
+    }
+}

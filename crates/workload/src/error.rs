@@ -28,6 +28,16 @@ pub enum WorkloadError {
     EmptySegments,
     /// A trace replay was given an empty trace.
     EmptyTrace,
+    /// A workload dispatcher was given zero devices to split across.
+    EmptyFleet,
+    /// A sparse trace event list was unsorted, carried a zero count, or
+    /// reached past the horizon.
+    UnsortedEvents {
+        /// Slice index of the offending event.
+        slice: u64,
+        /// Count of the offending event.
+        count: u32,
+    },
 }
 
 impl fmt::Display for WorkloadError {
@@ -46,6 +56,14 @@ impl fmt::Display for WorkloadError {
                 write!(f, "piecewise workload needs at least one non-empty segment")
             }
             WorkloadError::EmptyTrace => write!(f, "trace replay needs a non-empty trace"),
+            WorkloadError::EmptyFleet => {
+                write!(f, "workload dispatch needs at least one device")
+            }
+            WorkloadError::UnsortedEvents { slice, count } => write!(
+                f,
+                "sparse trace event (slice {slice}, count {count}) is unsorted, \
+                 zero-count, or beyond the horizon"
+            ),
         }
     }
 }

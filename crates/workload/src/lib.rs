@@ -12,6 +12,9 @@
 //! * [`TraceReplay`] and [`TraceRecorder`] for deterministic replay;
 //! * [`PiecewiseStationary`] — segments of stationary workloads with explicit
 //!   switch points (the Fig. 2 driver);
+//! * [`WorkloadDispatcher`] / [`SparseTrace`] — fleet-scale dispatch: one
+//!   aggregate stream strictly partitioned across N devices (round-robin,
+//!   least-loaded, hash-sharded) as sparse per-device traces;
 //! * [`WorkloadSpec`] — a serde-serializable description that both builds a
 //!   generator and, when the workload is Markovian, exports the exact
 //!   [`MarkovArrivalModel`] consumed by the model-based optimal baseline;
@@ -31,6 +34,7 @@
 //! assert!(arrivals > 120 && arrivals < 280); // ~200 expected
 //! ```
 
+mod dispatch;
 mod drift;
 mod error;
 mod estimator;
@@ -43,6 +47,7 @@ mod trace;
 
 use rand::Rng;
 
+pub use dispatch::{DispatchPolicy, SparseTrace, WorkloadDispatcher};
 pub use drift::{RandomWalkRate, SinusoidalRate};
 pub use error::WorkloadError;
 pub use estimator::{EwmaRateEstimator, PageHinkley, RateEstimator};
