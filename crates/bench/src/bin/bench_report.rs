@@ -3,13 +3,15 @@
 //! Measures steady-state simulation throughput (slices per second) on
 //! pinned scenarios — serial single-simulator runs per policy, a parallel
 //! grid driven through `qdpm_sim::parallel::run_indexed`, the
-//! event-skipping engine on a sparse workload, and a 1000-device fleet
-//! (`qdpm_sim::fleet`) timed serial vs parallel in both engine modes —
-//! and writes the result to `BENCH_throughput.json` at the workspace
-//! root. Every PR regenerates
-//! the file (CI runs `--quick`, diffs the serial numbers against the
-//! committed point, and uploads the artifact), so the sequence of JSONs
-//! across PRs is the throughput trajectory of the hot path.
+//! event-skipping engine on a sparse workload, a 1000-device fleet
+//! (`qdpm_sim::fleet`) timed serial vs parallel in both engine modes, a
+//! per-dispatcher fleet sweep (all five `DispatchPolicy`s, precomputed
+//! and online), and a pinned power-capped cluster
+//! (`qdpm_sim::hierarchy`) with per-rack rows — and writes the result to
+//! `BENCH_throughput.json` at the workspace root (schema v4). Each run
+//! also *appends* a compact point to the file's `trajectory` array,
+//! carrying earlier points forward verbatim, so the committed file holds
+//! the throughput trajectory itself, not just its latest point.
 //!
 //! Usage: `cargo run --release -p qdpm-bench --bin bench_report -- [--quick] [--threads N]`
 //!
@@ -24,6 +26,7 @@ use qdpm_core::{
     QosQDpmAgent,
 };
 use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetSim};
+use qdpm_sim::hierarchy::{ClusterConfig, ClusterSim, RackSpec};
 use qdpm_sim::parallel::{derive_cell_seed, run_indexed};
 use qdpm_sim::{policies, EngineMode, ScenarioWorkload, SimConfig, Simulator};
 use qdpm_workload::{DispatchPolicy, WorkloadSpec};
@@ -107,28 +110,32 @@ fn grid_seconds(cells: usize, slices_per_cell: u64, threads: usize) -> f64 {
     secs
 }
 
-/// The pinned fleet scenario: `devices` standard three-state devices under
-/// break-even timeouts, one aggregate Bernoulli(0.5) stream round-robin
-/// dispatched across them (per-device rate 0.5/devices — the quiescent
-/// regime a real fleet lives in).
-fn fleet_sim(devices: usize, horizon: u64, mode: EngineMode) -> FleetSim {
+/// The pinned fleet members: `devices` standard three-state devices under
+/// break-even timeouts.
+fn fleet_members(devices: usize) -> Vec<FleetMember> {
     let (power, service) = standard_device();
-    let members: Vec<FleetMember> = (0..devices)
+    (0..devices)
         .map(|i| FleetMember {
             label: format!("dev-{i}"),
             power: power.clone(),
             service,
             policy: FleetPolicy::BreakEvenTimeout,
         })
-        .collect();
+        .collect()
+}
+
+/// The pinned fleet scenario: `devices` members behind one aggregate
+/// Bernoulli(0.5) stream (per-device rate 0.5/devices — the quiescent
+/// regime a real fleet lives in) under the given dispatcher.
+fn fleet_sim(devices: usize, horizon: u64, mode: EngineMode, dispatch: DispatchPolicy) -> FleetSim {
     let aggregate = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
     FleetSim::new(
-        &members,
+        &fleet_members(devices),
         &aggregate,
         &FleetConfig {
             seed: SEED,
             engine_mode: mode,
-            dispatch: DispatchPolicy::RoundRobin,
+            dispatch,
             horizon,
             ..FleetConfig::default()
         },
@@ -137,9 +144,16 @@ fn fleet_sim(devices: usize, horizon: u64, mode: EngineMode) -> FleetSim {
 }
 
 /// Wall-clock seconds to run the pinned fleet on `threads` workers
-/// (construction and dispatch excluded — only simulation is timed).
-fn fleet_seconds(devices: usize, horizon: u64, mode: EngineMode, threads: usize) -> f64 {
-    let fleet = fleet_sim(devices, horizon, mode);
+/// (construction and dispatch-trace precomputation excluded — only the
+/// `run` call is timed, which for online dispatchers includes routing).
+fn fleet_seconds(
+    devices: usize,
+    horizon: u64,
+    mode: EngineMode,
+    dispatch: DispatchPolicy,
+    threads: usize,
+) -> f64 {
+    let fleet = fleet_sim(devices, horizon, mode, dispatch);
     let start = Instant::now();
     let report = fleet.run(threads);
     let secs = start.elapsed().as_secs_f64();
@@ -149,6 +163,27 @@ fn fleet_seconds(devices: usize, horizon: u64, mode: EngineMode, threads: usize)
         "every device must run the full horizon"
     );
     secs
+}
+
+/// Pulls the inner lines of the `"trajectory": [...]` array out of the
+/// previously committed report, so each run appends to the series rather
+/// than resetting it. Pre-v4 files have no array — the series starts
+/// empty. (No serde backend is wired up, so this is a string extraction;
+/// the array is written one point per line by this binary.)
+fn prior_trajectory(text: &str) -> Vec<String> {
+    let marker = "\"trajectory\": [";
+    let Some(start) = text.find(marker) else {
+        return Vec::new();
+    };
+    let rest = &text[start + marker.len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .lines()
+        .map(|line| line.trim().trim_end_matches(',').to_string())
+        .filter(|line| !line.is_empty())
+        .collect()
 }
 
 fn main() {
@@ -181,6 +216,19 @@ fn main() {
     } else {
         (1_000usize, 100_000u64)
     };
+    // The dispatcher sweep and the capped cluster run smaller pinned
+    // populations: the point is comparing routing regimes, not re-timing
+    // the 1k-device scaling the `modes` section already covers.
+    let (dispatch_devices, dispatch_horizon) = if quick {
+        (200usize, 20_000u64)
+    } else {
+        (200usize, 50_000u64)
+    };
+    let (hier_racks, hier_rack_devices, hier_cap, hier_horizon) = if quick {
+        (4usize, 50usize, 6.0f64, 20_000u64)
+    } else {
+        (4usize, 50usize, 6.0f64, 50_000u64)
+    };
 
     let policies = [
         "always_on",
@@ -190,9 +238,13 @@ fn main() {
         "fuzzy_q_dpm",
     ];
     let mut policy_lines = Vec::new();
+    let mut serial_q_dpm = 0.0f64;
     for policy in policies {
         let sps = throughput(policy, ARRIVAL_P, EngineMode::PerSlice, warmup, measure);
         eprintln!("serial {policy}: {sps:.0} slices/sec");
+        if policy == "q_dpm" {
+            serial_q_dpm = sps;
+        }
         policy_lines.push(format!("      \"{policy}\": {sps:.1}"));
     }
 
@@ -205,6 +257,7 @@ fn main() {
         "q_dpm_eval",
     ];
     let mut skip_lines = Vec::new();
+    let mut skip_q_dpm_eval = 0.0f64;
     for policy in skip_policies {
         let per = throughput(
             policy,
@@ -221,6 +274,9 @@ fn main() {
             skip_measure,
         );
         let speedup = skip / per;
+        if policy == "q_dpm_eval" {
+            skip_q_dpm_eval = skip;
+        }
         eprintln!(
             "event_skip {policy}: per-slice {per:.0}, event-skip {skip:.0} slices/sec \
              ({speedup:.2}x)"
@@ -234,7 +290,7 @@ fn main() {
     // Parallel grid: the speedup is only meaningful when more than one
     // worker can actually run — on a 1-thread configuration the "parallel"
     // run repeats the serial one and the ratio is pure noise, so it is
-    // recorded as null (see satellite: requested vs effective threads).
+    // recorded as null (documented in schema_notes).
     let threads_effective = threads_requested.min(cells).max(1);
     let serial_secs = grid_seconds(cells, slices_per_cell, 1);
     let (parallel_secs, speedup_json) = if threads_effective > 1 {
@@ -252,23 +308,40 @@ fn main() {
     );
 
     // Fleet section: the pinned 1k-device Bernoulli fleet timed serial vs
-    // parallel in both engine modes. As with the parallel grid, the
-    // speedup is only meaningful when more than one worker can run;
-    // otherwise it is recorded as null.
+    // parallel in both engine modes (round-robin dispatch — the cheapest,
+    // kept fixed so the series stays comparable across reports). As with
+    // the parallel grid, the speedup is only meaningful when more than
+    // one worker can run; otherwise it is recorded as null.
     let fleet_threads = threads_requested.min(fleet_devices).max(1);
     let fleet_slices = (fleet_devices as u64 * fleet_horizon) as f64;
     let mut fleet_lines = Vec::new();
+    let mut fleet_event_skip_serial = 0.0f64;
     for (key, mode) in [
         ("per_slice", EngineMode::PerSlice),
         ("event_skip", EngineMode::EventSkip),
     ] {
-        let serial_secs = fleet_seconds(fleet_devices, fleet_horizon, mode, 1);
+        let serial_secs = fleet_seconds(
+            fleet_devices,
+            fleet_horizon,
+            mode,
+            DispatchPolicy::RoundRobin,
+            1,
+        );
         let (parallel_secs, speedup_json) = if fleet_threads > 1 {
-            let psecs = fleet_seconds(fleet_devices, fleet_horizon, mode, fleet_threads);
+            let psecs = fleet_seconds(
+                fleet_devices,
+                fleet_horizon,
+                mode,
+                DispatchPolicy::RoundRobin,
+                fleet_threads,
+            );
             (psecs, format!("{:.3}", serial_secs / psecs))
         } else {
             (serial_secs, "null".to_string())
         };
+        if key == "event_skip" {
+            fleet_event_skip_serial = fleet_slices / serial_secs;
+        }
         eprintln!(
             "fleet {key} ({fleet_devices} devices x {fleet_horizon} slices): serial {:.0} \
              slices/sec, {fleet_threads}-thread {:.0} slices/sec, speedup {speedup_json}",
@@ -283,13 +356,104 @@ fn main() {
         ));
     }
 
+    // Dispatcher sweep: every routing policy on one smaller pinned fleet,
+    // EventSkip, serial — the state-blind rows run the precomputed split,
+    // the state-aware rows run the online loop (routing cost included).
+    let dispatch_slices = (dispatch_devices as u64 * dispatch_horizon) as f64;
+    let mut dispatcher_lines = Vec::new();
+    for (key, dispatch) in [
+        ("round_robin", DispatchPolicy::RoundRobin),
+        ("least_loaded", DispatchPolicy::LeastLoaded),
+        ("hash_sharded", DispatchPolicy::HashSharded { salt: SEED }),
+        ("join_shortest_queue", DispatchPolicy::JoinShortestQueue),
+        ("sleep_aware", DispatchPolicy::SleepAware { spill: 4 }),
+    ] {
+        let secs = fleet_seconds(
+            dispatch_devices,
+            dispatch_horizon,
+            EngineMode::EventSkip,
+            dispatch,
+            1,
+        );
+        let sps = dispatch_slices / secs;
+        eprintln!("dispatch {key}: {sps:.0} slices/sec (serial, event-skip)");
+        dispatcher_lines.push(format!("      \"{key}\": {sps:.1}"));
+    }
+
+    // Hierarchy section: a pinned power-capped cluster — racks of
+    // break-even-timeout devices under sleep-aware intra-rack dispatch
+    // and per-rack caps, join-shortest-queue across racks — with one row
+    // per rack (energy, vetoes, sheds) and the serial throughput.
+    let hier_devices = hier_racks * hier_rack_devices;
+    let hier_specs: Vec<RackSpec> = (0..hier_racks)
+        .map(|r| RackSpec {
+            label: format!("rack-{r}"),
+            members: fleet_members(hier_rack_devices),
+            power_cap: Some(hier_cap),
+        })
+        .collect();
+    let hier_aggregate = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    let cluster = ClusterSim::new(
+        &hier_specs,
+        &hier_aggregate,
+        &ClusterConfig {
+            rack_dispatch: DispatchPolicy::JoinShortestQueue,
+            fleet: FleetConfig {
+                seed: SEED,
+                engine_mode: EngineMode::EventSkip,
+                dispatch: DispatchPolicy::SleepAware { spill: 4 },
+                horizon: hier_horizon,
+                ..FleetConfig::default()
+            },
+        },
+    )
+    .expect("pinned cluster scenario builds");
+    let hier_start = Instant::now();
+    let cluster_report = cluster.run(1);
+    let hier_secs = hier_start.elapsed().as_secs_f64();
+    let hier_slices = (hier_devices as u64 * hier_horizon) as f64;
+    let hier_sps = hier_slices / hier_secs;
+    eprintln!(
+        "hierarchy ({hier_racks} racks x {hier_rack_devices} devices, cap {hier_cap}): \
+         {hier_sps:.0} slices/sec (serial, event-skip)"
+    );
+    let rack_lines: Vec<String> = cluster_report
+        .racks
+        .iter()
+        .map(|rack| {
+            format!(
+                "      {{ \"label\": \"{}\", \"energy\": {:.1}, \"vetoed_wakeups\": {}, \
+                 \"shed_arrivals\": {} }}",
+                rack.label,
+                rack.fleet.stats.total.total_energy,
+                rack.vetoed_wakeups,
+                rack.shed_arrivals
+            )
+        })
+        .collect();
+
     let generated_unix = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let path = workspace_root().join("BENCH_throughput.json");
+
+    // The trajectory: earlier points carried forward from the committed
+    // file, this run's compact point appended.
+    let mut trajectory = std::fs::read_to_string(&path)
+        .map(|text| prior_trajectory(&text))
+        .unwrap_or_default();
+    trajectory.push(format!(
+        "{{ \"generated_unix\": {generated_unix}, \"quick\": {quick}, \
+         \"serial_q_dpm\": {serial_q_dpm:.1}, \
+         \"event_skip_q_dpm_eval\": {skip_q_dpm_eval:.1}, \
+         \"fleet_event_skip_serial\": {fleet_event_skip_serial:.1} }}"
+    ));
+    let trajectory_lines: Vec<String> = trajectory.iter().map(|p| format!("    {p}")).collect();
+
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"qdpm-bench-throughput/v3\",\n\
+         \x20 \"schema\": \"qdpm-bench-throughput/v4\",\n\
          \x20 \"generated_unix\": {generated_unix},\n\
          \x20 \"quick\": {quick},\n\
          \x20 \"machine\": {{\n\
@@ -328,8 +492,27 @@ fn main() {
          \x20   \"threads_requested\": {threads_requested},\n\
          \x20   \"threads_effective\": {fleet_threads},\n\
          \x20   \"modes\": {{\n{fleet}\n\
+         \x20   }},\n\
+         \x20   \"dispatch_scenario\": \"{dispatch_devices} devices x {dispatch_horizon} slices, aggregate bernoulli(0.5), event-skip, serial\",\n\
+         \x20   \"dispatchers\": {{\n{dispatchers}\n\
          \x20   }}\n\
-         \x20 }}\n\
+         \x20 }},\n\
+         \x20 \"hierarchy\": {{\n\
+         \x20   \"scenario\": \"{hier_racks} racks x {hier_rack_devices} x three_state_generic (break-even timeout), cap {hier_cap}/rack, sleep-aware within + join-shortest-queue across, aggregate bernoulli(0.5), event-skip, serial, seed {seed}\",\n\
+         \x20   \"racks\": {hier_racks},\n\
+         \x20   \"devices_per_rack\": {hier_rack_devices},\n\
+         \x20   \"power_cap_per_rack\": {hier_cap},\n\
+         \x20   \"horizon_slices\": {hier_horizon},\n\
+         \x20   \"serial_slices_per_sec\": {hier_sps:.1},\n\
+         \x20   \"per_rack\": [\n{racks}\n\
+         \x20   ]\n\
+         \x20 }},\n\
+         \x20 \"trajectory\": [\n{trajectory}\n\
+         \x20 ],\n\
+         \x20 \"schema_notes\": [\n\
+         \x20   \"speedup is null wherever threads_effective == 1 (single-CPU hosts, or --threads 1): the parallel run would repeat the serial one and the ratio is measurement noise, not data\",\n\
+         \x20   \"trajectory appends one compact point per bench_report run (earlier points carried forward verbatim); points are comparable when machine and quick match\"\n\
+         \x20 ]\n\
          }}\n",
         os = std::env::consts::OS,
         arch = std::env::consts::ARCH,
@@ -343,9 +526,11 @@ fn main() {
         gpar = grid_slices / parallel_secs,
         speedup = speedup_json,
         fleet = fleet_lines.join(",\n"),
+        dispatchers = dispatcher_lines.join(",\n"),
+        racks = rack_lines.join(",\n"),
+        trajectory = trajectory_lines.join(",\n"),
     );
 
-    let path = workspace_root().join("BENCH_throughput.json");
     match std::fs::write(&path, &json) {
         Ok(()) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),

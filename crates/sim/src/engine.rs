@@ -4,7 +4,9 @@ use serde::{Deserialize, Serialize};
 
 use qdpm_core::rng_util::uniform;
 use qdpm_core::{Observation, PowerManager, RewardWeights, StepOutcome};
-use qdpm_device::{Device, DeviceMode, PowerModel, Queue, Server, ServiceModel, Step};
+use qdpm_device::{
+    Device, DeviceMode, PowerModel, PowerStateId, Queue, Server, ServiceModel, Step,
+};
 use qdpm_workload::{ArrivalGap, RequestGenerator};
 
 use crate::{RunStats, SeriesRecorder, SimError, WindowPoint};
@@ -168,6 +170,11 @@ pub struct Simulator {
     /// the previous slice, carried over so the next `decide` sees the
     /// *same* corrupted view (noise is drawn once per slice boundary).
     carried_obs: Option<Observation>,
+    /// Arrivals injected from outside ([`Simulator::inject_arrivals`]),
+    /// consumed — on top of the workload's own arrivals — by the next
+    /// executed slice. The online fleet dispatcher routes aggregate
+    /// arrivals through this door.
+    injected: u32,
 }
 
 impl Simulator {
@@ -204,6 +211,7 @@ impl Simulator {
             mode: config.mode,
             pending_gap: None,
             carried_obs: None,
+            injected: 0,
         })
     }
 
@@ -278,28 +286,60 @@ impl Simulator {
 
     /// This slice's arrival count: drains the event-skip prefetch buffer
     /// first (in per-slice mode the buffer is always empty and this is a
-    /// single predictable branch), then the live generator.
+    /// single predictable branch), then the live generator — plus any
+    /// externally injected arrivals ([`Simulator::inject_arrivals`]),
+    /// which ride on top of the workload's own stream without touching it.
     #[inline]
     fn slice_arrivals(&mut self) -> u32 {
-        let Some(mut gap) = self.pending_gap else {
-            return self.generator.next_arrivals(&mut self.rng_workload);
+        let own = match self.pending_gap {
+            None => self.generator.next_arrivals(&mut self.rng_workload),
+            Some(mut gap) => {
+                if gap.empty_left > 0 {
+                    gap.empty_left -= 1;
+                    self.pending_gap = if gap.empty_left == 0 && gap.arrival.is_none() {
+                        None
+                    } else {
+                        Some(gap)
+                    };
+                    0
+                } else if let Some(count) = gap.arrival {
+                    self.pending_gap = None;
+                    count
+                } else {
+                    // Fully drained quiet prefetch: back to the live
+                    // generator.
+                    self.pending_gap = None;
+                    self.generator.next_arrivals(&mut self.rng_workload)
+                }
+            }
         };
-        if gap.empty_left > 0 {
-            gap.empty_left -= 1;
-            self.pending_gap = if gap.empty_left == 0 && gap.arrival.is_none() {
-                None
-            } else {
-                Some(gap)
-            };
-            0
-        } else if let Some(count) = gap.arrival {
-            self.pending_gap = None;
-            count
-        } else {
-            // Fully drained quiet prefetch: back to the live generator.
-            self.pending_gap = None;
-            self.generator.next_arrivals(&mut self.rng_workload)
-        }
+        own + std::mem::take(&mut self.injected)
+    }
+
+    /// Queues `count` externally dispatched arrivals for the *next executed
+    /// slice*, on top of whatever the simulator's own workload emits there.
+    ///
+    /// This is the online-dispatch door: a fleet coordinator routes each
+    /// aggregate arrival against live device state and injects it into the
+    /// chosen member just before stepping that member's arrival slice. The
+    /// injection is deterministic — it changes no RNG stream — and both
+    /// engine modes honour it ([`Simulator::run`] under
+    /// [`EngineMode::EventSkip`] refuses to fast-forward past pending
+    /// injected arrivals).
+    pub fn inject_arrivals(&mut self, count: u32) {
+        self.injected += count;
+    }
+
+    /// Moves the device into `state` (cancelling any in-flight transition)
+    /// without touching queue, clock, statistics or RNG streams. Intended
+    /// before the first slice — e.g. a power-capped rack cold-boots its
+    /// members in their lowest-power state so the cap holds from slice 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range for the device's power model.
+    pub fn reset_device_to(&mut self, state: PowerStateId) {
+        self.device.reset_to(state);
     }
 
     /// Applies observation noise for the PM's view.
@@ -460,7 +500,10 @@ impl Simulator {
         let before = self.stats.clone();
         let mut remaining = steps;
         while remaining > 0 {
-            if !self.queue.is_empty() {
+            // A non-empty queue or pending injected arrivals pin the next
+            // slice to ordinary execution — fast-forwarding would land the
+            // injection on the wrong slice.
+            if !self.queue.is_empty() || self.injected > 0 {
                 self.step_impl::<false, false>();
                 remaining -= 1;
                 continue;
@@ -989,6 +1032,74 @@ mod tests {
         let mut per = build(EngineMode::PerSlice);
         let mut skip = build(EngineMode::EventSkip);
         assert_eq!(per.run(3_000), skip.run(3_000));
+    }
+
+    /// A silent own-workload simulator driven purely by injected arrivals —
+    /// the online fleet dispatch shape — must account them exactly, and
+    /// identically in both engine modes.
+    #[test]
+    fn injected_arrivals_land_on_the_next_slice_in_both_modes() {
+        let build = |mode| {
+            let power = presets::three_state_generic();
+            let pm = crate::policies::FixedTimeout::new(&power, 4);
+            Simulator::new(
+                power,
+                presets::default_service(),
+                Box::new(qdpm_workload::SparseTrace::new(vec![], 10_000).unwrap()),
+                Box::new(pm),
+                SimConfig {
+                    seed: 9,
+                    mode,
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut per = build(EngineMode::PerSlice);
+        let mut skip = build(EngineMode::EventSkip);
+        // Inject at irregular gaps; run the gap, inject, step the arrival
+        // slice — exactly the online coordinator's drive pattern.
+        for (gap, count) in [(0u64, 1u32), (7, 2), (1, 1), (40, 3), (2, 1)] {
+            for sim in [&mut per, &mut skip] {
+                sim.run(gap);
+                sim.inject_arrivals(count);
+                let out = sim.step();
+                assert_eq!(out.arrivals, count, "injection lands on its slice");
+            }
+        }
+        per.run(300);
+        skip.run(300);
+        assert_eq!(per.stats(), skip.stats());
+        assert_eq!(per.observation(), skip.observation());
+        assert_eq!(per.stats().arrivals, 8);
+    }
+
+    /// `run` under `EventSkip` must not fast-forward past arrivals that
+    /// were injected before the call.
+    #[test]
+    fn event_skip_run_honours_pending_injection() {
+        let power = presets::three_state_generic();
+        let pm = crate::policies::GreedyOff::new(&power);
+        let mut sim = Simulator::new(
+            power,
+            presets::default_service(),
+            Box::new(qdpm_workload::SparseTrace::new(vec![], 1_000).unwrap()),
+            Box::new(pm),
+            SimConfig {
+                mode: EngineMode::EventSkip,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.inject_arrivals(2);
+        let stats = sim.run(100);
+        assert_eq!(stats.arrivals, 2);
+        // The arrivals landed on the first slice of the run: they were
+        // already queued (or served) rather than skipped over.
+        assert_eq!(
+            stats.completed + u64::from(sim.observation().queue_len as u32),
+            2
+        );
     }
 
     /// Event skipping on a sparse Bernoulli workload changes RNG draw

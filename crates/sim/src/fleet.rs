@@ -6,11 +6,9 @@
 //! behind one request stream. This module composes the existing layers
 //! into that shape:
 //!
-//! * a [`qdpm_workload::WorkloadDispatcher`] strictly partitions the
-//!   aggregate arrival stream into one [`qdpm_workload::SparseTrace`] per
-//!   device (round-robin, least-loaded, or hash-sharded), *ahead of*
-//!   simulation — so per-device runs stay embarrassingly parallel and
-//!   deterministic;
+//! * a [`qdpm_workload::WorkloadDispatcher`] assigns every aggregate
+//!   arrival to exactly one device — a strict partition, none invented,
+//!   none lost;
 //! * a [`FleetSim`] builds one [`Simulator`] per [`FleetMember`] (mixed
 //!   device presets, mixed [`FleetPolicy`] power managers, per-device or
 //!   shared Q-tables) and drives them over the horizon, sharded across
@@ -22,24 +20,55 @@
 //!   way [`crate::ScenarioGrid`] sweeps single-device scenarios, with
 //!   per-cell derived seeds.
 //!
-//! Both engine modes compose: each member's simulator runs under the
-//! fleet's [`EngineMode`], and because the per-device workloads are
-//! randomness-free sparse traces, [`EngineMode::EventSkip`] is *exact*
-//! (bit-for-bit equal [`FleetStats`]) for every policy whose quiescent
-//! commitment consumes no randomness — the fleet conformance suite
-//! (`crates/sim/tests/fleet_conformance.rs`) pins this across all
-//! policies and dispatchers.
+//! # Two execution shapes
+//!
+//! State-blind dispatchers ([`DispatchPolicy::is_state_blind`]) route from
+//! dispatcher-internal state only, so the whole assignment is precomputed:
+//! [`qdpm_workload::WorkloadDispatcher::split`] materializes one
+//! [`qdpm_workload::SparseTrace`] per device and the per-device runs stay
+//! embarrassingly parallel (one thread barrier for the whole run).
+//!
+//! State-aware dispatchers ([`DispatchPolicy::JoinShortestQueue`],
+//! [`DispatchPolicy::SleepAware`]) — or any dispatcher under
+//! [`FleetConfig::force_online`] — run the *online dispatch loop* instead:
+//! the fleet is driven as one power-cap-less
+//! [`crate::hierarchy::RackCoordinator`] rack, where at every aggregate
+//! arrival slice the dispatcher reads live [`qdpm_workload::DeviceSnapshot`]s
+//! (real queue depths, real power modes), routes the slice's arrivals, and
+//! the chosen members absorb them via [`Simulator::inject_arrivals`].
+//! Devices advance independently (and in parallel) across the arrival-free
+//! gaps between routing points. For a state-blind dispatcher the online
+//! loop reproduces the precomputed split *exactly* — same assignment, same
+//! per-device streams, bit-identical [`FleetStats`].
+//!
+//! Both engine modes compose with both shapes: each member's simulator
+//! runs under the fleet's [`EngineMode`], and because per-device arrivals
+//! are randomness-free (sparse traces, or silent traces plus injection),
+//! [`EngineMode::EventSkip`] is *exact* (bit-for-bit equal [`FleetStats`])
+//! for every policy whose quiescent commitment consumes no randomness —
+//! the fleet conformance suite (`crates/sim/tests/fleet_conformance.rs`)
+//! pins this across policies and dispatchers.
 //!
 //! # Determinism
 //!
 //! A fleet run is a pure function of (members, aggregate workload,
-//! config): the dispatch depends only on the aggregate stream, every
-//! device's simulator seeds its own RNG streams from
+//! config): the dispatch depends only on the aggregate stream and the
+//! (deterministically) simulated device states, every device's simulator
+//! seeds its own RNG streams from
 //! [`crate::parallel::derive_cell_seed`]`(seed, device_index)`, and results are
-//! collected in device order at any thread count. The one exception is
-//! sharing: a fleet containing [`FleetPolicy::SharedQDpm`] members runs
-//! serially regardless of the requested thread count, because concurrent
-//! updates to the one shared Q-table would interleave in scheduling order.
+//! collected in device order at any thread count. The online loop stays
+//! thread-invariant because routing happens serially at arrival slices,
+//! after all devices have reached that slice (a barrier per arrival
+//! event). The one exception is sharing: a fleet containing
+//! [`FleetPolicy::SharedQDpm`] members runs serially regardless of the
+//! requested thread count, because concurrent updates to the one shared
+//! Q-table would interleave in scheduling order.
+//!
+//! The clairvoyant [`FleetPolicy::Oracle`] / [`FleetPolicy::OraclePrewake`]
+//! members need their device's full dispatched trace ahead of time, which
+//! only the precomputed split can provide — building them in an online
+//! fleet returns [`SimError::BadConfig`]
+//! ([`FleetPolicy::all_online_exact`] is the online-safe population).
 //!
 //! # Example
 //!
@@ -86,6 +115,7 @@ use qdpm_core::{
 use qdpm_device::{DeviceMode, PowerModel, ServiceModel, Step};
 use qdpm_workload::{DispatchPolicy, SparseTrace, WorkloadDispatcher};
 
+use crate::hierarchy::{drive_rack, RackCoordinator, RackSpec};
 use crate::parallel::{derive_cell_seed, run_indexed_mut, ScenarioWorkload};
 use crate::{policies, EngineMode, RunStats, SimConfig, SimError, Simulator};
 
@@ -176,6 +206,17 @@ impl FleetPolicy {
         ]
     }
 
+    /// [`FleetPolicy::all_exact`] minus the clairvoyant oracles — the
+    /// engine-exact policies that can also run under *online* dispatch,
+    /// where no precomputed per-device trace exists for an oracle to read.
+    #[must_use]
+    pub fn all_online_exact() -> Vec<FleetPolicy> {
+        FleetPolicy::all_exact()
+            .into_iter()
+            .filter(|p| !matches!(p, FleetPolicy::Oracle | FleetPolicy::OraclePrewake))
+            .collect()
+    }
+
     /// Short display name for reports.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -225,6 +266,12 @@ pub struct FleetConfig {
     pub dispatch: DispatchPolicy,
     /// Slices each device simulates (the dispatch horizon).
     pub horizon: Step,
+    /// Forces the online dispatch loop even for state-blind dispatchers
+    /// (their default is the precomputed split; state-aware dispatchers
+    /// always run online). The two shapes produce bit-identical results
+    /// for state-blind dispatch — this knob exists so the conformance
+    /// suite can pin that equivalence.
+    pub force_online: bool,
 }
 
 impl Default for FleetConfig {
@@ -236,6 +283,7 @@ impl Default for FleetConfig {
             engine_mode: EngineMode::PerSlice,
             dispatch: DispatchPolicy::RoundRobin,
             horizon: 50_000,
+            force_online: false,
         }
     }
 }
@@ -243,28 +291,40 @@ impl Default for FleetConfig {
 /// The one shared Q-table of a fleet, created by its first
 /// [`FleetPolicy::SharedQDpm`] member.
 #[derive(Debug)]
-struct SharedPool {
+pub(crate) struct SharedPool {
     learner: SharedQLearner,
     config: QDpmConfig,
     dims: (usize, usize),
 }
 
-/// Builds the boxed power manager for one member.
-fn build_policy(
+/// Builds the boxed power manager for one member. `trace` is the member's
+/// precomputed dispatched trace when the fleet dispatch is preplanned;
+/// online fleets pass `None`, which makes the clairvoyant oracle policies
+/// unbuildable (there is nothing for them to foresee).
+pub(crate) fn build_policy(
     member: &FleetMember,
-    trace: &SparseTrace,
+    trace: Option<&SparseTrace>,
     pool: &mut Option<SharedPool>,
 ) -> Result<Box<dyn PowerManager>, SimError> {
     let power = &member.power;
+    let dense_trace = || {
+        trace.map(SparseTrace::to_dense).ok_or_else(|| {
+            SimError::BadConfig(format!(
+                "{}: oracle policies need the precomputed dispatch trace — \
+                 use a state-blind dispatcher without force_online",
+                member.label
+            ))
+        })
+    };
     Ok(match &member.policy {
         FleetPolicy::AlwaysOn => Box::new(policies::AlwaysOn::new(power)),
         FleetPolicy::GreedyOff => Box::new(policies::GreedyOff::new(power)),
         FleetPolicy::BreakEvenTimeout => Box::new(policies::FixedTimeout::break_even(power)),
         FleetPolicy::FixedTimeout(t) => Box::new(policies::FixedTimeout::new(power, *t)),
         FleetPolicy::AdaptiveTimeout => Box::new(policies::AdaptiveTimeout::new(power)),
-        FleetPolicy::Oracle => Box::new(policies::Oracle::from_trace(power, &trace.to_dense())),
+        FleetPolicy::Oracle => Box::new(policies::Oracle::from_trace(power, &dense_trace()?)),
         FleetPolicy::OraclePrewake => {
-            Box::new(policies::Oracle::from_trace(power, &trace.to_dense()).with_prewake())
+            Box::new(policies::Oracle::from_trace(power, &dense_trace()?).with_prewake())
         }
         FleetPolicy::QDpm(config) => Box::new(QDpmAgent::new(power, config.clone())?),
         FleetPolicy::QosQDpm(config) => Box::new(QosQDpmAgent::new(power, config.clone())?),
@@ -310,6 +370,34 @@ fn build_policy(
             )
         }
     })
+}
+
+/// Draws `horizon` slices of the aggregate workload with the fleet's own
+/// seed and returns the nonzero arrival events as `(slice, count)`, in
+/// slice order.
+///
+/// This is the *one* sampling of the aggregate stream: both execution
+/// shapes consume the identical per-slice draw order
+/// (`StdRng::seed_from_u64(seed)` + one [`next_arrivals`] call per slice),
+/// so a preplanned split and an online run of the same fleet see the same
+/// arrivals at the same slices.
+///
+/// [`next_arrivals`]: qdpm_workload::RequestGenerator::next_arrivals
+pub(crate) fn materialize_events(
+    aggregate: &ScenarioWorkload,
+    seed: u64,
+    horizon: Step,
+) -> Result<Vec<(Step, u32)>, SimError> {
+    let mut generator = aggregate.build()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    for slice in 0..horizon {
+        let count = generator.next_arrivals(&mut rng);
+        if count > 0 {
+            events.push((slice, count));
+        }
+    }
+    Ok(events)
 }
 
 /// Aggregate statistics of a fleet run.
@@ -424,28 +512,48 @@ pub struct FleetReport {
     pub stats: FleetStats,
 }
 
+/// How a constructed fleet will execute (see the module notes on the two
+/// execution shapes).
+#[derive(Debug)]
+enum FleetInner {
+    /// State-blind dispatch, precomputed: one sparse dispatched trace per
+    /// device, devices run independently end-to-end.
+    Preplanned {
+        sims: Vec<Simulator>,
+        labels: Vec<String>,
+        n_states: usize,
+    },
+    /// Online dispatch: a cap-less rack routed live at every aggregate
+    /// arrival event.
+    Online {
+        rack: RackCoordinator,
+        events: Vec<(Step, u32)>,
+    },
+}
+
 /// A fleet of per-device simulators sharing one dispatched workload,
 /// ready to run. See the [module docs](self) for the full picture.
 #[derive(Debug)]
 pub struct FleetSim {
-    sims: Vec<Simulator>,
-    labels: Vec<String>,
+    inner: FleetInner,
+    devices: usize,
     horizon: Step,
-    n_states: usize,
     has_shared: bool,
     aggregate_arrivals: u64,
 }
 
 impl FleetSim {
     /// Assembles a fleet: draws `config.horizon` slices of the aggregate
-    /// workload, partitions them across the members with the configured
-    /// dispatcher, and builds one seeded simulator per member.
+    /// workload and builds one seeded simulator per member. State-blind
+    /// dispatchers partition the stream ahead of time; state-aware
+    /// dispatchers (or [`FleetConfig::force_online`]) set up the online
+    /// dispatch loop instead.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] for an empty member list, invalid aggregate
-    /// workloads, inconsistent shared-table members, or invalid simulator
-    /// parameters.
+    /// workloads, inconsistent shared-table members, clairvoyant oracle
+    /// members in an online fleet, or invalid simulator parameters.
     pub fn new(
         members: &[FleetMember],
         aggregate: &ScenarioWorkload,
@@ -456,6 +564,25 @@ impl FleetSim {
                 "a fleet needs at least one member".to_string(),
             ));
         }
+
+        if config.force_online || !config.dispatch.is_state_blind() {
+            let events = materialize_events(aggregate, config.seed, config.horizon)?;
+            let aggregate_arrivals = events.iter().map(|&(_, c)| u64::from(c)).sum();
+            let spec = RackSpec {
+                label: "fleet".to_string(),
+                members: members.to_vec(),
+                power_cap: None,
+            };
+            let rack = RackCoordinator::new(&spec, config)?;
+            return Ok(FleetSim {
+                devices: members.len(),
+                has_shared: rack.has_shared_table(),
+                inner: FleetInner::Online { rack, events },
+                horizon: config.horizon,
+                aggregate_arrivals,
+            });
+        }
+
         let mut generator = aggregate.build()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut dispatcher = WorkloadDispatcher::new(config.dispatch, members.len())?;
@@ -465,7 +592,7 @@ impl FleetSim {
         let mut pool: Option<SharedPool> = None;
         let mut sims = Vec::with_capacity(members.len());
         for (index, (member, trace)) in members.iter().zip(traces).enumerate() {
-            let pm = build_policy(member, &trace, &mut pool)?;
+            let pm = build_policy(member, Some(&trace), &mut pool)?;
             let sim_config = SimConfig {
                 queue_cap: config.queue_cap,
                 weights: config.weights,
@@ -483,13 +610,16 @@ impl FleetSim {
             )?);
         }
         Ok(FleetSim {
-            labels: members.iter().map(|m| m.label.clone()).collect(),
-            n_states: members
-                .iter()
-                .map(|m| m.power.n_states())
-                .max()
-                .unwrap_or(0),
-            sims,
+            devices: members.len(),
+            inner: FleetInner::Preplanned {
+                sims,
+                labels: members.iter().map(|m| m.label.clone()).collect(),
+                n_states: members
+                    .iter()
+                    .map(|m| m.power.n_states())
+                    .max()
+                    .unwrap_or(0),
+            },
             horizon: config.horizon,
             has_shared: pool.is_some(),
             aggregate_arrivals,
@@ -499,14 +629,14 @@ impl FleetSim {
     /// Number of devices.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sims.len()
+        self.devices
     }
 
     /// Whether the fleet has no devices (never true for a constructed
     /// fleet).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.sims.is_empty()
+        self.devices == 0
     }
 
     /// Total arrivals the dispatcher assigned across the horizon — by the
@@ -516,6 +646,13 @@ impl FleetSim {
     #[must_use]
     pub fn dispatched_arrivals(&self) -> u64 {
         self.aggregate_arrivals
+    }
+
+    /// Whether this fleet dispatches online (live routing at every
+    /// aggregate arrival event) rather than from a precomputed split.
+    #[must_use]
+    pub fn is_online(&self) -> bool {
+        matches!(self.inner, FleetInner::Online { .. })
     }
 
     /// Whether this fleet pools experience in a shared Q-table (and will
@@ -530,21 +667,33 @@ impl FleetSim {
     /// at any thread count; fleets with a shared Q-table run serially
     /// (see the module notes on determinism).
     #[must_use]
-    pub fn run(mut self, threads: usize) -> FleetReport {
+    pub fn run(self, threads: usize) -> FleetReport {
         let threads = if self.has_shared { 1 } else { threads };
         let horizon = self.horizon;
-        let results: Vec<(RunStats, DeviceMode)> =
-            run_indexed_mut(&mut self.sims, threads, |_, sim| {
-                let stats = sim.run(horizon);
-                (stats, sim.observation().device_mode)
-            });
-        let (per_device, final_modes): (Vec<_>, Vec<_>) = results.into_iter().unzip();
-        let stats = FleetStats::aggregate(&per_device, &final_modes, self.n_states);
-        FleetReport {
-            labels: self.labels,
-            per_device,
-            final_modes,
-            stats,
+        match self.inner {
+            FleetInner::Preplanned {
+                mut sims,
+                labels,
+                n_states,
+            } => {
+                let results: Vec<(RunStats, DeviceMode)> =
+                    run_indexed_mut(&mut sims, threads, |_, sim| {
+                        let stats = sim.run(horizon);
+                        (stats, sim.observation().device_mode)
+                    });
+                let (per_device, final_modes): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+                let stats = FleetStats::aggregate(&per_device, &final_modes, n_states);
+                FleetReport {
+                    labels,
+                    per_device,
+                    final_modes,
+                    stats,
+                }
+            }
+            FleetInner::Online { mut rack, events } => {
+                drive_rack(&mut rack, &events, horizon, threads);
+                rack.report().fleet
+            }
         }
     }
 }
@@ -644,6 +793,7 @@ impl FleetCell {
                 engine_mode: self.params.engine_mode,
                 dispatch: self.dispatch,
                 horizon: self.params.horizon,
+                force_online: false,
             },
         )
     }
@@ -900,16 +1050,109 @@ mod tests {
             &[("bern".to_string(), bernoulli(0.2))],
             &params,
         );
-        assert_eq!(grid.len(), 6);
+        assert_eq!(grid.len(), 10);
         for (i, cell) in grid.cells().iter().enumerate() {
             assert_eq!(cell.index, i);
             assert_eq!(cell.seed, derive_cell_seed(params.master_seed, i as u64));
         }
         assert_eq!(grid.cells()[0].size, 2);
-        assert_eq!(grid.cells()[3].size, 8);
+        assert_eq!(grid.cells()[5].size, 8);
         let report = grid.cells()[0].run(2).unwrap();
         assert_eq!(report.stats.devices, 2);
         assert_eq!(report.stats.total.steps, 2 * 100);
+    }
+
+    #[test]
+    fn online_fleet_matches_preplanned_for_state_blind_dispatch() {
+        let members = uniform_fleet(5, FleetPolicy::BreakEvenTimeout);
+        for dispatch in DispatchPolicy::state_blind() {
+            let config = FleetConfig {
+                horizon: 3_000,
+                dispatch,
+                ..FleetConfig::default()
+            };
+            let preplanned = FleetSim::new(&members, &bernoulli(0.3), &config).unwrap();
+            assert!(!preplanned.is_online());
+            let online = FleetSim::new(
+                &members,
+                &bernoulli(0.3),
+                &FleetConfig {
+                    force_online: true,
+                    ..config
+                },
+            )
+            .unwrap();
+            assert!(online.is_online());
+            assert_eq!(
+                preplanned.dispatched_arrivals(),
+                online.dispatched_arrivals()
+            );
+            assert_eq!(
+                preplanned.run(2),
+                online.run(2),
+                "dispatch={}",
+                dispatch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn state_aware_dispatch_runs_online_and_conserves_arrivals() {
+        let members = uniform_fleet(4, FleetPolicy::BreakEvenTimeout);
+        for dispatch in DispatchPolicy::state_aware() {
+            let config = FleetConfig {
+                horizon: 4_000,
+                dispatch,
+                ..FleetConfig::default()
+            };
+            let fleet = FleetSim::new(&members, &bernoulli(0.4), &config).unwrap();
+            assert!(fleet.is_online());
+            let dispatched = fleet.dispatched_arrivals();
+            assert!(dispatched > 0);
+            let report = fleet.run(2);
+            assert_eq!(report.stats.total.arrivals, dispatched);
+            assert_eq!(report.stats.total.steps, 4 * 4_000);
+        }
+    }
+
+    #[test]
+    fn online_fleet_rejects_oracle_members() {
+        let members = uniform_fleet(3, FleetPolicy::Oracle);
+        let config = FleetConfig {
+            horizon: 500,
+            dispatch: DispatchPolicy::JoinShortestQueue,
+            ..FleetConfig::default()
+        };
+        let err = FleetSim::new(&members, &bernoulli(0.2), &config).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn sleep_aware_dispatch_concentrates_load_unlike_round_robin() {
+        // A light aggregate load on a large fleet: round-robin spreads
+        // arrivals evenly, while sleep-aware routing consolidates them
+        // onto the awake subset (sleepers are skipped once they doze off).
+        let members = uniform_fleet(8, FleetPolicy::FixedTimeout(20));
+        let run = |dispatch| {
+            let config = FleetConfig {
+                horizon: 5_000,
+                dispatch,
+                ..FleetConfig::default()
+            };
+            FleetSim::new(&members, &bernoulli(0.2), &config)
+                .unwrap()
+                .run(2)
+        };
+        let rr = run(DispatchPolicy::RoundRobin);
+        let sa = run(DispatchPolicy::SleepAware { spill: 4 });
+        let hottest = |r: &FleetReport| r.per_device.iter().map(|s| s.arrivals).max().unwrap();
+        assert!(
+            hottest(&sa) > 2 * hottest(&rr),
+            "sa={} rr={}",
+            hottest(&sa),
+            hottest(&rr)
+        );
+        assert_eq!(sa.stats.total.arrivals, rr.stats.total.arrivals);
     }
 
     #[test]

@@ -1,0 +1,1112 @@
+//! Hierarchical coordination: racks under a power cap, clusters of racks.
+//!
+//! The Q-DPM paper manages one device; the energy-efficiency literature the
+//! ROADMAP targets (Rizvandi & Zomaya's survey) frames datacenter DPM as a
+//! *hierarchical, load-aware* coordination problem: local per-device
+//! policies, a rack-level coordinator enforcing an electrical budget, and a
+//! cluster-level balancer spreading the aggregate stream across racks. This
+//! module supplies those two upper layers on top of the fleet machinery:
+//!
+//! * a [`RackCoordinator`] drives N fleet members under *online* dispatch
+//!   (live [`DeviceSnapshot`]s at every aggregate arrival slice) and,
+//!   optionally, a rack-wide **power cap**: a hard ceiling on the rack's
+//!   summed per-slice energy draw, enforced by vetoing power-state commands
+//!   the budget cannot absorb and by shedding load routed toward sleepers
+//!   the budget cannot afford to wake;
+//! * a [`ClusterSim`] is a fleet of fleets: one more [`DispatchPolicy`]
+//!   routes each aggregate arrival slice across racks (by summed queue
+//!   depth and rack wakefulness), then each rack routes its share
+//!   internally — a two-level dispatch hierarchy with per-rack
+//!   [`FleetStats`] and a cluster-wide ordered fold.
+//!
+//! # The power-cap mechanism
+//!
+//! The cap is enforced through a *budget of nominal draws*: the coordinator
+//! tracks, per device, a conservative bound `nominal[i]` on the device's
+//! per-slice energy draw, maintaining the invariant `Σ nominal <= cap` at
+//! every slice. A capped rack cold-boots with every device in its lowest
+//! power state (the only configuration whose feasibility can be guaranteed
+//! up front; a rack whose sleeping draw already exceeds the cap is rejected
+//! as [`SimError::BadConfig`]). Each device's power manager is wrapped so
+//! that a commanded state change must fit the budget:
+//!
+//! * a command whose worst-case slice draw is within the device's own
+//!   current `nominal[i]` is always allowed (and shrinks `nominal[i]` —
+//!   budgets consolidate as devices power down);
+//! * a command needing *more* than `nominal[i]` (a wakeup, typically) is
+//!   granted only at **grant slices** — the serially-stepped slices where
+//!   arrivals land and the slice immediately after (where wake decisions
+//!   react to the new queue) — and only if the rack-wide sum stays under
+//!   the cap; otherwise the command is vetoed and the device holds its
+//!   current state ([`RackReport::vetoed_wakeups`] counts these);
+//! * at every grant slice the nominals are refreshed down to each device's
+//!   *actual* draw bound, releasing budget that finished transitions no
+//!   longer need.
+//!
+//! Routing cooperates with the budget: arrivals the dispatcher aims at a
+//! sleeping device whose wake the budget cannot cover are *shed* to the
+//! least-loaded already-awake device instead
+//! ([`RackReport::shed_arrivals`]); with the whole rack asleep and no
+//! budget headroom they stay queued on the sleeper until a grant succeeds.
+//!
+//! # Determinism
+//!
+//! The hierarchy inherits the fleet determinism contract wholesale. Device
+//! seeds derive from the rack seed via
+//! [`derive_cell_seed`]`(seed, device_index)`; rack seeds derive from the
+//! cluster seed the same way (`derive_cell_seed(seed, rack_index)`).
+//! Arrival slices and grant slices are stepped serially in device order
+//! (they are single slices; the arrival-free gaps between them carry the
+//! parallelism), so budget arbitration has one defined order at any thread
+//! count. Between grant slices a device only ever reads and writes its own
+//! budget slot, so gap-slice parallelism cannot reorder budget decisions.
+//! Engine modes stay *exact*: grant and arrival slices execute as ordinary
+//! slices in both modes, and a quiescent device whose manager would act
+//! (and could therefore touch the budget) declines to commit the stretch,
+//! forcing per-slice execution at the same slices in either mode. The
+//! conformance suite (`crates/sim/tests/fleet_conformance.rs`) pins
+//! engine-mode equality, thread-count invariance, and the per-slice cap
+//! invariant on randomized racks.
+
+use std::sync::{Arc, Mutex};
+
+use rand::Rng;
+
+use qdpm_core::{Observation, PowerManager, StepOutcome};
+use qdpm_device::{DeviceMode, PowerModel, PowerStateId, Step};
+use qdpm_workload::{DeviceSnapshot, DispatchPolicy, SparseTrace, WorkloadDispatcher};
+
+use crate::fleet::{
+    build_policy, materialize_events, FleetConfig, FleetMember, FleetReport, FleetStats, SharedPool,
+};
+use crate::parallel::{derive_cell_seed, run_indexed_mut, ScenarioWorkload};
+use crate::{RunStats, SimConfig, SimError, Simulator};
+
+/// Slack added to every cap comparison, absorbing the accumulated f64
+/// rounding of repeated budget arithmetic (the conformance invariant uses
+/// the same slack).
+pub const CAP_EPS: f64 = 1e-9;
+
+/// Specification of one rack: a label, its member devices, and an optional
+/// power cap.
+#[derive(Debug, Clone)]
+pub struct RackSpec {
+    /// Report label.
+    pub label: String,
+    /// The rack's devices, in device order.
+    pub members: Vec<FleetMember>,
+    /// Hard ceiling on the rack's summed per-slice energy draw, or `None`
+    /// for an uncapped rack. A capped rack cold-boots with every device in
+    /// its lowest power state (see the [module docs](self)).
+    pub power_cap: Option<f64>,
+}
+
+/// The rack-wide command budget shared by the wrapped power managers.
+#[derive(Debug)]
+struct Budget {
+    /// The cap (validated finite and positive).
+    cap: f64,
+    /// Per-device bound on the slice draw; `Σ nominal <= cap` always.
+    nominal: Vec<f64>,
+    /// Device index currently allowed to *grow* its nominal (set only
+    /// while the coordinator serially steps a grant slice).
+    grant_open: Option<usize>,
+    /// Commands refused for lack of budget.
+    vetoed: u64,
+}
+
+impl Budget {
+    fn total(&self) -> f64 {
+        self.nominal.iter().sum()
+    }
+}
+
+/// Worst-case per-slice energy draw of commanding `from -> to`, covering
+/// the command slice, every transition slice, and residency at `to`
+/// afterwards. `None` when the model has no such transition (the device
+/// would ignore the command).
+fn command_demand(model: &PowerModel, from: PowerStateId, to: PowerStateId) -> Option<f64> {
+    let t = model.transition(from, to)?;
+    let to_power = model.state(to).power;
+    Some(if t.latency == 0 {
+        // Instant switch: the full transition energy and the first slice of
+        // residency land in the same slice.
+        t.energy + to_power
+    } else {
+        t.energy_per_step().max(to_power)
+    })
+}
+
+/// The conservative draw bound of a device's *current* mode: residency
+/// power when operational, the in-flight transition's per-slice energy
+/// (covering the arrival at `to` as well) when transitioning.
+fn mode_demand(model: &PowerModel, mode: DeviceMode) -> f64 {
+    match mode {
+        DeviceMode::Operational(s) => model.state(s).power,
+        DeviceMode::Transitioning { from, to, .. } => model
+            .transition(from, to)
+            .map(|t| t.energy_per_step())
+            .unwrap_or(0.0)
+            .max(model.state(to).power),
+    }
+}
+
+/// A [`PowerManager`] decorator that submits every state-changing command
+/// of the wrapped manager to the rack [`Budget`] and holds the current
+/// state when the budget refuses (see the [module docs](self)).
+#[derive(Debug)]
+struct CappedPolicy {
+    inner: Box<dyn PowerManager>,
+    index: usize,
+    model: PowerModel,
+    budget: Arc<Mutex<Budget>>,
+}
+
+impl PowerManager for CappedPolicy {
+    fn decide(&mut self, obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
+        let target = self.inner.decide(obs, rng);
+        // Mid-transition the device ignores commands, and a stay command
+        // changes nothing: both are budget-neutral, which keeps the budget
+        // stream identical between engine modes (per-slice stepping makes
+        // extra `decide` calls exactly where the manager would stay).
+        let DeviceMode::Operational(current) = obs.device_mode else {
+            return target;
+        };
+        if target == current {
+            return target;
+        }
+        let Some(demand) = command_demand(&self.model, current, target) else {
+            return target; // no such edge: the device ignores it anyway
+        };
+        let mut b = self.budget.lock().expect("rack budget poisoned");
+        if demand <= b.nominal[self.index] + CAP_EPS {
+            // Fits the device's own slot: always allowed, and the slot
+            // shrinks to the new bound (own-slot only, so gap-slice
+            // parallelism cannot reorder budget decisions).
+            b.nominal[self.index] = demand;
+            return target;
+        }
+        if b.grant_open == Some(self.index) {
+            let others = b.total() - b.nominal[self.index];
+            if others + demand <= b.cap + CAP_EPS {
+                b.nominal[self.index] = demand;
+                return target;
+            }
+        }
+        b.vetoed += 1;
+        current
+    }
+
+    fn observe(&mut self, outcome: &StepOutcome, next_obs: &Observation) {
+        self.inner.observe(outcome, next_obs);
+    }
+
+    fn commit_quiescent(
+        &mut self,
+        obs: &Observation,
+        per_slice: &StepOutcome,
+        max: u64,
+        rng: &mut dyn Rng,
+    ) -> u64 {
+        // Delegation is sound: the inner manager only commits slices where
+        // its `decide` would hold the current state, and a held state never
+        // touches the budget.
+        self.inner.commit_quiescent(obs, per_slice, max, rng)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Everything a finished rack run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackReport {
+    /// The rack's label.
+    pub label: String,
+    /// The enforced power cap, if any.
+    pub power_cap: Option<f64>,
+    /// The rack's fleet-level report (per-device stats, final modes, and
+    /// the ordered [`FleetStats`] fold).
+    pub fleet: FleetReport,
+    /// Power-state commands the budget refused (0 for uncapped racks).
+    pub vetoed_wakeups: u64,
+    /// Arrivals rerouted away from sleepers the budget could not wake
+    /// (0 for uncapped racks).
+    pub shed_arrivals: u64,
+}
+
+/// Drives one rack of devices under online dispatch and an optional power
+/// cap. See the [module docs](self) for the mechanism and determinism
+/// contract.
+///
+/// # Example
+///
+/// A four-disk rack under a cap tight enough that at most one disk can
+/// serve at a time — the budget vetoes surplus wakeups and the run never
+/// exceeds the cap in any slice:
+///
+/// ```
+/// use qdpm_device::presets;
+/// use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy};
+/// use qdpm_sim::hierarchy::{RackCoordinator, RackSpec, CAP_EPS};
+/// use qdpm_sim::ScenarioWorkload;
+/// use qdpm_workload::{DispatchPolicy, WorkloadSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = RackSpec {
+///     label: "rack-0".to_string(),
+///     members: (0..4)
+///         .map(|i| FleetMember {
+///             label: format!("hdd-{i}"),
+///             power: presets::three_state_generic(),
+///             service: presets::default_service(),
+///             policy: FleetPolicy::BreakEvenTimeout,
+///         })
+///         .collect(),
+///     power_cap: Some(3.0),
+/// };
+/// let config = FleetConfig {
+///     horizon: 2_000,
+///     dispatch: DispatchPolicy::SleepAware { spill: 4 },
+///     ..FleetConfig::default()
+/// };
+/// let aggregate = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.4)?);
+///
+/// let rack = RackCoordinator::new(&spec, &config)?;
+/// let (report, per_slice) = rack.run_probed(&aggregate)?;
+/// assert!(per_slice.iter().all(|&e| e <= 3.0 + CAP_EPS));
+/// assert_eq!(report.fleet.stats.devices, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RackCoordinator {
+    label: String,
+    sims: Vec<Simulator>,
+    models: Vec<PowerModel>,
+    labels: Vec<String>,
+    n_states: usize,
+    dispatcher: WorkloadDispatcher,
+    budget: Option<Arc<Mutex<Budget>>>,
+    /// Whether the slice after the last grant slice still needs granting
+    /// (wake decisions react to arrivals one slice later).
+    grant_pending: bool,
+    shed: u64,
+    has_shared: bool,
+    horizon: Step,
+    seed: u64,
+    /// Reused per-slice assignment buffer.
+    assign: Vec<u32>,
+}
+
+impl RackCoordinator {
+    /// Assembles a rack: one seeded simulator per member on a silent
+    /// arrival trace (all arrivals are injected by the online dispatch
+    /// loop), the configured intra-rack dispatcher, and — when
+    /// `spec.power_cap` is set — the shared command budget, with every
+    /// device cold-booted into its lowest power state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for an empty member list, a
+    /// non-finite or non-positive cap, a cap below the rack's all-asleep
+    /// draw, clairvoyant oracle members (online dispatch has no
+    /// precomputed trace for them to read), or inconsistent shared-table
+    /// members; propagates simulator construction errors.
+    pub fn new(spec: &RackSpec, config: &FleetConfig) -> Result<Self, SimError> {
+        if spec.members.is_empty() {
+            return Err(SimError::BadConfig(format!(
+                "rack {} needs at least one member",
+                spec.label
+            )));
+        }
+        let dispatcher = WorkloadDispatcher::new(config.dispatch, spec.members.len())?;
+
+        let budget = match spec.power_cap {
+            None => None,
+            Some(cap) => {
+                if !(cap.is_finite() && cap > 0.0) {
+                    return Err(SimError::BadConfig(format!(
+                        "rack {}: power cap must be finite and positive, got {cap}",
+                        spec.label
+                    )));
+                }
+                let floor: Vec<f64> = spec
+                    .members
+                    .iter()
+                    .map(|m| m.power.state(m.power.lowest_power_state()).power)
+                    .collect();
+                let floor_total: f64 = floor.iter().sum();
+                if floor_total > cap + CAP_EPS {
+                    return Err(SimError::BadConfig(format!(
+                        "rack {}: cap {cap} is below the all-asleep draw {floor_total}",
+                        spec.label
+                    )));
+                }
+                Some(Arc::new(Mutex::new(Budget {
+                    cap,
+                    nominal: floor,
+                    grant_open: None,
+                    vetoed: 0,
+                })))
+            }
+        };
+
+        let mut pool: Option<SharedPool> = None;
+        let mut sims = Vec::with_capacity(spec.members.len());
+        for (index, member) in spec.members.iter().enumerate() {
+            let mut pm = build_policy(member, None, &mut pool)?;
+            if let Some(budget) = &budget {
+                pm = Box::new(CappedPolicy {
+                    inner: pm,
+                    index,
+                    model: member.power.clone(),
+                    budget: Arc::clone(budget),
+                });
+            }
+            let sim_config = SimConfig {
+                queue_cap: config.queue_cap,
+                weights: config.weights,
+                seed: derive_cell_seed(config.seed, index as u64),
+                expose_sr_mode: false,
+                noise: crate::ObservationNoise::none(),
+                mode: config.engine_mode,
+            };
+            let silent = SparseTrace::new(vec![], config.horizon)?;
+            let mut sim = Simulator::new(
+                member.power.clone(),
+                member.service,
+                Box::new(silent),
+                pm,
+                sim_config,
+            )?;
+            if budget.is_some() {
+                sim.reset_device_to(member.power.lowest_power_state());
+            }
+            sims.push(sim);
+        }
+
+        Ok(RackCoordinator {
+            label: spec.label.clone(),
+            models: spec.members.iter().map(|m| m.power.clone()).collect(),
+            labels: spec.members.iter().map(|m| m.label.clone()).collect(),
+            n_states: spec
+                .members
+                .iter()
+                .map(|m| m.power.n_states())
+                .max()
+                .unwrap_or(0),
+            assign: vec![0; sims.len()],
+            sims,
+            dispatcher,
+            budget,
+            grant_pending: false,
+            shed: 0,
+            has_shared: pool.is_some(),
+            horizon: config.horizon,
+            seed: config.seed,
+        })
+    }
+
+    /// Number of devices in the rack.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Whether the rack has no devices (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sims.is_empty()
+    }
+
+    /// Whether this rack pools experience in a shared Q-table (and will
+    /// therefore advance its gaps serially at any requested thread count).
+    #[must_use]
+    pub fn has_shared_table(&self) -> bool {
+        self.has_shared
+    }
+
+    /// Live per-device snapshots for the dispatcher (a transitioning
+    /// device counts as `waking` when its transition lands in a serving
+    /// state).
+    fn snapshots(&self) -> Vec<DeviceSnapshot> {
+        self.sims
+            .iter()
+            .zip(&self.models)
+            .map(|(sim, model)| {
+                let obs = sim.observation();
+                match obs.device_mode {
+                    DeviceMode::Operational(s) => DeviceSnapshot {
+                        queue_len: obs.queue_len,
+                        awake: model.state(s).can_serve,
+                        waking: false,
+                    },
+                    DeviceMode::Transitioning { to, .. } => DeviceSnapshot {
+                        queue_len: obs.queue_len,
+                        awake: false,
+                        waking: model.state(to).can_serve,
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// One rack-level snapshot for the cluster dispatcher: summed queue
+    /// depth, awake if *any* device serves, waking if any is on its way.
+    fn snapshot(&self) -> DeviceSnapshot {
+        let mut agg = DeviceSnapshot {
+            queue_len: 0,
+            awake: false,
+            waking: false,
+        };
+        for s in self.snapshots() {
+            agg.queue_len += s.queue_len;
+            agg.awake |= s.awake;
+            agg.waking |= s.waking;
+        }
+        agg
+    }
+
+    /// Recomputes every nominal down to the device's actual draw bound,
+    /// releasing budget that finished transitions no longer hold. Only
+    /// called at grant slices (serial), and only ever lowers values: a
+    /// device's actual draw is bounded by the demand its last allowed
+    /// command reserved.
+    fn refresh_nominals(&self) {
+        let Some(budget) = &self.budget else { return };
+        let mut b = budget.lock().expect("rack budget poisoned");
+        for (i, sim) in self.sims.iter().enumerate() {
+            b.nominal[i] = mode_demand(&self.models[i], sim.observation().device_mode);
+        }
+    }
+
+    /// Steps every device through one *grant* slice, serially in device
+    /// order, opening the budget for exactly one device at a time.
+    fn grant_step_all(&mut self) -> f64 {
+        self.refresh_nominals();
+        let budget = Arc::clone(self.budget.as_ref().expect("grant slices need a cap"));
+        let mut energy = 0.0;
+        for (i, sim) in self.sims.iter_mut().enumerate() {
+            budget.lock().expect("rack budget poisoned").grant_open = Some(i);
+            energy += sim.step().energy;
+        }
+        budget.lock().expect("rack budget poisoned").grant_open = None;
+        energy
+    }
+
+    /// Steps every device through one ordinary slice, serially.
+    fn plain_step_all(&mut self) -> f64 {
+        self.sims.iter_mut().map(|sim| sim.step().energy).sum()
+    }
+
+    /// Routes one arrival slice: snapshot, dispatch, budget-aware load
+    /// shedding, and injection into the chosen members' simulators.
+    fn prepare_arrivals(&mut self, count: u32) {
+        let mut snaps = self.snapshots();
+        let pre_available: Vec<bool> = snaps.iter().map(DeviceSnapshot::available).collect();
+        self.dispatcher
+            .route_slice(count, &mut snaps, &mut self.assign);
+
+        if let Some(budget) = &self.budget {
+            // Shed arrivals aimed at sleepers the budget cannot wake: a
+            // planning pass over the nominals, reserving each affordable
+            // wake so one slice's wakes are budgeted jointly.
+            let b = budget.lock().expect("rack budget poisoned");
+            let mut planned = b.nominal.clone();
+            drop(b);
+            for i in 0..self.assign.len() {
+                if self.assign[i] == 0 || pre_available[i] {
+                    continue;
+                }
+                let model = &self.models[i];
+                let from = match self.sims[i].observation().device_mode {
+                    DeviceMode::Operational(s) => s,
+                    DeviceMode::Transitioning { to, .. } => to,
+                };
+                let demand = command_demand(model, from, model.serving_state())
+                    .unwrap_or_else(|| model.state(model.serving_state()).power);
+                let others: f64 = planned.iter().sum::<f64>() - planned[i];
+                let cap = budget.lock().expect("rack budget poisoned").cap;
+                if others + demand <= cap + CAP_EPS {
+                    planned[i] = planned[i].max(demand);
+                    continue;
+                }
+                // Unaffordable wake: reroute to the least-loaded device
+                // that was awake before routing, if there is one.
+                let target = (0..self.assign.len())
+                    .filter(|&j| j != i && pre_available[j])
+                    .min_by_key(|&j| (snaps[j].queue_len, j));
+                if let Some(t) = target {
+                    let moved = self.assign[i];
+                    self.assign[t] += moved;
+                    snaps[t].queue_len += moved as usize;
+                    self.shed += u64::from(moved);
+                    self.assign[i] = 0;
+                }
+                // No awake device at all: leave the arrivals queued on the
+                // sleeper; vetoes delay its wake until budget frees up.
+            }
+        }
+
+        for (i, sim) in self.sims.iter_mut().enumerate() {
+            if self.assign[i] > 0 {
+                sim.inject_arrivals(self.assign[i]);
+            }
+        }
+    }
+
+    /// Executes one aggregate arrival slice: route `count` arrivals, then
+    /// step every device through the slice (a grant slice when capped).
+    /// Arrival slices are stepped serially — they are single slices; the
+    /// gaps between them carry the parallelism.
+    pub(crate) fn arrival_slice(&mut self, count: u32) -> f64 {
+        self.prepare_arrivals(count);
+        if self.budget.is_some() {
+            let energy = self.grant_step_all();
+            self.grant_pending = true;
+            energy
+        } else {
+            self.plain_step_all()
+        }
+    }
+
+    /// Advances every device across `gap` arrival-free slices. When a
+    /// grant is pending (the slice right after arrivals, where wake
+    /// decisions land) its slice is stepped serially first; the remainder
+    /// runs on up to `threads` workers (budget operations in the remainder
+    /// are own-slot only, so the interleaving cannot change results).
+    pub(crate) fn advance_gap(&mut self, gap: u64, threads: usize) {
+        if gap == 0 {
+            return;
+        }
+        self.dispatcher.advance_quiet(gap);
+        let mut left = gap;
+        if self.budget.is_some() && self.grant_pending {
+            self.grant_step_all();
+            left -= 1;
+        }
+        self.grant_pending = false;
+        if left > 0 {
+            let threads = if self.has_shared { 1 } else { threads };
+            run_indexed_mut(&mut self.sims, threads, |_, sim| {
+                sim.run(left);
+            });
+        }
+    }
+
+    /// The rack's report from its current state.
+    #[must_use]
+    pub(crate) fn report(&self) -> RackReport {
+        let per_device: Vec<RunStats> = self.sims.iter().map(|s| s.stats().clone()).collect();
+        let final_modes: Vec<DeviceMode> = self
+            .sims
+            .iter()
+            .map(|s| s.observation().device_mode)
+            .collect();
+        let stats = FleetStats::aggregate(&per_device, &final_modes, self.n_states);
+        RackReport {
+            label: self.label.clone(),
+            power_cap: self
+                .budget
+                .as_ref()
+                .map(|b| b.lock().expect("rack budget poisoned").cap),
+            fleet: FleetReport {
+                labels: self.labels.clone(),
+                per_device,
+                final_modes,
+                stats,
+            },
+            vetoed_wakeups: self
+                .budget
+                .as_ref()
+                .map_or(0, |b| b.lock().expect("rack budget poisoned").vetoed),
+            shed_arrivals: self.shed,
+        }
+    }
+
+    /// Runs the rack over its horizon against `aggregate`, routing every
+    /// arrival slice online, on up to `threads` workers. Results are
+    /// identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the aggregate workload fails to build.
+    pub fn run(
+        mut self,
+        aggregate: &ScenarioWorkload,
+        threads: usize,
+    ) -> Result<RackReport, SimError> {
+        let horizon = self.horizon;
+        let events = materialize_events(aggregate, self.seed, horizon)?;
+        drive_rack(&mut self, &events, horizon, threads);
+        Ok(self.report())
+    }
+
+    /// Like [`RackCoordinator::run`], but executes every slice one by one
+    /// (serially) and returns the rack's summed energy draw of *each*
+    /// slice alongside the report — the probe the power-cap conservation
+    /// tests assert `energy <= cap + `[`CAP_EPS`] on. Produces the same
+    /// report as [`RackCoordinator::run`] for engine-exact policies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when the aggregate workload fails to build.
+    pub fn run_probed(
+        mut self,
+        aggregate: &ScenarioWorkload,
+    ) -> Result<(RackReport, Vec<f64>), SimError> {
+        let events = materialize_events(aggregate, self.seed, self.horizon)?;
+        let mut next = 0usize;
+        let mut per_slice = Vec::with_capacity(self.horizon as usize);
+        for slice in 0..self.horizon {
+            let arrival = (next < events.len() && events[next].0 == slice).then(|| {
+                let count = events[next].1;
+                next += 1;
+                count
+            });
+            if let Some(count) = arrival {
+                self.prepare_arrivals(count);
+            } else {
+                self.dispatcher.advance_quiet(1);
+            }
+            let capped = self.budget.is_some();
+            let grant = capped && (arrival.is_some() || self.grant_pending);
+            self.grant_pending = capped && arrival.is_some();
+            per_slice.push(if grant {
+                self.grant_step_all()
+            } else {
+                self.plain_step_all()
+            });
+        }
+        Ok((self.report(), per_slice))
+    }
+}
+
+/// Drives a rack across a materialized aggregate event list: arrival-free
+/// gaps in parallel, each arrival slice routed and stepped at a barrier.
+pub(crate) fn drive_rack(
+    rack: &mut RackCoordinator,
+    events: &[(Step, u32)],
+    horizon: Step,
+    threads: usize,
+) {
+    let mut now = 0;
+    for &(slice, count) in events {
+        rack.advance_gap(slice - now, threads);
+        rack.arrival_slice(count);
+        now = slice + 1;
+    }
+    rack.advance_gap(horizon - now, threads);
+}
+
+/// Cluster-wide simulation parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// How aggregate arrival slices are routed *across racks* (rack-level
+    /// snapshots: summed queue depth, any-awake, any-waking).
+    pub rack_dispatch: DispatchPolicy,
+    /// Per-rack fleet parameters. `fleet.seed` is the cluster master seed
+    /// (rack `r` derives [`derive_cell_seed`]`(seed, r)`); `fleet.dispatch`
+    /// routes within each rack; `fleet.horizon` is the cluster horizon.
+    pub fleet: FleetConfig,
+}
+
+/// Cluster-level aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterStats {
+    /// Number of racks.
+    pub racks: usize,
+    /// Each rack's [`FleetStats`], in rack order.
+    pub per_rack: Vec<FleetStats>,
+    /// Left fold of the rack totals in rack order via [`RunStats::merge`]
+    /// — reproducible bit-for-bit at any thread count.
+    pub total: RunStats,
+}
+
+/// Everything a finished cluster run reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Rack labels, in rack order.
+    pub rack_labels: Vec<String>,
+    /// Per-rack reports (fleet stats, veto and shed counters).
+    pub racks: Vec<RackReport>,
+    /// The cluster aggregate.
+    pub stats: ClusterStats,
+}
+
+/// A fleet of fleets: racks under one aggregate stream, with a two-level
+/// online dispatch hierarchy (cluster dispatcher across racks, each rack's
+/// own dispatcher within it) and per-rack power caps.
+///
+/// # Example
+///
+/// ```
+/// use qdpm_device::presets;
+/// use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy};
+/// use qdpm_sim::hierarchy::{ClusterConfig, ClusterSim, RackSpec};
+/// use qdpm_sim::ScenarioWorkload;
+/// use qdpm_workload::{DispatchPolicy, WorkloadSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let rack = |r: usize| RackSpec {
+///     label: format!("rack-{r}"),
+///     members: (0..3)
+///         .map(|i| FleetMember {
+///             label: format!("hdd-{r}-{i}"),
+///             power: presets::three_state_generic(),
+///             service: presets::default_service(),
+///             policy: FleetPolicy::BreakEvenTimeout,
+///         })
+///         .collect(),
+///     power_cap: Some(4.0),
+/// };
+/// let cluster = ClusterSim::new(
+///     &[rack(0), rack(1)],
+///     &ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5)?),
+///     &ClusterConfig {
+///         rack_dispatch: DispatchPolicy::JoinShortestQueue,
+///         fleet: FleetConfig {
+///             horizon: 2_000,
+///             dispatch: DispatchPolicy::SleepAware { spill: 4 },
+///             ..FleetConfig::default()
+///         },
+///     },
+/// )?;
+/// let report = cluster.run(2);
+/// assert_eq!(report.stats.racks, 2);
+/// assert_eq!(report.stats.total.steps, 2 * 3 * 2_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ClusterSim {
+    racks: Vec<RackCoordinator>,
+    rack_dispatcher: WorkloadDispatcher,
+    events: Vec<(Step, u32)>,
+    horizon: Step,
+    aggregate_arrivals: u64,
+}
+
+impl ClusterSim {
+    /// Assembles a cluster: materializes the aggregate event stream from
+    /// the cluster seed and builds every rack with its derived seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadConfig`] for an empty rack list and
+    /// propagates rack construction and workload errors.
+    pub fn new(
+        specs: &[RackSpec],
+        aggregate: &ScenarioWorkload,
+        config: &ClusterConfig,
+    ) -> Result<Self, SimError> {
+        if specs.is_empty() {
+            return Err(SimError::BadConfig(
+                "a cluster needs at least one rack".to_string(),
+            ));
+        }
+        let events = materialize_events(aggregate, config.fleet.seed, config.fleet.horizon)?;
+        let aggregate_arrivals = events.iter().map(|&(_, c)| u64::from(c)).sum();
+        let rack_dispatcher = WorkloadDispatcher::new(config.rack_dispatch, specs.len())?;
+        let racks: Vec<RackCoordinator> = specs
+            .iter()
+            .enumerate()
+            .map(|(r, spec)| {
+                RackCoordinator::new(
+                    spec,
+                    &FleetConfig {
+                        seed: derive_cell_seed(config.fleet.seed, r as u64),
+                        ..config.fleet.clone()
+                    },
+                )
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(ClusterSim {
+            racks,
+            rack_dispatcher,
+            events,
+            horizon: config.fleet.horizon,
+            aggregate_arrivals,
+        })
+    }
+
+    /// Number of racks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.racks.len()
+    }
+
+    /// Whether the cluster has no racks (never true once constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.racks.is_empty()
+    }
+
+    /// Total arrivals in the materialized aggregate stream (the
+    /// conservation tests compare this against the cluster total).
+    #[must_use]
+    pub fn dispatched_arrivals(&self) -> u64 {
+        self.aggregate_arrivals
+    }
+
+    /// Runs the cluster on up to `threads` workers — racks advance their
+    /// gaps in parallel and every arrival slice is routed serially at a
+    /// barrier, so results are identical at any thread count.
+    #[must_use]
+    pub fn run(mut self, threads: usize) -> ClusterReport {
+        let n = self.racks.len();
+        let mut snaps = vec![
+            DeviceSnapshot {
+                queue_len: 0,
+                awake: false,
+                waking: false,
+            };
+            n
+        ];
+        let mut assign = vec![0u32; n];
+        let mut now = 0;
+        let gap_all = |racks: &mut Vec<RackCoordinator>, gap: u64| {
+            if gap > 0 {
+                run_indexed_mut(racks, threads, |_, rack| rack.advance_gap(gap, 1));
+            }
+        };
+        for &(slice, count) in &self.events.clone() {
+            gap_all(&mut self.racks, slice - now);
+            for (r, rack) in self.racks.iter().enumerate() {
+                snaps[r] = rack.snapshot();
+            }
+            self.rack_dispatcher
+                .route_slice(count, &mut snaps, &mut assign);
+            let assign_now = assign.clone();
+            // Every rack steps the arrival slice (possibly with zero
+            // arrivals) so the cluster stays slice-aligned.
+            run_indexed_mut(&mut self.racks, threads, |r, rack| {
+                rack.arrival_slice(assign_now[r]);
+            });
+            now = slice + 1;
+        }
+        gap_all(&mut self.racks, self.horizon - now);
+
+        let racks: Vec<RackReport> = self.racks.iter().map(RackCoordinator::report).collect();
+        let per_rack: Vec<FleetStats> = racks.iter().map(|r| r.fleet.stats.clone()).collect();
+        let mut total = RunStats::new();
+        for stats in &per_rack {
+            total.merge(&stats.total);
+        }
+        ClusterReport {
+            rack_labels: racks.iter().map(|r| r.label.clone()).collect(),
+            stats: ClusterStats {
+                racks: racks.len(),
+                per_rack,
+                total,
+            },
+            racks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::FleetPolicy;
+    use crate::EngineMode;
+    use qdpm_device::presets;
+    use qdpm_workload::WorkloadSpec;
+
+    fn bernoulli(p: f64) -> ScenarioWorkload {
+        ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(p).unwrap())
+    }
+
+    fn rack(n: usize, cap: Option<f64>) -> RackSpec {
+        RackSpec {
+            label: "rack".to_string(),
+            members: (0..n)
+                .map(|i| FleetMember {
+                    label: format!("dev-{i}"),
+                    power: presets::three_state_generic(),
+                    service: presets::default_service(),
+                    policy: FleetPolicy::BreakEvenTimeout,
+                })
+                .collect(),
+            power_cap: cap,
+        }
+    }
+
+    fn config(horizon: Step, dispatch: DispatchPolicy) -> FleetConfig {
+        FleetConfig {
+            horizon,
+            dispatch,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_rack_rejected() {
+        let err = RackCoordinator::new(&rack(0, None), &FleetConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn infeasible_and_invalid_caps_rejected() {
+        for cap in [0.0, -1.0, f64::NAN, f64::INFINITY, 1e-6] {
+            let err =
+                RackCoordinator::new(&rack(4, Some(cap)), &FleetConfig::default()).unwrap_err();
+            assert!(matches!(err, SimError::BadConfig(_)), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn capped_rack_never_exceeds_its_cap_in_any_slice() {
+        let cap = 3.0;
+        let spec = rack(4, Some(cap));
+        let cfg = config(3_000, DispatchPolicy::SleepAware { spill: 3 });
+        let (report, per_slice) = RackCoordinator::new(&spec, &cfg)
+            .unwrap()
+            .run_probed(&bernoulli(0.5))
+            .unwrap();
+        assert_eq!(per_slice.len(), 3_000);
+        let max = per_slice.iter().cloned().fold(0.0, f64::max);
+        assert!(max <= cap + CAP_EPS, "max slice draw {max} > cap {cap}");
+        // The cap binds: an uncapped run of the same rack draws more at
+        // peak, and the capped run actually had to intervene.
+        assert!(report.vetoed_wakeups + report.shed_arrivals > 0);
+        // Conservation: every aggregate arrival is accounted for.
+        let (uncapped, _) = RackCoordinator::new(&rack(4, None), &cfg)
+            .unwrap()
+            .run_probed(&bernoulli(0.5))
+            .unwrap();
+        assert_eq!(
+            report.fleet.stats.total.arrivals,
+            uncapped.fleet.stats.total.arrivals
+        );
+    }
+
+    #[test]
+    fn probed_run_matches_segmented_run() {
+        for cap in [None, Some(3.0)] {
+            let spec = rack(4, cap);
+            let cfg = config(2_000, DispatchPolicy::SleepAware { spill: 3 });
+            let probed = RackCoordinator::new(&spec, &cfg)
+                .unwrap()
+                .run_probed(&bernoulli(0.4))
+                .unwrap()
+                .0;
+            let segmented = RackCoordinator::new(&spec, &cfg)
+                .unwrap()
+                .run(&bernoulli(0.4), 3)
+                .unwrap();
+            assert_eq!(probed, segmented, "cap={cap:?}");
+        }
+    }
+
+    #[test]
+    fn capped_rack_is_engine_mode_and_thread_exact() {
+        let spec = rack(5, Some(4.0));
+        let run = |mode, threads| {
+            let cfg = FleetConfig {
+                engine_mode: mode,
+                ..config(2_500, DispatchPolicy::JoinShortestQueue)
+            };
+            RackCoordinator::new(&spec, &cfg)
+                .unwrap()
+                .run(&bernoulli(0.3), threads)
+                .unwrap()
+        };
+        let reference = run(EngineMode::PerSlice, 1);
+        assert_eq!(reference, run(EngineMode::PerSlice, 4));
+        assert_eq!(reference, run(EngineMode::EventSkip, 1));
+        assert_eq!(reference, run(EngineMode::EventSkip, 4));
+    }
+
+    #[test]
+    fn capped_rack_cold_boots_asleep() {
+        let spec = rack(3, Some(10.0));
+        let rack = RackCoordinator::new(&spec, &FleetConfig::default()).unwrap();
+        for (sim, model) in rack.sims.iter().zip(&rack.models) {
+            assert_eq!(
+                sim.observation().device_mode,
+                DeviceMode::Operational(model.lowest_power_state())
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_members_rejected_in_racks() {
+        let mut spec = rack(2, None);
+        spec.members[1].policy = FleetPolicy::Oracle;
+        let err = RackCoordinator::new(&spec, &FleetConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn cluster_conserves_arrivals_and_folds_in_rack_order() {
+        let specs = vec![rack(3, Some(4.0)), rack(2, None), rack(4, Some(5.0))];
+        let cfg = ClusterConfig {
+            rack_dispatch: DispatchPolicy::JoinShortestQueue,
+            fleet: config(2_000, DispatchPolicy::SleepAware { spill: 4 }),
+        };
+        let cluster = ClusterSim::new(&specs, &bernoulli(0.6), &cfg).unwrap();
+        assert_eq!(cluster.len(), 3);
+        let dispatched = cluster.dispatched_arrivals();
+        assert!(dispatched > 0);
+        let report = cluster.run(2);
+        assert_eq!(report.stats.racks, 3);
+        assert_eq!(report.stats.total.arrivals, dispatched);
+        assert_eq!(report.stats.total.steps, (3 + 2 + 4) * 2_000);
+        let mut manual = RunStats::new();
+        for stats in &report.stats.per_rack {
+            manual.merge(&stats.total);
+        }
+        assert_eq!(report.stats.total, manual);
+        assert_eq!(report.rack_labels.len(), 3);
+    }
+
+    #[test]
+    fn cluster_is_thread_count_invariant() {
+        let specs = vec![rack(3, Some(4.0)), rack(3, None)];
+        let cfg = ClusterConfig {
+            rack_dispatch: DispatchPolicy::SleepAware { spill: 6 },
+            fleet: config(1_500, DispatchPolicy::JoinShortestQueue),
+        };
+        let reference = ClusterSim::new(&specs, &bernoulli(0.5), &cfg)
+            .unwrap()
+            .run(1);
+        for threads in [2, 4] {
+            let report = ClusterSim::new(&specs, &bernoulli(0.5), &cfg)
+                .unwrap()
+                .run(threads);
+            assert_eq!(reference, report, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let cfg = ClusterConfig {
+            rack_dispatch: DispatchPolicy::RoundRobin,
+            fleet: FleetConfig::default(),
+        };
+        let err = ClusterSim::new(&[], &bernoulli(0.1), &cfg).unwrap_err();
+        assert!(matches!(err, SimError::BadConfig(_)));
+    }
+
+    #[test]
+    fn command_demand_covers_instant_and_latent_transitions() {
+        let model = presets::three_state_generic();
+        let high = model.highest_power_state();
+        let low = model.lowest_power_state();
+        let t = model.transition(high, low).unwrap();
+        let expected = if t.latency == 0 {
+            t.energy + model.state(low).power
+        } else {
+            t.energy_per_step().max(model.state(low).power)
+        };
+        assert_eq!(command_demand(&model, high, low), Some(expected));
+        // Self-transitions are free, so their demand is pure residency.
+        assert_eq!(
+            command_demand(&model, high, high),
+            Some(model.state(high).power)
+        );
+    }
+}

@@ -29,16 +29,25 @@
 //!
 //! The [`fleet`] module scales along the other axis: one [`FleetSim`]
 //! steps N heterogeneous devices (mixed presets, mixed policies,
-//! per-device or shared Q-tables) against a single aggregate workload
-//! strictly partitioned across them by a
-//! [`qdpm_workload::WorkloadDispatcher`], with closed-form [`FleetStats`]
-//! aggregation and a [`FleetGrid`] for fleet-size sweeps.
+//! per-device or shared Q-tables) against a single aggregate workload,
+//! either strictly partitioned ahead of time by a state-blind
+//! [`qdpm_workload::WorkloadDispatcher`] or routed *online* against live
+//! device state, with closed-form [`FleetStats`] aggregation and a
+//! [`FleetGrid`] for fleet-size sweeps.
+//!
+//! The [`hierarchy`] module stacks the datacenter layers on top: a
+//! [`RackCoordinator`] enforces a rack-wide power cap over an online fleet
+//! (vetoing wakeups and shedding load the budget cannot afford), and a
+//! [`ClusterSim`] runs a fleet of racks behind one more dispatcher — the
+//! two-level dispatch hierarchy, with per-rack [`FleetStats`] and a
+//! cluster-wide ordered fold.
 
 mod adaptive;
 mod engine;
 mod error;
 pub mod experiment;
 pub mod fleet;
+pub mod hierarchy;
 mod metrics;
 pub mod parallel;
 pub mod policies;
@@ -49,6 +58,9 @@ pub use error::SimError;
 pub use fleet::{
     FleetCell, FleetConfig, FleetGrid, FleetGridParams, FleetMember, FleetPolicy, FleetReport,
     FleetSim, FleetStats,
+};
+pub use hierarchy::{
+    ClusterConfig, ClusterReport, ClusterSim, ClusterStats, RackCoordinator, RackReport, RackSpec,
 };
 pub use metrics::{RunStats, SeriesRecorder, WindowPoint};
 pub use parallel::{

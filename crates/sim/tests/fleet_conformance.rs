@@ -16,10 +16,19 @@
 //!   re-draw of the aggregate stream);
 //! * **fold** — `FleetStats::total` equals the left fold of the
 //!   per-device `RunStats` in device order, bit-for-bit.
+//!
+//! The *online* dispatch loop is gated here too: every dispatcher
+//! (state-blind and state-aware) run online must be engine-exact and
+//! thread-count-invariant, a state-blind dispatcher run online must
+//! reproduce its precomputed split bit-for-bit, and a power-capped
+//! [`RackCoordinator`] must satisfy the cap conservation law — summed
+//! rack draw `<= cap + CAP_EPS` in *every* slice of randomized racks —
+//! while staying engine-exact itself.
 
 use proptest::prelude::*;
 use qdpm_device::presets;
 use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetReport, FleetSim};
+use qdpm_sim::hierarchy::{ClusterConfig, ClusterSim, RackCoordinator, RackSpec, CAP_EPS};
 use qdpm_sim::{EngineMode, RunStats, ScenarioWorkload, SimConfig};
 use qdpm_workload::{DispatchPolicy, WorkloadSpec};
 
@@ -43,6 +52,37 @@ fn preset_pool() -> Vec<(String, qdpm_device::PowerModel)> {
 fn mixed_members(size: usize, policy_offset: usize, preset_offset: usize) -> Vec<FleetMember> {
     let presets_pool = preset_pool();
     let policies = FleetPolicy::all_exact();
+    (0..size)
+        .map(|i| {
+            let policy = policies[(policy_offset + i) % policies.len()].clone();
+            let (label, power) = if matches!(policy, FleetPolicy::SharedQDpm(_)) {
+                (
+                    "three-state-generic".to_string(),
+                    presets::three_state_generic(),
+                )
+            } else {
+                presets_pool[(preset_offset + i) % presets_pool.len()].clone()
+            };
+            FleetMember {
+                label: format!("{label}-{i}"),
+                power,
+                service: presets::default_service(),
+                policy,
+            }
+        })
+        .collect()
+}
+
+/// Like [`mixed_members`], but cycling only the online-safe exact
+/// policies (no clairvoyant oracles) — the population for online-dispatch
+/// and rack fleets, where no precomputed per-device trace exists.
+fn mixed_online_members(
+    size: usize,
+    policy_offset: usize,
+    preset_offset: usize,
+) -> Vec<FleetMember> {
+    let presets_pool = preset_pool();
+    let policies = FleetPolicy::all_online_exact();
     (0..size)
         .map(|i| {
             let policy = policies[(policy_offset + i) % policies.len()].clone();
@@ -102,6 +142,33 @@ fn run_fleet(
         },
     )
     .expect("fleet builds")
+    .run(threads)
+}
+
+/// Like [`run_fleet`] but forces the online dispatch loop even for
+/// state-blind dispatchers.
+fn run_online(
+    members: &[FleetMember],
+    workload: &ScenarioWorkload,
+    dispatch: DispatchPolicy,
+    mode: EngineMode,
+    horizon: u64,
+    seed: u64,
+    threads: usize,
+) -> FleetReport {
+    FleetSim::new(
+        members,
+        workload,
+        &FleetConfig {
+            seed,
+            engine_mode: mode,
+            dispatch,
+            horizon,
+            force_online: true,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("online fleet builds")
     .run(threads)
 }
 
@@ -167,19 +234,136 @@ proptest! {
         assert_conservation(&per, dispatched);
         assert_conservation(&skip, dispatched);
     }
+
+    /// Random fleets under the *online* dispatch loop, across every
+    /// dispatcher (state-blind and state-aware): `PerSlice` and
+    /// `EventSkip` agree exactly, results are thread-count-invariant,
+    /// conservation holds, and a state-blind dispatcher run online
+    /// reproduces its precomputed split bit-for-bit.
+    #[test]
+    fn online_dispatch_is_engine_and_thread_exact_on_random_fleets(
+        size in 1usize..12,
+        policy_offset in 0usize..8,
+        preset_offset in 0usize..4,
+        dispatch_id in 0usize..5,
+        workload_kind in 0usize..3,
+        rate in 0.02f64..0.6,
+        horizon in 300u64..2_000,
+        seed in 0u64..10_000,
+        threads in 2usize..5,
+    ) {
+        let members = mixed_online_members(size, policy_offset, preset_offset);
+        let workload = aggregate_workload(workload_kind, rate);
+        let dispatch = DispatchPolicy::all()[dispatch_id % DispatchPolicy::all().len()];
+
+        let reference = run_online(&members, &workload, dispatch,
+                                   EngineMode::PerSlice, horizon, seed, 1);
+        let per_threaded = run_online(&members, &workload, dispatch,
+                                      EngineMode::PerSlice, horizon, seed, threads);
+        let skip_serial = run_online(&members, &workload, dispatch,
+                                     EngineMode::EventSkip, horizon, seed, 1);
+        let skip_threaded = run_online(&members, &workload, dispatch,
+                                       EngineMode::EventSkip, horizon, seed, threads);
+        prop_assert_eq!(&reference, &per_threaded);
+        prop_assert_eq!(&reference, &skip_serial);
+        prop_assert_eq!(&reference, &skip_threaded);
+
+        let dispatched = FleetSim::new(&members, &workload, &FleetConfig {
+            seed, dispatch, horizon, force_online: true, ..FleetConfig::default()
+        }).unwrap().dispatched_arrivals();
+        assert_conservation(&reference, dispatched);
+
+        if dispatch.is_state_blind() {
+            let preplanned = run_fleet(&members, &workload, dispatch,
+                                       EngineMode::PerSlice, horizon, seed, 1);
+            prop_assert_eq!(&reference, &preplanned);
+        }
+    }
+
+    /// Power-cap conservation on randomized capped racks: the summed rack
+    /// draw stays `<= cap + CAP_EPS` in every single slice, arrivals are
+    /// conserved, the per-slice probed run reproduces the segmented run,
+    /// and capped racks stay engine-exact and thread-invariant.
+    #[test]
+    fn capped_rack_never_exceeds_cap_on_random_racks(
+        size in 1usize..9,
+        policy_offset in 0usize..8,
+        preset_offset in 0usize..4,
+        dispatch_id in 0usize..5,
+        workload_kind in 0usize..3,
+        rate in 0.05f64..0.6,
+        headroom in 0.02f64..1.3,
+        horizon in 300u64..1_500,
+        seed in 0u64..10_000,
+        threads in 2usize..5,
+    ) {
+        let members = mixed_online_members(size, policy_offset, preset_offset);
+        let floor: f64 = members.iter()
+            .map(|m| m.power.state(m.power.lowest_power_state()).power)
+            .sum();
+        let peak: f64 = members.iter()
+            .map(|m| m.power.state(m.power.highest_power_state()).power)
+            .sum();
+        let cap = (floor + headroom * (peak - floor + 0.1)).max(0.05);
+        let spec = RackSpec {
+            label: "rack".to_string(),
+            members,
+            power_cap: Some(cap),
+        };
+        let workload = aggregate_workload(workload_kind, rate);
+        let dispatch = DispatchPolicy::all()[dispatch_id % DispatchPolicy::all().len()];
+        let config = |mode| FleetConfig {
+            seed, dispatch, horizon, engine_mode: mode, ..FleetConfig::default()
+        };
+
+        let (probed, per_slice) = RackCoordinator::new(&spec, &config(EngineMode::PerSlice))
+            .unwrap()
+            .run_probed(&workload)
+            .unwrap();
+        prop_assert_eq!(per_slice.len() as u64, horizon);
+        for (slice, &energy) in per_slice.iter().enumerate() {
+            prop_assert!(
+                energy <= cap + CAP_EPS,
+                "slice {} draws {} > cap {}", slice, energy, cap
+            );
+        }
+        // Conservation against an independent redraw of the aggregate:
+        // shedding reroutes arrivals and vetoes only delay wakes — the
+        // cap never loses a request at the routing layer.
+        let direct: u64 = {
+            use rand::SeedableRng;
+            let mut gen = workload.build().unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..horizon).map(|_| u64::from(gen.next_arrivals(&mut rng))).sum()
+        };
+        assert_conservation(&probed.fleet, direct);
+
+        let segmented = RackCoordinator::new(&spec, &config(EngineMode::PerSlice))
+            .unwrap()
+            .run(&workload, threads)
+            .unwrap();
+        prop_assert_eq!(&probed, &segmented);
+        let skip = RackCoordinator::new(&spec, &config(EngineMode::EventSkip))
+            .unwrap()
+            .run(&workload, threads)
+            .unwrap();
+        prop_assert_eq!(&probed, &skip);
+    }
 }
 
-/// Pinned exact case per dispatcher: a 10-device fleet carrying every
-/// exact policy kind exactly once, on a bursty MMPP aggregate. This is
-/// the acceptance gate's canonical scenario: >= 9 policies x all
-/// dispatchers, `PerSlice` == `EventSkip` exactly.
+/// Pinned exact case per state-blind dispatcher: a 10-device fleet
+/// carrying every exact policy kind exactly once (including the
+/// clairvoyant oracles, which need the precomputed split), on a bursty
+/// MMPP aggregate. This is the acceptance gate's canonical scenario:
+/// at least 9 policies x all state-blind dispatchers, `PerSlice` ==
+/// `EventSkip` exactly.
 #[test]
 fn fleet_event_skip_pinned_all_policies_all_dispatchers() {
     let policies = FleetPolicy::all_exact();
     assert!(policies.len() >= 9, "gate requires >= 9 policies");
     let members = mixed_members(policies.len(), 0, 0);
     let workload = aggregate_workload(1, 0.3);
-    for dispatch in DispatchPolicy::all() {
+    for dispatch in DispatchPolicy::state_blind() {
         let per = run_fleet(
             &members,
             &workload,
@@ -200,6 +384,103 @@ fn fleet_event_skip_pinned_all_policies_all_dispatchers() {
         );
         assert_eq!(per.stats, skip.stats, "{}", dispatch.name());
         assert_eq!(per.per_device, skip.per_device, "{}", dispatch.name());
+    }
+}
+
+/// Pinned online counterpart: every dispatcher (state-blind ones forced
+/// online, plus join-shortest-queue and sleep-aware) over a fleet cycling
+/// every online-safe exact policy — `PerSlice` serial == `EventSkip`
+/// threaded, bit-for-bit.
+#[test]
+fn fleet_online_pinned_all_policies_all_dispatchers() {
+    let policies = FleetPolicy::all_online_exact();
+    assert!(
+        policies.len() >= 8,
+        "gate requires >= 8 online-safe policies"
+    );
+    let members = mixed_online_members(policies.len(), 0, 0);
+    let workload = aggregate_workload(1, 0.3);
+    for dispatch in DispatchPolicy::all() {
+        let per = run_online(
+            &members,
+            &workload,
+            dispatch,
+            EngineMode::PerSlice,
+            6_000,
+            17,
+            1,
+        );
+        let skip = run_online(
+            &members,
+            &workload,
+            dispatch,
+            EngineMode::EventSkip,
+            6_000,
+            17,
+            4,
+        );
+        assert_eq!(per.stats, skip.stats, "{}", dispatch.name());
+        assert_eq!(per.per_device, skip.per_device, "{}", dispatch.name());
+    }
+}
+
+/// A two-level cluster (racks under caps, rack-level dispatch) is
+/// engine-exact and thread-count-invariant, and conserves the aggregate
+/// stream across both dispatch levels.
+#[test]
+fn cluster_is_engine_exact_and_conserves_arrivals() {
+    let rack = |n: usize, cap: Option<f64>, offset: usize| RackSpec {
+        label: format!("rack-{offset}"),
+        members: mixed_online_members(n, offset, offset),
+        power_cap: cap,
+    };
+    let specs = vec![
+        rack(3, Some(5.0), 0),
+        rack(2, None, 2),
+        rack(4, Some(6.0), 5),
+    ];
+    let workload = aggregate_workload(1, 0.5);
+    let run = |mode, threads| {
+        ClusterSim::new(
+            &specs,
+            &workload,
+            &ClusterConfig {
+                rack_dispatch: DispatchPolicy::JoinShortestQueue,
+                fleet: FleetConfig {
+                    seed: 29,
+                    horizon: 3_000,
+                    dispatch: DispatchPolicy::SleepAware { spill: 4 },
+                    engine_mode: mode,
+                    ..FleetConfig::default()
+                },
+            },
+        )
+        .unwrap()
+        .run(threads)
+    };
+    let reference = run(EngineMode::PerSlice, 1);
+    assert_eq!(reference, run(EngineMode::PerSlice, 4));
+    assert_eq!(reference, run(EngineMode::EventSkip, 1));
+    assert_eq!(reference, run(EngineMode::EventSkip, 4));
+
+    let dispatched = ClusterSim::new(
+        &specs,
+        &workload,
+        &ClusterConfig {
+            rack_dispatch: DispatchPolicy::JoinShortestQueue,
+            fleet: FleetConfig {
+                seed: 29,
+                horizon: 3_000,
+                dispatch: DispatchPolicy::SleepAware { spill: 4 },
+                ..FleetConfig::default()
+            },
+        },
+    )
+    .unwrap()
+    .dispatched_arrivals();
+    assert_eq!(reference.stats.total.arrivals, dispatched);
+    for rack_report in &reference.racks {
+        assert_conservation(&rack_report.fleet, rack_report.fleet.stats.total.arrivals);
     }
 }
 
@@ -260,7 +541,13 @@ fn fleet_arrivals_equal_independent_aggregate_redraw() {
     let horizon = 5_000u64;
     let workload = aggregate_workload(1, 0.4);
     for dispatch in DispatchPolicy::all() {
-        let members = mixed_members(6, 1, 1);
+        // Oracle members need the precomputed split; online (state-aware)
+        // dispatchers get the online-safe policy population instead.
+        let members = if dispatch.is_state_blind() {
+            mixed_members(6, 1, 1)
+        } else {
+            mixed_online_members(6, 1, 1)
+        };
         let fleet = FleetSim::new(
             &members,
             &workload,

@@ -7,19 +7,89 @@
 //! device, none are invented — which the fleet conservation property tests
 //! in `qdpm-sim` pin.
 //!
-//! Dispatch happens *ahead of* simulation: [`WorkloadDispatcher::split`]
-//! materializes one [`SparseTrace`] per device over a fixed horizon, so the
-//! per-device simulations stay embarrassingly parallel (no cross-device
-//! coupling at run time) and deterministic (the assignment depends only on
-//! the aggregate stream and the dispatch policy, never on simulation
-//! scheduling).
+//! Dispatch comes in two flavours:
+//!
+//! * **state-blind** policies ([`DispatchPolicy::is_state_blind`]) route
+//!   from dispatcher-internal state only, so the whole assignment can be
+//!   precomputed: [`WorkloadDispatcher::split`] materializes one
+//!   [`SparseTrace`] per device over a fixed horizon and the per-device
+//!   simulations stay embarrassingly parallel;
+//! * **state-aware** policies ([`DispatchPolicy::JoinShortestQueue`],
+//!   [`DispatchPolicy::SleepAware`]) read live [`DeviceSnapshot`]s —
+//!   real queue depths and power modes — through
+//!   [`WorkloadDispatcher::route_slice`], so routing reacts to what the
+//!   devices are actually doing. The fleet engine in `qdpm-sim` feeds
+//!   snapshots refreshed at every arrival slice, which keeps the
+//!   assignment deterministic (it depends only on the aggregate stream
+//!   and the simulated device states, never on thread scheduling).
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::{ArrivalGap, RequestGenerator, WorkloadError};
 
+/// What a state-aware dispatch policy sees of one device when routing an
+/// arrival: the live queue depth and a coarse view of the power mode.
+///
+/// The fleet engine refreshes snapshots from the simulated devices at every
+/// arrival slice; [`WorkloadDispatcher::route_slice`] then mutates them as
+/// it assigns arrivals (incrementing `queue_len`, marking routed sleepers
+/// `waking`) so that several arrivals in one slice spread out instead of
+/// all piling onto the pre-slice minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeviceSnapshot {
+    /// Requests currently queued on the device.
+    pub queue_len: usize,
+    /// Whether the device is resident in a state that can serve requests.
+    pub awake: bool,
+    /// Whether the device is mid-transition *toward* a serving state (it
+    /// will be able to serve soon without a fresh wake command).
+    pub waking: bool,
+}
+
+impl DeviceSnapshot {
+    /// Whether the device can absorb work without a wake command: either
+    /// serving now or already on its way up.
+    #[must_use]
+    pub fn available(&self) -> bool {
+        self.awake || self.waking
+    }
+}
+
 /// How a [`WorkloadDispatcher`] assigns each aggregate arrival to a device.
+///
+/// The first three policies are *state-blind*: they route from
+/// dispatcher-internal state only and support ahead-of-time
+/// [`WorkloadDispatcher::split`]. [`DispatchPolicy::JoinShortestQueue`] and
+/// [`DispatchPolicy::SleepAware`] are *state-aware*: they read live
+/// [`DeviceSnapshot`]s via [`WorkloadDispatcher::route_slice`] and cannot
+/// be precomputed.
+///
+/// # Example
+///
+/// Online routing against live snapshots — the sleep-aware policy
+/// consolidates load onto the awake device until its queue reaches the
+/// spill threshold:
+///
+/// ```
+/// use qdpm_workload::{DeviceSnapshot, DispatchPolicy, WorkloadDispatcher};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut d = WorkloadDispatcher::new(DispatchPolicy::SleepAware { spill: 2 }, 3)?;
+/// let mut snaps = vec![
+///     DeviceSnapshot { queue_len: 0, awake: true, waking: false },
+///     DeviceSnapshot { queue_len: 0, awake: false, waking: false },
+///     DeviceSnapshot { queue_len: 0, awake: false, waking: false },
+/// ];
+/// let mut assign = vec![0u32; 3];
+/// // Three arrivals: two consolidate onto awake device 0; the third sees
+/// // its queue at the spill threshold and wakes a sleeping device.
+/// d.route_slice(3, &mut snaps, &mut assign);
+/// assert_eq!(assign, vec![2, 1, 0]);
+/// assert!(snaps[1].waking, "the routed sleeper is now waking");
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DispatchPolicy {
     /// Arrival `i` goes to device `i mod n` (in arrival order, across
@@ -43,6 +113,24 @@ pub enum DispatchPolicy {
         /// Salt mixed into the per-arrival hash.
         salt: u64,
     },
+    /// State-aware: each arrival joins the device with the shortest *live*
+    /// queue (ties rotate via the cursor, like
+    /// [`DispatchPolicy::LeastLoaded`]). Routed arrivals increment the
+    /// snapshot's queue so same-slice arrivals spread. Requires
+    /// [`WorkloadDispatcher::route_slice`].
+    JoinShortestQueue,
+    /// State-aware and wake-avoiding: arrivals consolidate onto the
+    /// shortest-queued device that is awake or already waking, spilling to
+    /// a sleeping device (waking it) only when every available device's
+    /// queue has reached `spill`; when the whole fleet is asleep, one
+    /// sleeper is woken and the slice's load consolidates onto it.
+    /// Requires [`WorkloadDispatcher::route_slice`].
+    SleepAware {
+        /// Queue depth at which load spills from available devices onto a
+        /// sleeping one (0 never consolidates: any sleeper beats any
+        /// queue).
+        spill: usize,
+    },
 }
 
 impl DispatchPolicy {
@@ -53,17 +141,53 @@ impl DispatchPolicy {
             DispatchPolicy::RoundRobin => "round-robin",
             DispatchPolicy::LeastLoaded => "least-loaded",
             DispatchPolicy::HashSharded { .. } => "hash-sharded",
+            DispatchPolicy::JoinShortestQueue => "join-shortest-queue",
+            DispatchPolicy::SleepAware { .. } => "sleep-aware",
         }
     }
 
+    /// Whether the policy routes without looking at device state, so the
+    /// whole assignment can be precomputed by
+    /// [`WorkloadDispatcher::split`]. State-aware policies
+    /// ([`DispatchPolicy::JoinShortestQueue`],
+    /// [`DispatchPolicy::SleepAware`]) must be driven online through
+    /// [`WorkloadDispatcher::route_slice`].
+    #[must_use]
+    pub fn is_state_blind(&self) -> bool {
+        !matches!(
+            self,
+            DispatchPolicy::JoinShortestQueue | DispatchPolicy::SleepAware { .. }
+        )
+    }
+
     /// All policy kinds with default parameters, for sweep harnesses and
-    /// the fleet conformance suite.
+    /// the fleet conformance suite. State-blind policies come first, in
+    /// [`DispatchPolicy::state_blind`] order.
     #[must_use]
     pub fn all() -> Vec<DispatchPolicy> {
+        let mut all = DispatchPolicy::state_blind();
+        all.extend(DispatchPolicy::state_aware());
+        all
+    }
+
+    /// The state-blind policy kinds (precomputable via
+    /// [`WorkloadDispatcher::split`]).
+    #[must_use]
+    pub fn state_blind() -> Vec<DispatchPolicy> {
         vec![
             DispatchPolicy::RoundRobin,
             DispatchPolicy::LeastLoaded,
             DispatchPolicy::HashSharded { salt: 0 },
+        ]
+    }
+
+    /// The state-aware policy kinds (online-only, via
+    /// [`WorkloadDispatcher::route_slice`]), with default parameters.
+    #[must_use]
+    pub fn state_aware() -> Vec<DispatchPolicy> {
+        vec![
+            DispatchPolicy::JoinShortestQueue,
+            DispatchPolicy::SleepAware { spill: 4 },
         ]
     }
 }
@@ -129,32 +253,81 @@ impl WorkloadDispatcher {
     ///
     /// # Panics
     ///
-    /// Panics if `assign.len() != n_devices`.
+    /// Panics if `assign.len() != n_devices`, or if the policy is
+    /// state-aware (use [`WorkloadDispatcher::route_slice`] instead).
     pub fn dispatch_slice(&mut self, count: u32, assign: &mut [u32]) {
+        assert!(
+            self.policy.is_state_blind(),
+            "{} is state-aware: dispatch it online via route_slice",
+            self.policy.name()
+        );
+        self.route_inner(count, None, assign);
+    }
+
+    /// Assigns one slice's `count` aggregate arrivals across the devices
+    /// using the live [`DeviceSnapshot`]s, writing per-device counts into
+    /// `assign` (zeroed first). The sum of `assign` always equals `count`.
+    ///
+    /// For state-blind policies the assignment is identical to
+    /// [`WorkloadDispatcher::dispatch_slice`] (snapshots are ignored), so
+    /// an online fleet run with a state-blind dispatcher reproduces the
+    /// precomputed split exactly. State-aware policies read and *mutate*
+    /// the snapshots: each routed arrival increments its target's
+    /// `queue_len`, and a routed sleeper is marked `waking`, so several
+    /// arrivals within one slice spread out deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assign.len() != n_devices` or
+    /// `snapshots.len() != n_devices`.
+    pub fn route_slice(
+        &mut self,
+        count: u32,
+        snapshots: &mut [DeviceSnapshot],
+        assign: &mut [u32],
+    ) {
+        assert_eq!(
+            snapshots.len(),
+            self.n_devices,
+            "snapshot buffer must have one slot per device"
+        );
+        self.route_inner(count, Some(snapshots), assign);
+    }
+
+    /// The shared per-slice routing body. `snapshots` is `None` only on
+    /// the state-blind [`WorkloadDispatcher::dispatch_slice`] path.
+    fn route_inner(
+        &mut self,
+        count: u32,
+        mut snapshots: Option<&mut [DeviceSnapshot]>,
+        assign: &mut [u32],
+    ) {
         assert_eq!(
             assign.len(),
             self.n_devices,
             "assignment buffer must have one slot per device"
         );
         assign.fill(0);
+        let n = self.n_devices;
         for _ in 0..count {
+            // Cyclic distance from the rotating cursor — the shared
+            // tie-breaker that spreads minimum-ties fairly instead of
+            // piling them onto device 0.
+            let cursor = self.cursor;
+            let cyc = move |i: usize| (i + n - cursor % n) % n;
             let target = match self.policy {
                 DispatchPolicy::RoundRobin => {
                     let t = self.cursor;
-                    self.cursor = (self.cursor + 1) % self.n_devices;
+                    self.cursor = (self.cursor + 1) % n;
                     t
                 }
                 DispatchPolicy::LeastLoaded => {
-                    // Smallest backlog; ties rotate via the cursor (cyclic
-                    // distance from it breaks the tie) so an all-quiet
-                    // fleet spreads arrivals instead of piling device 0.
-                    let n = self.n_devices;
-                    let cursor = self.cursor;
+                    // Smallest nominal backlog; ties rotate via the cursor.
                     let t = self
                         .backlog
                         .iter()
                         .enumerate()
-                        .min_by_key(|&(i, &b)| (b, (i + n - cursor % n) % n))
+                        .min_by_key(|&(i, &b)| (b, cyc(i)))
                         .map(|(i, _)| i)
                         .expect("dispatcher has at least one device");
                     self.backlog[t] += 1;
@@ -162,7 +335,55 @@ impl WorkloadDispatcher {
                     t
                 }
                 DispatchPolicy::HashSharded { salt } => {
-                    (splitmix64(salt, self.seq) % self.n_devices as u64) as usize
+                    (splitmix64(salt, self.seq) % n as u64) as usize
+                }
+                DispatchPolicy::JoinShortestQueue => {
+                    let snaps = snapshots
+                        .as_deref_mut()
+                        .expect("state-aware policy routed without snapshots");
+                    let t = snaps
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(i, s)| (s.queue_len, cyc(i)))
+                        .map(|(i, _)| i)
+                        .expect("dispatcher has at least one device");
+                    snaps[t].queue_len += 1;
+                    self.cursor = (t + 1) % n;
+                    t
+                }
+                DispatchPolicy::SleepAware { spill } => {
+                    let snaps = snapshots
+                        .as_deref_mut()
+                        .expect("state-aware policy routed without snapshots");
+                    let best_available = snaps
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.available())
+                        .min_by_key(|&(i, s)| (s.queue_len, cyc(i)))
+                        .map(|(i, _)| i);
+                    let first_sleeper = || {
+                        snaps
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| !s.available())
+                            .min_by_key(|&(i, _)| cyc(i))
+                            .map(|(i, _)| i)
+                    };
+                    let t = match best_available {
+                        // Consolidate onto the best available device until
+                        // its queue hits the spill threshold; then wake
+                        // the next sleeper instead.
+                        Some(b) if snaps[b].queue_len < spill => b,
+                        Some(b) => first_sleeper().unwrap_or(b),
+                        // Whole fleet asleep: wake one.
+                        None => first_sleeper().expect("dispatcher has at least one device"),
+                    };
+                    snaps[t].queue_len += 1;
+                    if !snaps[t].awake {
+                        snaps[t].waking = true;
+                    }
+                    self.cursor = (t + 1) % n;
+                    t
                 }
             };
             self.seq += 1;
@@ -196,6 +417,12 @@ impl WorkloadDispatcher {
     /// aggregate counts exactly, and the assignment is identical to
     /// driving [`WorkloadDispatcher::dispatch_slice`] slice by slice
     /// (quiet slices drain via [`WorkloadDispatcher::advance_quiet`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is state-aware — those assignments depend on
+    /// live device state and cannot be precomputed; drive them online via
+    /// [`WorkloadDispatcher::route_slice`].
     pub fn split(
         &mut self,
         aggregate: &mut dyn RequestGenerator,
@@ -420,7 +647,7 @@ mod tests {
 
     #[test]
     fn split_partitions_the_aggregate_stream() {
-        for policy in DispatchPolicy::all() {
+        for policy in DispatchPolicy::state_blind() {
             let slices = 500u64;
             let mut gen = BernoulliArrivals::new(0.4).unwrap();
             let mut rng = StdRng::seed_from_u64(11);
@@ -446,7 +673,7 @@ mod tests {
         // actually has backlog to shed across the gaps.
         let pattern = vec![5u32, 0, 0, 2, 0, 0, 0, 0, 3, 0, 1, 0, 0, 0, 0, 4];
         let slices = 400u64;
-        for policy in DispatchPolicy::all() {
+        for policy in DispatchPolicy::state_blind() {
             let mut gen = crate::TraceReplay::new(pattern.clone()).unwrap();
             let mut rng = StdRng::seed_from_u64(77);
             let mut d = WorkloadDispatcher::new(policy, 4).unwrap();
@@ -467,6 +694,103 @@ mod tests {
             }
             assert_eq!(via_split, manual, "{}", policy.name());
         }
+    }
+
+    fn snaps(spec: &[(usize, bool, bool)]) -> Vec<DeviceSnapshot> {
+        spec.iter()
+            .map(|&(queue_len, awake, waking)| DeviceSnapshot {
+                queue_len,
+                awake,
+                waking,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn route_slice_matches_dispatch_slice_for_state_blind_policies() {
+        for policy in DispatchPolicy::state_blind() {
+            let mut blind = WorkloadDispatcher::new(policy, 4).unwrap();
+            let mut aware = blind.clone();
+            let mut a = vec![0u32; 4];
+            let mut b = vec![0u32; 4];
+            let mut s = snaps(&[(3, true, false); 4]);
+            for count in [5u32, 0, 2, 1, 7] {
+                blind.dispatch_slice(count, &mut a);
+                aware.route_slice(count, &mut s, &mut b);
+                assert_eq!(a, b, "{}", policy.name());
+            }
+            assert_eq!(blind, aware, "{}: internal state must agree", policy.name());
+        }
+    }
+
+    #[test]
+    fn join_shortest_queue_follows_live_queues() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::JoinShortestQueue, 3).unwrap();
+        let mut s = snaps(&[(4, true, false), (1, true, false), (2, true, false)]);
+        let mut assign = vec![0u32; 3];
+        // First arrival joins device 1 (queue 1); its queue becomes 2,
+        // tying device 2 — the cursor (now 2) breaks the tie toward 2.
+        d.route_slice(2, &mut s, &mut assign);
+        assert_eq!(assign, vec![0, 1, 1]);
+        assert_eq!(s[1].queue_len, 2);
+        assert_eq!(s[2].queue_len, 3);
+    }
+
+    #[test]
+    fn sleep_aware_consolidates_then_spills_and_wakes() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::SleepAware { spill: 3 }, 3).unwrap();
+        let mut s = snaps(&[(0, true, false), (0, false, false), (0, false, false)]);
+        let mut assign = vec![0u32; 3];
+        // Five arrivals: three consolidate onto awake device 0, the fourth
+        // spills to sleeping device 1 (marking it waking), the fifth joins
+        // the now-waking device 1 (queue 1 < spill).
+        d.route_slice(5, &mut s, &mut assign);
+        assert_eq!(assign, vec![3, 2, 0]);
+        assert!(s[1].waking);
+        assert!(!s[2].waking, "only one sleeper woken");
+    }
+
+    #[test]
+    fn sleep_aware_wakes_one_device_when_all_asleep() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::SleepAware { spill: 4 }, 4).unwrap();
+        let mut s = snaps(&[(0, false, false); 4]);
+        let mut assign = vec![0u32; 4];
+        d.route_slice(3, &mut s, &mut assign);
+        // All asleep: the cursor-first sleeper (device 0) wakes and the
+        // whole slice consolidates onto it.
+        assert_eq!(assign, vec![3, 0, 0, 0]);
+        assert!(s[0].waking);
+        assert_eq!(s.iter().filter(|x| x.waking).count(), 1);
+    }
+
+    #[test]
+    fn sleep_aware_prefers_waking_devices_over_fresh_wakes() {
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::SleepAware { spill: 8 }, 3).unwrap();
+        // Device 1 is already on its way up; nobody is serving yet.
+        let mut s = snaps(&[(2, false, false), (0, false, true), (0, false, false)]);
+        let mut assign = vec![0u32; 3];
+        d.route_slice(2, &mut s, &mut assign);
+        assert_eq!(assign, vec![0, 2, 0], "waking device absorbs the load");
+    }
+
+    #[test]
+    #[should_panic(expected = "state-aware")]
+    fn state_aware_split_panics() {
+        let mut gen = BernoulliArrivals::new(0.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = WorkloadDispatcher::new(DispatchPolicy::JoinShortestQueue, 2).unwrap();
+        let _ = d.split(&mut gen, &mut rng, 100);
+    }
+
+    #[test]
+    fn policy_lists_cover_all_kinds() {
+        assert_eq!(DispatchPolicy::all().len(), 5);
+        assert!(DispatchPolicy::state_blind()
+            .iter()
+            .all(DispatchPolicy::is_state_blind));
+        assert!(DispatchPolicy::state_aware()
+            .iter()
+            .all(|p| !p.is_state_blind()));
     }
 
     #[test]

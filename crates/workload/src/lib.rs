@@ -12,9 +12,11 @@
 //! * [`TraceReplay`] and [`TraceRecorder`] for deterministic replay;
 //! * [`PiecewiseStationary`] — segments of stationary workloads with explicit
 //!   switch points (the Fig. 2 driver);
-//! * [`WorkloadDispatcher`] / [`SparseTrace`] — fleet-scale dispatch: one
-//!   aggregate stream strictly partitioned across N devices (round-robin,
-//!   least-loaded, hash-sharded) as sparse per-device traces;
+//! * [`WorkloadDispatcher`] / [`SparseTrace`] / [`DeviceSnapshot`] —
+//!   fleet-scale dispatch: one aggregate stream strictly partitioned across
+//!   N devices, either precomputed as sparse per-device traces (state-blind
+//!   round-robin, least-loaded, hash-sharded) or routed online against live
+//!   device snapshots (join-shortest-queue, sleep-aware);
 //! * [`WorkloadSpec`] — a serde-serializable description that both builds a
 //!   generator and, when the workload is Markovian, exports the exact
 //!   [`MarkovArrivalModel`] consumed by the model-based optimal baseline;
@@ -47,7 +49,7 @@ mod trace;
 
 use rand::Rng;
 
-pub use dispatch::{DispatchPolicy, SparseTrace, WorkloadDispatcher};
+pub use dispatch::{DeviceSnapshot, DispatchPolicy, SparseTrace, WorkloadDispatcher};
 pub use drift::{RandomWalkRate, SinusoidalRate};
 pub use error::WorkloadError;
 pub use estimator::{EwmaRateEstimator, PageHinkley, RateEstimator};
