@@ -6,9 +6,11 @@
 //! event-skipping engine on a sparse workload, a 1000-device fleet
 //! (`qdpm_sim::fleet`) timed serial vs parallel in both engine modes, a
 //! per-dispatcher fleet sweep (all five `DispatchPolicy`s, precomputed
-//! and online), and a pinned power-capped cluster
+//! and online), a homogeneous training-Q-DPM cohort timed on the batched
+//! structure-of-arrays engine against the dynamic per-device path
+//! (`fleet.batched`), and a pinned power-capped cluster
 //! (`qdpm_sim::hierarchy`) with per-rack rows — and writes the result to
-//! `BENCH_throughput.json` at the workspace root (schema v4). Each run
+//! `BENCH_throughput.json` at the workspace root (schema v5). Each run
 //! also *appends* a compact point to the file's `trajectory` array,
 //! carrying earlier points forward verbatim, so the committed file holds
 //! the throughput trajectory itself, not just its latest point.
@@ -141,6 +143,55 @@ fn fleet_sim(devices: usize, horizon: u64, mode: EngineMode, dispatch: DispatchP
         },
     )
     .expect("pinned fleet scenario builds")
+}
+
+/// The pinned batched-cohort members: `devices` identical standard
+/// three-state devices under *training* Q-DPM (live epsilon-greedy
+/// exploration and per-slice table updates — the heaviest per-slice
+/// policy, and the batched engine's target workload).
+fn cohort_members(devices: usize) -> Vec<FleetMember> {
+    let (power, service) = standard_device();
+    (0..devices)
+        .map(|i| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service,
+            policy: FleetPolicy::QDpm(QDpmConfig::default()),
+        })
+        .collect()
+}
+
+/// Wall-clock seconds to run the pinned homogeneous Q-DPM cohort fleet —
+/// batched (structure-of-arrays) or dynamic (per-device simulators) —
+/// on `threads` workers. Only the `run` call is timed.
+fn cohort_seconds(devices: usize, horizon: u64, batched: bool, threads: usize) -> f64 {
+    let aggregate = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    let fleet = FleetSim::new(
+        &cohort_members(devices),
+        &aggregate,
+        &FleetConfig {
+            seed: SEED,
+            dispatch: DispatchPolicy::RoundRobin,
+            horizon,
+            batch_cohorts: batched,
+            ..FleetConfig::default()
+        },
+    )
+    .expect("pinned cohort scenario builds");
+    assert_eq!(
+        fleet.batched_cohorts(),
+        usize::from(batched),
+        "cohort grouping must match the requested path"
+    );
+    let start = Instant::now();
+    let report = fleet.run(threads);
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.stats.total.steps,
+        devices as u64 * horizon,
+        "every device must run the full horizon"
+    );
+    secs
 }
 
 /// Wall-clock seconds to run the pinned fleet on `threads` workers
@@ -356,6 +407,39 @@ fn main() {
         ));
     }
 
+    // Batched-cohort section: one homogeneous training-Q-DPM cohort,
+    // structure-of-arrays engine vs the dynamic per-device path, serial
+    // and (when workers exist) parallel. Throughput is device-slices per
+    // second; the headline ratio is batched-serial over dynamic-serial —
+    // the per-core win of monomorphized SoA stepping.
+    let (cohort_devices, cohort_horizon) = if quick {
+        (1_000usize, 10_000u64)
+    } else {
+        (4_000usize, 50_000u64)
+    };
+    let cohort_slices = (cohort_devices as u64 * cohort_horizon) as f64;
+    let cohort_threads = threads_requested.max(1);
+    let batched_serial_secs = cohort_seconds(cohort_devices, cohort_horizon, true, 1);
+    let dynamic_serial_secs = cohort_seconds(cohort_devices, cohort_horizon, false, 1);
+    let batched_serial = cohort_slices / batched_serial_secs;
+    let dynamic_serial = cohort_slices / dynamic_serial_secs;
+    let batched_vs_dynamic = dynamic_serial_secs / batched_serial_secs;
+    let (batched_parallel, cohort_parallel_json) = if cohort_threads > 1 {
+        let psecs = cohort_seconds(cohort_devices, cohort_horizon, true, cohort_threads);
+        (
+            cohort_slices / psecs,
+            format!("{:.1}", cohort_slices / psecs),
+        )
+    } else {
+        (batched_serial, "null".to_string())
+    };
+    eprintln!(
+        "fleet batched ({cohort_devices} q_dpm devices x {cohort_horizon} slices): \
+         batched serial {batched_serial:.0}, dynamic serial {dynamic_serial:.0}, \
+         {cohort_threads}-thread batched {batched_parallel:.0} device-slices/sec \
+         ({batched_vs_dynamic:.2}x vs dynamic)"
+    );
+
     // Dispatcher sweep: every routing policy on one smaller pinned fleet,
     // EventSkip, serial — the state-blind rows run the precomputed split,
     // the state-aware rows run the online loop (routing cost included).
@@ -447,13 +531,14 @@ fn main() {
         "{{ \"generated_unix\": {generated_unix}, \"quick\": {quick}, \
          \"serial_q_dpm\": {serial_q_dpm:.1}, \
          \"event_skip_q_dpm_eval\": {skip_q_dpm_eval:.1}, \
-         \"fleet_event_skip_serial\": {fleet_event_skip_serial:.1} }}"
+         \"fleet_event_skip_serial\": {fleet_event_skip_serial:.1}, \
+         \"fleet_batched_serial\": {batched_serial:.1} }}"
     ));
     let trajectory_lines: Vec<String> = trajectory.iter().map(|p| format!("    {p}")).collect();
 
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"qdpm-bench-throughput/v4\",\n\
+         \x20 \"schema\": \"qdpm-bench-throughput/v5\",\n\
          \x20 \"generated_unix\": {generated_unix},\n\
          \x20 \"quick\": {quick},\n\
          \x20 \"machine\": {{\n\
@@ -493,6 +578,17 @@ fn main() {
          \x20   \"threads_effective\": {fleet_threads},\n\
          \x20   \"modes\": {{\n{fleet}\n\
          \x20   }},\n\
+         \x20   \"batched\": {{\n\
+         \x20     \"scenario\": \"{cohort_devices} x three_state_generic (training q_dpm) + aggregate bernoulli(0.5) round-robin, per-slice, seed {seed}\",\n\
+         \x20     \"devices\": {cohort_devices},\n\
+         \x20     \"horizon_slices\": {cohort_horizon},\n\
+         \x20     \"cohorts\": 1,\n\
+         \x20     \"threads_effective\": {cohort_threads},\n\
+         \x20     \"serial_device_slices_per_sec\": {batched_serial:.1},\n\
+         \x20     \"parallel_device_slices_per_sec\": {cohort_parallel},\n\
+         \x20     \"dynamic_serial_device_slices_per_sec\": {dynamic_serial:.1},\n\
+         \x20     \"speedup_vs_dynamic\": {batched_vs_dynamic:.3}\n\
+         \x20   }},\n\
          \x20   \"dispatch_scenario\": \"{dispatch_devices} devices x {dispatch_horizon} slices, aggregate bernoulli(0.5), event-skip, serial\",\n\
          \x20   \"dispatchers\": {{\n{dispatchers}\n\
          \x20   }}\n\
@@ -526,6 +622,7 @@ fn main() {
         gpar = grid_slices / parallel_secs,
         speedup = speedup_json,
         fleet = fleet_lines.join(",\n"),
+        cohort_parallel = cohort_parallel_json,
         dispatchers = dispatcher_lines.join(",\n"),
         racks = rack_lines.join(",\n"),
         trajectory = trajectory_lines.join(",\n"),

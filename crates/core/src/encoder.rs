@@ -205,6 +205,7 @@ impl StateEncoder for DpmStateEncoder {
         self.modes.n_modes() * self.queue.n_buckets() * self.idle.n_buckets()
     }
 
+    #[inline]
     fn encode(&self, obs: &Observation) -> usize {
         let dev = self.modes.mode_index(obs.device_mode);
         let qb = self.queue.bucket(obs.queue_len);

@@ -130,42 +130,7 @@ impl QLearner {
     ///
     /// Panics if `legal` is empty or contains an out-of-range action.
     pub fn select_action(&self, s: usize, legal: &[usize], rng: &mut dyn Rng) -> usize {
-        assert!(!legal.is_empty(), "need at least one legal action");
-        if legal.len() == 1 {
-            return legal[0];
-        }
-        match self.exploration {
-            Exploration::Boltzmann { temperature } => {
-                // Softmax over Q/T, numerically stabilized. Two passes over
-                // the Q-row instead of a collected weight vector keep the
-                // selection allocation-free; the weights are recomputed in
-                // the same order, so the draw is bit-identical to the old
-                // collected form.
-                let row = self.table.row(s);
-                let max_q = legal
-                    .iter()
-                    .map(|&a| row[a])
-                    .fold(f64::NEG_INFINITY, f64::max);
-                let weight = |a: usize| ((row[a] - max_q) / temperature).exp();
-                let total: f64 = legal.iter().map(|&a| weight(a)).sum();
-                let mut u = uniform(rng) * total;
-                for &a in legal {
-                    u -= weight(a);
-                    if u < 0.0 {
-                        return a;
-                    }
-                }
-                legal[legal.len() - 1]
-            }
-            _ => {
-                let eps = self.exploration.epsilon_at(self.steps);
-                if uniform(rng) < eps {
-                    legal[uniform_index(rng, legal.len())]
-                } else {
-                    self.table.best_action(s, legal)
-                }
-            }
-        }
+        select_from_row(self.table.row(s), legal, &self.exploration, self.steps, rng)
     }
 
     /// The purely greedy action (no exploration), for evaluation runs.
@@ -185,12 +150,25 @@ impl QLearner {
     ///
     /// Panics if `next_legal` is empty or any index is out of range.
     pub fn update(&mut self, s: usize, a: usize, reward: f64, next_s: usize, next_legal: &[usize]) {
-        let visits = self.table.record_visit(s, a);
-        let gamma = self.learning_rate.rate(self.steps, visits);
-        let bootstrap = self.table.max_q(next_s, next_legal);
-        let old = self.table.get(s, a);
-        let target = reward + self.discount * bootstrap;
-        self.table.set(s, a, (1.0 - gamma) * old + gamma * target);
+        let n_actions = self.table.n_actions();
+        assert!(
+            s < self.table.n_states() && a < n_actions && next_s < self.table.n_states(),
+            "q-table index out of range"
+        );
+        let (q, visits) = self.table.cells_mut();
+        update_in_place(
+            q,
+            visits,
+            n_actions,
+            self.discount,
+            &self.learning_rate,
+            self.steps,
+            s,
+            a,
+            reward,
+            next_s,
+            next_legal,
+        );
         self.steps += 1;
     }
 
@@ -403,6 +381,111 @@ impl QLearner {
         );
         self.table = table;
     }
+}
+
+/// Action selection over one borrowed Q-row — the single implementation
+/// behind both [`QLearner::select_action`] and
+/// [`crate::BatchLearner::select_action`], so the scalar and batched
+/// engines consume bit-identical randomness.
+///
+/// A single legal action is returned without drawing (mid-transition
+/// decides must not advance the policy stream). Boltzmann softmax is
+/// numerically stabilized and allocation-free; epsilon-greedy draws one
+/// uniform for the explore/exploit decision and a second only when
+/// exploring.
+#[inline]
+pub(crate) fn select_from_row<R: Rng + ?Sized>(
+    row: &[f64],
+    legal: &[usize],
+    exploration: &Exploration,
+    steps: u64,
+    rng: &mut R,
+) -> usize {
+    assert!(!legal.is_empty(), "need at least one legal action");
+    if legal.len() == 1 {
+        return legal[0];
+    }
+    match *exploration {
+        Exploration::Boltzmann { temperature } => {
+            // Softmax over Q/T, numerically stabilized. Two passes over
+            // the Q-row instead of a collected weight vector keep the
+            // selection allocation-free; the weights are recomputed in
+            // the same order, so the draw is bit-identical to the old
+            // collected form.
+            let max_q = legal
+                .iter()
+                .map(|&a| row[a])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let weight = |a: usize| ((row[a] - max_q) / temperature).exp();
+            let total: f64 = legal.iter().map(|&a| weight(a)).sum();
+            let mut u = uniform(rng) * total;
+            for &a in legal {
+                u -= weight(a);
+                if u < 0.0 {
+                    return a;
+                }
+            }
+            legal[legal.len() - 1]
+        }
+        _ => {
+            let eps = exploration.epsilon_at(steps);
+            if uniform(rng) < eps {
+                legal[uniform_index(rng, legal.len())]
+            } else {
+                best_in_row(row, legal)
+            }
+        }
+    }
+}
+
+/// [`QTable::best_action`]'s first-strict-maximum scan over a borrowed
+/// row (deterministic lowest-index tie-breaking).
+#[inline]
+pub(crate) fn best_in_row(row: &[f64], legal: &[usize]) -> usize {
+    let mut best = legal[0];
+    let mut best_q = row[legal[0]];
+    for &a in &legal[1..] {
+        let q = row[a];
+        if q > best_q {
+            best_q = q;
+            best = a;
+        }
+    }
+    best
+}
+
+/// The paper's Eqn. (3) applied in place to a row-major table slice —
+/// the single update implementation behind both [`QLearner::update`] and
+/// [`crate::BatchLearner::update`]. Operation order (visit increment,
+/// rate, bootstrap, blend) replicates the historical `QLearner` body
+/// exactly; callers advance their own step counters.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn update_in_place(
+    q: &mut [f64],
+    visits: &mut [u32],
+    n_actions: usize,
+    discount: f64,
+    learning_rate: &LearningRate,
+    steps: u64,
+    s: usize,
+    a: usize,
+    reward: f64,
+    next_s: usize,
+    next_legal: &[usize],
+) {
+    assert!(!next_legal.is_empty(), "need at least one legal action");
+    let i = s * n_actions + a;
+    visits[i] = visits[i].saturating_add(1);
+    let gamma = learning_rate.rate(steps, visits[i]);
+    let next_row = &q[next_s * n_actions..(next_s + 1) * n_actions];
+    let bootstrap = next_legal
+        .iter()
+        .map(|&b| next_row[b])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let old = q[i];
+    let target = reward + discount * bootstrap;
+    q[i] = (1.0 - gamma) * old + gamma * target;
 }
 
 #[cfg(test)]

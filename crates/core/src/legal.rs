@@ -192,6 +192,7 @@ impl LegalActionTable {
     ///
     /// Panics when the mode does not belong to the indexed power model.
     #[must_use]
+    #[inline]
     pub fn legal(&self, mode: DeviceMode) -> &[usize] {
         self.legal_by_index(self.modes.mode_index(mode))
     }

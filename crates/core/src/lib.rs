@@ -52,6 +52,7 @@
 //! ```
 
 mod agent;
+mod batch;
 mod encoder;
 mod error;
 pub mod fuzzy;
@@ -67,6 +68,7 @@ pub mod variants;
 pub use agent::{
     GenericQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, RewardWeights, StepOutcome,
 };
+pub use batch::BatchLearner;
 pub use encoder::{DpmStateEncoder, IdleBuckets, Observation, QueueBuckets, StateEncoder};
 pub use error::CoreError;
 pub use fuzzy::{FuzzyConfig, FuzzyQDpmAgent, FuzzySet, FuzzyVariable};

@@ -172,6 +172,14 @@ impl QTable {
             .fold(f64::NEG_INFINITY, f64::max)
     }
 
+    /// Mutable access to the raw row-major value/visit buffers — the
+    /// row-slice view the shared learner arithmetic
+    /// (`learner::update_in_place`) operates on, letting [`crate::QLearner`]
+    /// and [`crate::BatchLearner`] execute the same code path.
+    pub(crate) fn cells_mut(&mut self) -> (&mut [f64], &mut [u32]) {
+        (&mut self.q, &mut self.visits)
+    }
+
     /// Exact heap footprint of the Q-values and visit counters, in bytes.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {

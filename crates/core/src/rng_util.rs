@@ -1,4 +1,4 @@
-//! Uniform-sampling helpers over `&mut dyn Rng` — the workspace's single
+//! Uniform-sampling helpers over any [`Rng`] — the workspace's single
 //! canonical sampler.
 //!
 //! Every crate that draws uniforms (the learners here, the simulation
@@ -11,9 +11,13 @@ use rand::Rng;
 
 /// Uniform `f64` in `[0, 1)` via the 53-bit mantissa method (the top 53
 /// bits of the raw draw scaled by 2^-53 — dependency-stable and exact).
+///
+/// Generic (with a `?Sized` bound, so `&mut dyn Rng` callers still work)
+/// so monomorphized hot loops get a statically dispatched, inlinable
+/// draw; the mapping itself is identical either way.
 #[inline]
 #[must_use]
-pub fn uniform(rng: &mut dyn Rng) -> f64 {
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -25,7 +29,7 @@ pub fn uniform(rng: &mut dyn Rng) -> f64 {
 /// Debug-asserts `n > 0`.
 #[inline]
 #[must_use]
-pub fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
+pub fn uniform_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
     debug_assert!(n > 0);
     ((uniform(rng) * n as f64) as usize).min(n - 1)
 }
@@ -40,7 +44,7 @@ pub fn uniform_index(rng: &mut dyn Rng, n: usize) -> usize {
 /// it to jump to the next arrival, learners to jump to the next
 /// epsilon-greedy exploration event.
 #[must_use]
-pub fn geometric_gap(rng: &mut dyn Rng, p: f64) -> u64 {
+pub fn geometric_gap<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
     if p <= 0.0 {
         return u64::MAX;
     }

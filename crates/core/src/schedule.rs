@@ -61,6 +61,7 @@ impl LearningRate {
     /// The rate to apply for an update at global step `t` (0-based) when
     /// `(s, a)` has been visited `visits` times (including this one).
     #[must_use]
+    #[inline]
     pub fn rate(&self, t: u64, visits: u32) -> f64 {
         match *self {
             LearningRate::Constant(g) => g,
@@ -154,6 +155,7 @@ impl Exploration {
     /// explore"); Boltzmann reports 0 here because it randomizes through
     /// its softmax instead.
     #[must_use]
+    #[inline]
     pub fn epsilon_at(&self, t: u64) -> f64 {
         match *self {
             Exploration::EpsilonGreedy { epsilon } => epsilon,

@@ -79,84 +79,56 @@ pub struct TickReport {
     pub mode_after: DeviceMode,
 }
 
-/// A runtime power-managed device: a [`PowerModel`] plus its current mode.
+/// Plain-old-data dynamic state of a power-managed device: the current
+/// [`DeviceMode`] plus the [`TransitionSpec`] backing any in-flight
+/// transition.
 ///
-/// The device follows the shared simulation contract (see `DESIGN.md`):
-/// commands are issued at the start of a slice via [`Device::command`], and
-/// [`Device::tick`] then charges the slice's energy and advances any pending
-/// transition. Commands issued mid-transition are ignored, which models the
-/// uncontrollable transient states of real hardware.
-///
-/// # Example
-///
-/// ```
-/// use qdpm_device::{presets, Device};
-///
-/// let mut device = Device::new(presets::three_state_generic());
-/// let sleep = device.model().state_by_name("sleep").unwrap();
-/// device.command(sleep);
-/// while device.mode().is_transitioning() {
-///     device.tick();
-/// }
-/// assert_eq!(device.mode().operational_state(), Some(sleep));
-/// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Device {
-    model: PowerModel,
-    mode: DeviceMode,
+/// This is the entire per-device mutable state of the power state machine
+/// — the static [`PowerModel`] is passed by reference into
+/// [`DeviceState::command`] and [`DeviceState::tick`], so thousands of
+/// homogeneous devices can share one model while their states live in a
+/// flat structure-of-arrays `Vec<DeviceState>`. The boxed [`Device`] wraps
+/// this same type, so the scalar and batched engines step the identical
+/// transition logic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceState {
+    /// Current mode.
+    pub mode: DeviceMode,
     /// Transition spec backing the current `Transitioning` mode, if any.
-    active_transition: Option<TransitionSpec>,
+    pub active_transition: Option<TransitionSpec>,
 }
 
-impl Device {
-    /// Creates a device resident in the model's highest-power state (the
-    /// conventional "everything on" initial condition).
+impl DeviceState {
+    /// State resident in `model`'s highest-power state (the conventional
+    /// "everything on" initial condition).
     #[must_use]
-    pub fn new(model: PowerModel) -> Self {
-        let initial = model.highest_power_state();
-        Device {
-            model,
-            mode: DeviceMode::Operational(initial),
+    pub fn new(model: &PowerModel) -> Self {
+        DeviceState::at(model.highest_power_state())
+    }
+
+    /// State resident in a specific operational state (not validated
+    /// against any model; out-of-range ids panic in `command`/`tick`).
+    #[must_use]
+    pub fn at(state: PowerStateId) -> Self {
+        DeviceState {
+            mode: DeviceMode::Operational(state),
             active_transition: None,
         }
     }
 
-    /// Creates a device starting in a specific state.
+    /// Issues a command targeting power state `target`, resolving it
+    /// against `model`.
+    ///
+    /// Returns how the command was handled; see [`CommandOutcome`]. Energy
+    /// of zero-latency switches is reported in the outcome and must be
+    /// added to the slice's accounting by the caller.
     ///
     /// # Panics
     ///
-    /// Panics if `initial` is out of range for `model`.
-    #[must_use]
-    pub fn with_initial_state(model: PowerModel, initial: PowerStateId) -> Self {
-        assert!(
-            initial.index() < model.n_states(),
-            "initial state out of range"
-        );
-        Device {
-            model,
-            mode: DeviceMode::Operational(initial),
-            active_transition: None,
-        }
-    }
-
-    /// The static power model this device animates.
-    #[must_use]
-    pub fn model(&self) -> &PowerModel {
-        &self.model
-    }
-
-    /// Current mode.
-    #[must_use]
-    pub fn mode(&self) -> DeviceMode {
-        self.mode
-    }
-
-    /// Issues a command targeting power state `target`.
-    ///
-    /// Returns how the command was handled; see [`CommandOutcome`]. Energy of
-    /// zero-latency switches is reported in the outcome and must be added to
-    /// the slice's accounting by the caller.
-    pub fn command(&mut self, target: PowerStateId) -> CommandOutcome {
+    /// Panics if the current state or `target` is out of range for
+    /// `model`.
+    #[inline]
+    pub fn command(&mut self, model: &PowerModel, target: PowerStateId) -> CommandOutcome {
         let current = match self.mode {
             DeviceMode::Transitioning { .. } => return CommandOutcome::IgnoredInTransition,
             DeviceMode::Operational(s) => s,
@@ -164,7 +136,7 @@ impl Device {
         if current == target {
             return CommandOutcome::AlreadyThere;
         }
-        let Some(spec) = self.model.transition(current, target) else {
+        let Some(spec) = model.transition(current, target) else {
             return CommandOutcome::IgnoredNoSuchTransition;
         };
         if spec.latency == 0 {
@@ -185,12 +157,19 @@ impl Device {
         }
     }
 
-    /// Elapses one time slice: charges residency or transition energy and
-    /// completes transitions whose countdown reaches zero.
-    pub fn tick(&mut self) -> TickReport {
+    /// Elapses one time slice against `model`: charges residency or
+    /// transition energy and completes transitions whose countdown reaches
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current operational state is out of range for
+    /// `model`.
+    #[inline]
+    pub fn tick(&mut self, model: &PowerModel) -> TickReport {
         match self.mode {
             DeviceMode::Operational(s) => {
-                let spec = self.model.state(s);
+                let spec = model.state(s);
                 TickReport {
                     energy: spec.power,
                     can_serve: spec.can_serve,
@@ -226,14 +205,113 @@ impl Device {
     }
 
     /// Per-slice energy of the in-flight transition (`None` when
-    /// operational) — what every remaining [`Device::tick`] of the
-    /// transition will charge. The event-skipping engine uses it to
-    /// account a transient stretch without inspecting individual ticks.
+    /// operational) — what every remaining [`DeviceState::tick`] of the
+    /// transition will charge.
     #[must_use]
     pub fn transient_slice_energy(&self) -> Option<f64> {
         self.active_transition
             .as_ref()
             .map(TransitionSpec::energy_per_step)
+    }
+}
+
+/// A runtime power-managed device: a [`PowerModel`] plus its current mode.
+///
+/// The device follows the shared simulation contract (see `DESIGN.md`):
+/// commands are issued at the start of a slice via [`Device::command`], and
+/// [`Device::tick`] then charges the slice's energy and advances any pending
+/// transition. Commands issued mid-transition are ignored, which models the
+/// uncontrollable transient states of real hardware.
+///
+/// The dynamic half lives in a plain-old-data [`DeviceState`]; `Device`
+/// binds it to an owned model for the common single-device case, while the
+/// batched fleet engine holds `Vec<DeviceState>` against one shared model.
+///
+/// # Example
+///
+/// ```
+/// use qdpm_device::{presets, Device};
+///
+/// let mut device = Device::new(presets::three_state_generic());
+/// let sleep = device.model().state_by_name("sleep").unwrap();
+/// device.command(sleep);
+/// while device.mode().is_transitioning() {
+///     device.tick();
+/// }
+/// assert_eq!(device.mode().operational_state(), Some(sleep));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    model: PowerModel,
+    state: DeviceState,
+}
+
+impl Device {
+    /// Creates a device resident in the model's highest-power state (the
+    /// conventional "everything on" initial condition).
+    #[must_use]
+    pub fn new(model: PowerModel) -> Self {
+        let state = DeviceState::new(&model);
+        Device { model, state }
+    }
+
+    /// Creates a device starting in a specific state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range for `model`.
+    #[must_use]
+    pub fn with_initial_state(model: PowerModel, initial: PowerStateId) -> Self {
+        assert!(
+            initial.index() < model.n_states(),
+            "initial state out of range"
+        );
+        Device {
+            model,
+            state: DeviceState::at(initial),
+        }
+    }
+
+    /// The static power model this device animates.
+    #[must_use]
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Current mode.
+    #[must_use]
+    pub fn mode(&self) -> DeviceMode {
+        self.state.mode
+    }
+
+    /// The plain-old-data dynamic state (mode + in-flight transition).
+    #[must_use]
+    pub fn state(&self) -> DeviceState {
+        self.state
+    }
+
+    /// Issues a command targeting power state `target`.
+    ///
+    /// Returns how the command was handled; see [`CommandOutcome`]. Energy of
+    /// zero-latency switches is reported in the outcome and must be added to
+    /// the slice's accounting by the caller.
+    pub fn command(&mut self, target: PowerStateId) -> CommandOutcome {
+        self.state.command(&self.model, target)
+    }
+
+    /// Elapses one time slice: charges residency or transition energy and
+    /// completes transitions whose countdown reaches zero.
+    pub fn tick(&mut self) -> TickReport {
+        self.state.tick(&self.model)
+    }
+
+    /// Per-slice energy of the in-flight transition (`None` when
+    /// operational) — what every remaining [`Device::tick`] of the
+    /// transition will charge. The event-skipping engine uses it to
+    /// account a transient stretch without inspecting individual ticks.
+    #[must_use]
+    pub fn transient_slice_energy(&self) -> Option<f64> {
+        self.state.transient_slice_energy()
     }
 
     /// Resets the device to a given operational state, cancelling any
@@ -244,8 +322,7 @@ impl Device {
     /// Panics if `state` is out of range for the model.
     pub fn reset_to(&mut self, state: PowerStateId) {
         assert!(state.index() < self.model.n_states(), "state out of range");
-        self.mode = DeviceMode::Operational(state);
-        self.active_transition = None;
+        self.state = DeviceState::at(state);
     }
 
     /// Resets the device to its initial condition (resident in the
@@ -356,6 +433,28 @@ mod tests {
         d.tick();
         d.reset();
         assert_eq!(d, Device::new(model()), "reset restores the fresh state");
+    }
+
+    #[test]
+    fn device_state_matches_boxed_device_in_lockstep() {
+        // Drive a Device and a bare DeviceState through the same command
+        // schedule; outcomes, ticks, and modes must agree at every slice.
+        let m = model();
+        let mut d = Device::new(m.clone());
+        let mut s = DeviceState::new(&m);
+        let targets: Vec<PowerStateId> = (0..m.n_states()).map(PowerStateId::from_index).collect();
+        for step in 0..64usize {
+            let target = targets[(step * 7 + 3) % targets.len()];
+            assert_eq!(d.command(target), s.command(&m, target), "slice {step}");
+            assert_eq!(d.tick(), s.tick(&m), "slice {step}");
+            assert_eq!(d.mode(), s.mode, "slice {step}");
+            assert_eq!(d.state(), s, "slice {step}");
+            assert_eq!(
+                d.transient_slice_energy(),
+                s.transient_slice_energy(),
+                "slice {step}"
+            );
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod presets;
 mod queue;
 mod service;
 
-pub use device::{CommandOutcome, Device, DeviceMode, TickReport};
+pub use device::{CommandOutcome, Device, DeviceMode, DeviceState, TickReport};
 pub use error::DeviceError;
 pub use power::{PowerModel, PowerModelBuilder, PowerStateId, PowerStateSpec, TransitionSpec};
 pub use queue::{Queue, QueueStats};

@@ -112,9 +112,10 @@ use qdpm_core::{
     Exploration, GenericQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QLearner, QosConfig,
     QosQDpmAgent, RewardWeights, SharedQLearner, StateEncoder,
 };
-use qdpm_device::{DeviceMode, PowerModel, ServiceModel, Step};
-use qdpm_workload::{DispatchPolicy, SparseTrace, WorkloadDispatcher};
+use qdpm_device::{DeviceMode, PowerModel, PowerStateId, ServiceModel, Step};
+use qdpm_workload::{CohortArrivals, DispatchPolicy, SparseTrace, WorkloadDispatcher};
 
+use crate::fleet_batch::{group_cohorts, CohortSim};
 use crate::hierarchy::{drive_rack, RackCoordinator, RackSpec};
 use crate::parallel::{derive_cell_seed, run_indexed_mut, ScenarioWorkload};
 use crate::{policies, EngineMode, RunStats, SimConfig, SimError, Simulator};
@@ -272,6 +273,15 @@ pub struct FleetConfig {
     /// for state-blind dispatch — this knob exists so the conformance
     /// suite can pin that equivalence.
     pub force_online: bool,
+    /// Runs homogeneous member groups on the batched structure-of-arrays
+    /// cohort engine (see [`crate::fleet_batch`]). Only preplanned
+    /// per-slice fleets batch; groups of ≥ 2 members agreeing on power
+    /// model, service model, and a batchable policy become
+    /// [`CohortSim`]s, everything else stays on the dynamic per-device
+    /// path. Results are bit-identical either way — this knob (default
+    /// `true`) exists for benchmarking and for the conformance suite to
+    /// pin that equivalence.
+    pub batch_cohorts: bool,
 }
 
 impl Default for FleetConfig {
@@ -284,6 +294,7 @@ impl Default for FleetConfig {
             dispatch: DispatchPolicy::RoundRobin,
             horizon: 50_000,
             force_online: false,
+            batch_cohorts: true,
         }
     }
 }
@@ -512,14 +523,32 @@ pub struct FleetReport {
     pub stats: FleetStats,
 }
 
+/// One independently runnable execution unit of a preplanned fleet:
+/// either a single device on the dynamic per-device path or a whole
+/// homogeneous cohort on the batched structure-of-arrays path. Units own
+/// disjoint per-device RNG streams and statistics, so any assignment of
+/// units to worker threads produces identical results.
+#[derive(Debug)]
+enum BatchUnit {
+    /// One device, dynamic path: boxed policy, boxed trace generator.
+    Dynamic {
+        /// Global device index.
+        index: usize,
+        /// The device's simulator.
+        sim: Simulator,
+    },
+    /// A homogeneous cohort, batched path.
+    Cohort(CohortSim),
+}
+
 /// How a constructed fleet will execute (see the module notes on the two
 /// execution shapes).
 #[derive(Debug)]
 enum FleetInner {
-    /// State-blind dispatch, precomputed: one sparse dispatched trace per
-    /// device, devices run independently end-to-end.
+    /// State-blind dispatch, precomputed: devices run independently
+    /// end-to-end, singly or batched into homogeneous cohorts.
     Preplanned {
-        sims: Vec<Simulator>,
+        units: Vec<BatchUnit>,
         labels: Vec<String>,
         n_states: usize,
     },
@@ -586,12 +615,31 @@ impl FleetSim {
         let mut generator = aggregate.build()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut dispatcher = WorkloadDispatcher::new(config.dispatch, members.len())?;
-        let traces = dispatcher.split(generator.as_mut(), &mut rng, config.horizon);
-        let aggregate_arrivals = traces.iter().map(SparseTrace::total_arrivals).sum();
+        // Homogeneous groups of ≥ 2 batchable members take the batched
+        // cohort path; the dispatcher scatters the identical partition
+        // either way, so batched and dynamic runs see the same arrivals.
+        let groups = if config.batch_cohorts && config.engine_mode == EngineMode::PerSlice {
+            group_cohorts(members)
+        } else {
+            Vec::new()
+        };
+        let grouped =
+            dispatcher.split_grouped(generator.as_mut(), &mut rng, config.horizon, &groups);
+        let aggregate_arrivals = grouped
+            .cohorts
+            .iter()
+            .map(CohortArrivals::total_arrivals)
+            .sum::<u64>()
+            + grouped
+                .dynamic
+                .iter()
+                .map(|(_, t)| t.total_arrivals())
+                .sum::<u64>();
 
         let mut pool: Option<SharedPool> = None;
-        let mut sims = Vec::with_capacity(members.len());
-        for (index, (member, trace)) in members.iter().zip(traces).enumerate() {
+        let mut units = Vec::with_capacity(grouped.dynamic.len() + grouped.cohorts.len());
+        for (index, trace) in grouped.dynamic {
+            let member = &members[index];
             let pm = build_policy(member, Some(&trace), &mut pool)?;
             let sim_config = SimConfig {
                 queue_cap: config.queue_cap,
@@ -601,18 +649,29 @@ impl FleetSim {
                 noise: crate::ObservationNoise::none(),
                 mode: config.engine_mode,
             };
-            sims.push(Simulator::new(
-                member.power.clone(),
-                member.service,
-                Box::new(trace),
-                pm,
-                sim_config,
-            )?);
+            units.push(BatchUnit::Dynamic {
+                index,
+                sim: Simulator::new(
+                    member.power.clone(),
+                    member.service,
+                    Box::new(trace),
+                    pm,
+                    sim_config,
+                )?,
+            });
+        }
+        for (group, arrivals) in groups.iter().zip(grouped.cohorts) {
+            units.push(BatchUnit::Cohort(CohortSim::new(
+                &members[group[0]],
+                group.clone(),
+                arrivals,
+                config,
+            )?));
         }
         Ok(FleetSim {
             devices: members.len(),
             inner: FleetInner::Preplanned {
-                sims,
+                units,
                 labels: members.iter().map(|m| m.label.clone()).collect(),
                 n_states: members
                     .iter()
@@ -662,6 +721,21 @@ impl FleetSim {
         self.has_shared
     }
 
+    /// Number of homogeneous cohorts running on the batched
+    /// structure-of-arrays path (0 for online fleets, fleets built with
+    /// [`FleetConfig::batch_cohorts`] off, or fleets with no group of ≥ 2
+    /// identical batchable members).
+    #[must_use]
+    pub fn batched_cohorts(&self) -> usize {
+        match &self.inner {
+            FleetInner::Preplanned { units, .. } => units
+                .iter()
+                .filter(|u| matches!(u, BatchUnit::Cohort(_)))
+                .count(),
+            FleetInner::Online { .. } => 0,
+        }
+    }
+
     /// Runs every device for the dispatch horizon on up to `threads`
     /// workers and aggregates the fleet statistics. Results are identical
     /// at any thread count; fleets with a shared Q-table run serially
@@ -670,18 +744,31 @@ impl FleetSim {
     pub fn run(self, threads: usize) -> FleetReport {
         let threads = if self.has_shared { 1 } else { threads };
         let horizon = self.horizon;
+        let devices = self.devices;
         match self.inner {
             FleetInner::Preplanned {
-                mut sims,
+                mut units,
                 labels,
                 n_states,
             } => {
-                let results: Vec<(RunStats, DeviceMode)> =
-                    run_indexed_mut(&mut sims, threads, |_, sim| {
-                        let stats = sim.run(horizon);
-                        (stats, sim.observation().device_mode)
+                let results: Vec<Vec<(usize, RunStats, DeviceMode)>> =
+                    run_indexed_mut(&mut units, threads, |_, unit| match unit {
+                        BatchUnit::Dynamic { index, sim } => {
+                            let stats = sim.run(horizon);
+                            vec![(*index, stats, sim.observation().device_mode)]
+                        }
+                        BatchUnit::Cohort(cohort) => cohort.run(horizon),
                     });
-                let (per_device, final_modes): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+                // Scatter unit results back into global device order; the
+                // units partition the fleet, so every slot is written
+                // exactly once.
+                let mut per_device = vec![RunStats::new(); devices];
+                let mut final_modes =
+                    vec![DeviceMode::Operational(PowerStateId::from_index(0)); devices];
+                for (index, stats, mode) in results.into_iter().flatten() {
+                    per_device[index] = stats;
+                    final_modes[index] = mode;
+                }
                 let stats = FleetStats::aggregate(&per_device, &final_modes, n_states);
                 FleetReport {
                     labels,
@@ -794,6 +881,7 @@ impl FleetCell {
                 dispatch: self.dispatch,
                 horizon: self.params.horizon,
                 force_online: false,
+                batch_cohorts: true,
             },
         )
     }

@@ -33,7 +33,11 @@
 //! either strictly partitioned ahead of time by a state-blind
 //! [`qdpm_workload::WorkloadDispatcher`] or routed *online* against live
 //! device state, with closed-form [`FleetStats`] aggregation and a
-//! [`FleetGrid`] for fleet-size sweeps.
+//! [`FleetGrid`] for fleet-size sweeps. Homogeneous groups of members
+//! automatically run on the [`fleet_batch`] structure-of-arrays engine —
+//! one [`fleet_batch::CohortSim`] steps the whole group through a
+//! monomorphized copy of the engine loop, bit-identical to the dynamic
+//! path and several times faster.
 //!
 //! The [`hierarchy`] module stacks the datacenter layers on top: a
 //! [`RackCoordinator`] enforces a rack-wide power cap over an online fleet
@@ -47,6 +51,7 @@ mod engine;
 mod error;
 pub mod experiment;
 pub mod fleet;
+pub mod fleet_batch;
 pub mod hierarchy;
 mod metrics;
 pub mod parallel;
@@ -59,6 +64,7 @@ pub use fleet::{
     FleetCell, FleetConfig, FleetGrid, FleetGridParams, FleetMember, FleetPolicy, FleetReport,
     FleetSim, FleetStats,
 };
+pub use fleet_batch::{is_batchable, CohortSim};
 pub use hierarchy::{
     ClusterConfig, ClusterReport, ClusterSim, ClusterStats, RackCoordinator, RackReport, RackSpec,
 };

@@ -34,6 +34,7 @@ impl RunStats {
 
     /// Folds one slice's outcome into the totals. `wait_of_completed` is
     /// the waiting time recorded when a request completed this slice.
+    #[inline]
     pub fn record(
         &mut self,
         outcome: &StepOutcome,

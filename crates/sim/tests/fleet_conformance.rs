@@ -24,6 +24,17 @@
 //! [`RackCoordinator`] must satisfy the cap conservation law — summed
 //! rack draw `<= cap + CAP_EPS` in *every* slice of randomized racks —
 //! while staying engine-exact itself.
+//!
+//! The batched structure-of-arrays cohort engine is the third execution
+//! axis under test: fleets with repeated member templates must produce
+//! identical [`FleetReport`]s with cohort batching on (the default) and
+//! off, at 1 and N threads, and agree with `EventSkip` (which never
+//! batches) — so batched ≡ dynamic ≡ event-skip, bit-for-bit, across the
+//! state-blind dispatchers. The cohort split itself is gated: every
+//! device's stats show the full horizon (no member lost or duplicated
+//! when the fleet splits into cohorts plus dynamic stragglers), and the
+//! fleet totals remain the *device-order* fold of per-device stats no
+//! matter how cohort boundaries regroup execution.
 
 use proptest::prelude::*;
 use qdpm_device::presets;
@@ -198,6 +209,41 @@ fn assert_conservation(report: &FleetReport, dispatched: u64) {
     );
 }
 
+/// Builds a fleet of `templates` member templates, each repeated
+/// `repeat` times consecutively — the population for cohort-batching
+/// tests, where repeated templates form homogeneous groups the batched
+/// engine is expected to pick up.
+fn templated_members(
+    templates: usize,
+    repeat: usize,
+    policy_offset: usize,
+    preset_offset: usize,
+) -> Vec<FleetMember> {
+    let presets_pool = preset_pool();
+    let policies = FleetPolicy::all_exact();
+    let mut members = Vec::with_capacity(templates * repeat);
+    for t in 0..templates {
+        let policy = policies[(policy_offset + t) % policies.len()].clone();
+        let (label, power) = if matches!(policy, FleetPolicy::SharedQDpm(_)) {
+            (
+                "three-state-generic".to_string(),
+                presets::three_state_generic(),
+            )
+        } else {
+            presets_pool[(preset_offset + t) % presets_pool.len()].clone()
+        };
+        for r in 0..repeat {
+            members.push(FleetMember {
+                label: format!("{label}-{t}-{r}"),
+                power: power.clone(),
+                service: presets::default_service(),
+                policy: policy.clone(),
+            });
+        }
+    }
+    members
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -233,6 +279,70 @@ proptest! {
         }).unwrap().dispatched_arrivals();
         assert_conservation(&per, dispatched);
         assert_conservation(&skip, dispatched);
+    }
+
+    /// Random fleets with repeated member templates: the batched cohort
+    /// engine (`batch_cohorts: true`, the default) reproduces the
+    /// dynamic per-device path bit-for-bit — full `FleetReport` equality
+    /// (per-device `RunStats`, final modes, aggregate `FleetStats`) — at
+    /// 1 and N threads, and both agree exactly with `EventSkip` (which
+    /// never batches), across every state-blind dispatcher.
+    ///
+    /// The cohort split is gated structurally in the same sweep: every
+    /// device's stats carry the full horizon (no member lost or
+    /// duplicated when the fleet regroups into cohorts plus dynamic
+    /// stragglers), and conservation pins the fleet totals to the
+    /// device-order fold regardless of cohort boundaries.
+    #[test]
+    fn batched_cohorts_equal_dynamic_on_random_fleets(
+        templates in 1usize..4,
+        repeat in 2usize..6,
+        policy_offset in 0usize..10,
+        preset_offset in 0usize..4,
+        dispatch_id in 0usize..3,
+        workload_kind in 0usize..3,
+        rate in 0.02f64..0.6,
+        horizon in 300u64..2_000,
+        seed in 0u64..10_000,
+        threads in 2usize..5,
+    ) {
+        let members = templated_members(templates, repeat, policy_offset, preset_offset);
+        let workload = aggregate_workload(workload_kind, rate);
+        let dispatch = dispatcher(dispatch_id);
+        let config = |batch: bool, mode: EngineMode| FleetConfig {
+            seed, dispatch, horizon, engine_mode: mode, batch_cohorts: batch,
+            ..FleetConfig::default()
+        };
+        let build = |cfg: &FleetConfig| {
+            FleetSim::new(&members, &workload, cfg).expect("fleet builds")
+        };
+
+        let batched_fleet = build(&config(true, EngineMode::PerSlice));
+        let any_batchable = members.iter().any(|m| qdpm_sim::is_batchable(&m.policy));
+        prop_assert_eq!(batched_fleet.batched_cohorts() > 0, any_batchable);
+        let dispatched = batched_fleet.dispatched_arrivals();
+
+        let batched_serial = batched_fleet.run(1);
+        let batched_threaded = build(&config(true, EngineMode::PerSlice)).run(threads);
+        let dynamic_fleet = build(&config(false, EngineMode::PerSlice));
+        prop_assert_eq!(dynamic_fleet.batched_cohorts(), 0);
+        prop_assert_eq!(dynamic_fleet.dispatched_arrivals(), dispatched);
+        let dynamic = dynamic_fleet.run(1);
+        let skip = build(&config(true, EngineMode::EventSkip)).run(threads);
+
+        prop_assert_eq!(&batched_serial, &batched_threaded);
+        prop_assert_eq!(&batched_serial, &dynamic);
+        prop_assert_eq!(&batched_serial.stats, &skip.stats);
+        prop_assert_eq!(&batched_serial.per_device, &skip.per_device);
+        prop_assert_eq!(&batched_serial.final_modes, &skip.final_modes);
+
+        // Cohort split structure: the report covers every member exactly
+        // once, each with the full horizon of simulated slices.
+        prop_assert_eq!(batched_serial.per_device.len(), members.len());
+        for stats in &batched_serial.per_device {
+            prop_assert_eq!(stats.steps, horizon);
+        }
+        assert_conservation(&batched_serial, dispatched);
     }
 
     /// Random fleets under the *online* dispatch loop, across every
@@ -384,6 +494,73 @@ fn fleet_event_skip_pinned_all_policies_all_dispatchers() {
         );
         assert_eq!(per.stats, skip.stats, "{}", dispatch.name());
         assert_eq!(per.per_device, skip.per_device, "{}", dispatch.name());
+    }
+}
+
+/// Pinned batched case: 12-device homogeneous Q-DPM fleets — the batched
+/// engine's canonical workload — per state-blind dispatcher. The
+/// *training* fleet (live epsilon-greedy exploration) pins batched ≡
+/// dynamic with full report equality at 1 and 4 threads; the *frozen*
+/// fleet (the exact policy) additionally pins both against `EventSkip`,
+/// which never batches.
+#[test]
+fn batched_cohort_pinned_homogeneous_q_dpm_all_dispatchers() {
+    let fleet_of = |policy: FleetPolicy| -> Vec<FleetMember> {
+        (0..12)
+            .map(|i| FleetMember {
+                label: format!("qdpm-{i}"),
+                power: presets::three_state_generic(),
+                service: presets::default_service(),
+                policy: policy.clone(),
+            })
+            .collect()
+    };
+    let workload = aggregate_workload(1, 0.35);
+    for dispatch in DispatchPolicy::state_blind() {
+        let config = |batch: bool, mode: EngineMode| FleetConfig {
+            seed: 11,
+            dispatch,
+            horizon: 4_000,
+            engine_mode: mode,
+            batch_cohorts: batch,
+            ..FleetConfig::default()
+        };
+        // Training fleet: batched ≡ dynamic under live exploration.
+        let members = fleet_of(FleetPolicy::QDpm(qdpm_core::QDpmConfig::default()));
+        let batched = FleetSim::new(&members, &workload, &config(true, EngineMode::PerSlice))
+            .expect("fleet builds");
+        assert_eq!(batched.batched_cohorts(), 1, "{}", dispatch.name());
+        let batched = batched.run(1);
+        let batched_threaded =
+            FleetSim::new(&members, &workload, &config(true, EngineMode::PerSlice))
+                .expect("fleet builds")
+                .run(4);
+        let dynamic = FleetSim::new(&members, &workload, &config(false, EngineMode::PerSlice))
+            .expect("fleet builds")
+            .run(4);
+        assert_eq!(batched, batched_threaded, "{}", dispatch.name());
+        assert_eq!(batched, dynamic, "{}", dispatch.name());
+
+        // Frozen fleet: the exact policy, so event-skip joins the
+        // three-way equality.
+        let members = fleet_of(FleetPolicy::frozen_q_dpm());
+        let batched = FleetSim::new(&members, &workload, &config(true, EngineMode::PerSlice))
+            .expect("fleet builds")
+            .run(1);
+        let dynamic = FleetSim::new(&members, &workload, &config(false, EngineMode::PerSlice))
+            .expect("fleet builds")
+            .run(4);
+        let skip = FleetSim::new(&members, &workload, &config(true, EngineMode::EventSkip))
+            .expect("fleet builds")
+            .run(4);
+        assert_eq!(batched, dynamic, "frozen {}", dispatch.name());
+        assert_eq!(batched.stats, skip.stats, "frozen {}", dispatch.name());
+        assert_eq!(
+            batched.per_device,
+            skip.per_device,
+            "frozen {}",
+            dispatch.name()
+        );
     }
 }
 

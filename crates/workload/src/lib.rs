@@ -49,7 +49,9 @@ mod trace;
 
 use rand::Rng;
 
-pub use dispatch::{DeviceSnapshot, DispatchPolicy, SparseTrace, WorkloadDispatcher};
+pub use dispatch::{
+    CohortArrivals, DeviceSnapshot, DispatchPolicy, GroupedSplit, SparseTrace, WorkloadDispatcher,
+};
 pub use drift::{RandomWalkRate, SinusoidalRate};
 pub use error::WorkloadError;
 pub use estimator::{EwmaRateEstimator, PageHinkley, RateEstimator};
