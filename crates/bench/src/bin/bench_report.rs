@@ -628,9 +628,11 @@ fn main() {
         trajectory = trajectory_lines.join(",\n"),
     );
 
-    match std::fs::write(&path, &json) {
-        Ok(()) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    // Atomic (tmp + rename, via save_results_in): a crash mid-write keeps
+    // the previous complete report instead of leaving a torn JSON.
+    match qdpm_bench::save_results_in(&workspace_root(), "BENCH_throughput.json", &json) {
+        Some(written) => eprintln!("wrote {}", written.display()),
+        None => eprintln!("could not write {}", path.display()),
     }
     print!("{json}");
 }

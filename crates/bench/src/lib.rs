@@ -118,13 +118,26 @@ pub fn save_results(name: &str, content: &str) -> Option<PathBuf> {
 }
 
 /// [`save_results`] with an explicit target directory (created on demand).
+///
+/// The write is crash-safe: content lands in a temp file *in the target
+/// directory* and is renamed over the final name, so a crash mid-write
+/// leaves either the previous complete file or no file — never a
+/// half-written result a downstream plot script would silently ingest.
 pub fn save_results_in(dir: &Path, name: &str, content: &str) -> Option<PathBuf> {
     fs::create_dir_all(dir).ok()?;
-    let path = dir
-        .canonicalize()
-        .unwrap_or_else(|_| dir.to_path_buf())
-        .join(name);
-    fs::write(&path, content).ok()?;
+    let dir = dir.canonicalize().unwrap_or_else(|_| dir.to_path_buf());
+    let path = dir.join(name);
+    let tmp = dir.join(format!(".{name}.tmp"));
+    {
+        use std::io::Write as _;
+        let mut f = fs::File::create(&tmp).ok()?;
+        f.write_all(content.as_bytes()).ok()?;
+        f.sync_all().ok()?;
+    }
+    if fs::rename(&tmp, &path).is_err() {
+        let _ = fs::remove_file(&tmp);
+        return None;
+    }
     Some(path)
 }
 
@@ -232,6 +245,26 @@ mod tests {
             "end\tcost\n0\t1.0\n",
             "content must round-trip"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_results_is_atomic_and_leaves_no_temp_files() {
+        let dir = std::env::temp_dir().join("qdpm-bench-save-results-atomic-selftest");
+        let _ = fs::remove_dir_all(&dir);
+        let name = "atomic.tsv";
+        // Overwriting an existing result must swap in the new content
+        // whole, and the temp file must not linger.
+        save_results_in(&dir, name, "old\n").unwrap();
+        let path = save_results_in(&dir, name, "new\n").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "new\n");
+        let canon = dir.canonicalize().unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&canon)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n != name)
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -3,6 +3,7 @@ use serde::{Deserialize, Serialize};
 
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId};
 
+use crate::state_io::{StateError, StateReader, StateWriter};
 use crate::variants::TabularLearner;
 use crate::{
     CoreError, DpmStateEncoder, Exploration, LearningRate, LegalActionTable, Observation, QLearner,
@@ -145,8 +146,43 @@ pub trait PowerManager: std::fmt::Debug + Send {
         0
     }
 
+    /// Checkpoint support: appends the manager's full mutable state to a
+    /// payload (learned tables, pending transitions, internal timers). The
+    /// default writes nothing — correct for stateless policies — and is
+    /// symmetric with the default [`PowerManager::load_state`], which
+    /// reads nothing.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Checkpoint support: restores state written by
+    /// [`PowerManager::save_state`]. Default: reads nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the payload does not decode or a
+    /// restored value is out of range for this manager.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let _ = r;
+        Ok(())
+    }
+
     /// Short display name for reports.
     fn name(&self) -> &str;
+}
+
+/// Writes an `Option<usize>` pair-of-fields (`flag`, value) — the framing
+/// used by every agent checkpoint in this crate.
+pub(crate) fn put_opt_usize(w: &mut StateWriter, v: Option<usize>) {
+    w.put_bool(v.is_some());
+    w.put_usize(v.unwrap_or(0));
+}
+
+/// Reads an `Option<usize>` written by [`put_opt_usize`].
+pub(crate) fn get_opt_usize(r: &mut StateReader<'_>) -> Result<Option<usize>, StateError> {
+    let some = r.get_bool()?;
+    let v = r.get_usize()?;
+    Ok(some.then_some(v))
 }
 
 /// The Q-DPM power manager (the paper's contribution).
@@ -459,6 +495,29 @@ impl<L: TabularLearner> PowerManager for GenericQDpmAgent<L> {
         );
         self.deviation = run.deviation;
         run.slices
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        put_opt_usize(w, self.pending.map(|(s, _)| s));
+        put_opt_usize(w, self.pending.map(|(_, a)| a));
+        put_opt_usize(w, self.deviation);
+        self.learner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let s = get_opt_usize(r)?;
+        let a = get_opt_usize(r)?;
+        self.pending = match (s, a) {
+            (Some(s), Some(a)) => Some((s, a)),
+            (None, None) => None,
+            _ => {
+                return Err(StateError::BadValue(
+                    "half-present pending transition".to_string(),
+                ))
+            }
+        };
+        self.deviation = get_opt_usize(r)?;
+        self.learner.load_state(r)
     }
 
     fn name(&self) -> &str {

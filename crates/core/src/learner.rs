@@ -2,6 +2,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::rng_util::{geometric_gap, uniform, uniform_index};
+use crate::state_io::{StateError, StateReader, StateWriter};
 use crate::{CoreError, Exploration, LearningRate, QTable};
 
 /// Outcome of a learner's closed-form quiescent stay run
@@ -365,6 +366,40 @@ impl QLearner {
     pub fn reset(&mut self) {
         self.table.reset();
         self.steps = 0;
+    }
+
+    /// Appends the learner's full mutable state — the Q-table blob and the
+    /// step counter — to a checkpoint payload. Schedule parameters are
+    /// configuration, rebuilt identically by the caller, so they are not
+    /// persisted; the step counter *is*, because decay schedules key off it.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_bytes(&self.table.to_bytes());
+        w.put_u64(self.steps);
+    }
+
+    /// Restores state written by [`QLearner::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the payload is truncated, the table
+    /// blob fails its own validation, or its dimensions do not match this
+    /// learner's.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let table = QTable::from_bytes(r.get_bytes()?)
+            .map_err(|e| StateError::BadValue(format!("q-table blob: {e}")))?;
+        if (table.n_states(), table.n_actions()) != (self.table.n_states(), self.table.n_actions())
+        {
+            return Err(StateError::BadValue(format!(
+                "q-table dimensions {}x{} do not match learner {}x{}",
+                table.n_states(),
+                table.n_actions(),
+                self.table.n_states(),
+                self.table.n_actions()
+            )));
+        }
+        self.table = table;
+        self.steps = r.get_u64()?;
+        Ok(())
     }
 
     /// Replaces the Q-table wholesale (warm-start from a persisted blob).
@@ -759,6 +794,47 @@ mod tests {
             assert_eq!(run, StayRun::none());
             assert_eq!(l.steps(), 0);
         }
+    }
+
+    #[test]
+    fn save_load_round_trips_table_and_steps() {
+        let mut src = learner(0.9, 0.3, 0.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = 0usize;
+        for _ in 0..500 {
+            let a = src.select_action(s, &[0, 1], &mut rng);
+            let next = (s + a) % 4;
+            src.update(s, a, -0.3, next, &[0, 1]);
+            s = next;
+        }
+        let mut w = StateWriter::new();
+        src.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut dst = learner(0.9, 0.3, 0.1);
+        dst.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(dst.table(), src.table());
+        assert_eq!(dst.steps(), src.steps());
+    }
+
+    #[test]
+    fn load_rejects_dimension_mismatch_and_truncation() {
+        let src = learner(0.9, 0.3, 0.1);
+        let mut w = StateWriter::new();
+        src.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut wrong = QLearner::new(
+            3,
+            3,
+            0.9,
+            LearningRate::Constant(0.3),
+            Exploration::EpsilonGreedy { epsilon: 0.1 },
+        )
+        .unwrap();
+        assert!(wrong.load_state(&mut StateReader::new(&bytes)).is_err());
+        let mut same = learner(0.9, 0.3, 0.1);
+        assert!(same
+            .load_state(&mut StateReader::new(&bytes[..bytes.len() - 4]))
+            .is_err());
     }
 
     #[test]

@@ -63,6 +63,7 @@ mod qtable;
 pub mod rng_util;
 mod schedule;
 mod shared;
+pub mod state_io;
 pub mod variants;
 
 pub use agent::{
@@ -78,4 +79,5 @@ pub use qos::{QosConfig, QosQDpmAgent};
 pub use qtable::QTable;
 pub use schedule::{Exploration, LearningRate};
 pub use shared::SharedQLearner;
+pub use state_io::{StateError, StateReader, StateWriter};
 pub use variants::{DoubleQLearner, QLambdaLearner, SarsaLearner, TabularLearner};

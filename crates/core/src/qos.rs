@@ -13,6 +13,8 @@ use serde::{Deserialize, Serialize};
 
 use qdpm_device::{PowerModel, PowerStateId};
 
+use crate::agent::{get_opt_usize, put_opt_usize};
+use crate::state_io::{StateError, StateReader, StateWriter};
 use crate::{
     CoreError, DpmStateEncoder, Exploration, LearningRate, LegalActionTable, Observation,
     PowerManager, QLearner, StateEncoder, StepOutcome,
@@ -249,6 +251,35 @@ impl PowerManager for QosQDpmAgent {
         self.advance_window(run.slices);
         self.deviation = run.deviation;
         run.slices
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        put_opt_usize(w, self.pending.map(|(s, _)| s));
+        put_opt_usize(w, self.pending.map(|(_, a)| a));
+        put_opt_usize(w, self.deviation);
+        w.put_f64(self.lambda);
+        w.put_f64(self.window_perf);
+        w.put_u64(self.window_count);
+        self.learner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let s = get_opt_usize(r)?;
+        let a = get_opt_usize(r)?;
+        self.pending = match (s, a) {
+            (Some(s), Some(a)) => Some((s, a)),
+            (None, None) => None,
+            _ => {
+                return Err(StateError::BadValue(
+                    "half-present pending transition".to_string(),
+                ))
+            }
+        };
+        self.deviation = get_opt_usize(r)?;
+        self.lambda = r.get_f64()?;
+        self.window_perf = r.get_f64()?;
+        self.window_count = r.get_u64()?;
+        self.learner.load_state(r)
     }
 
     fn name(&self) -> &str {

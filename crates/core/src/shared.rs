@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 
 use rand::Rng;
 
+use crate::state_io::{StateError, StateReader, StateWriter};
 use crate::variants::TabularLearner;
 use crate::{QLearner, StayRun};
 
@@ -128,6 +129,14 @@ impl TabularLearner for SharedQLearner {
 
     fn steps(&self) -> u64 {
         SharedQLearner::steps(self)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.with(|l| l.save_state(w));
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.with(|l| l.load_state(r))
     }
 
     fn reset(&mut self) {

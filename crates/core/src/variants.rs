@@ -26,6 +26,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::rng_util::{uniform, uniform_index};
+use crate::state_io::{StateError, StateReader, StateWriter};
 use crate::{CoreError, Exploration, LearningRate, QLearner, QTable, StayRun};
 
 /// Protocol shared by all tabular learners usable inside a Q-DPM agent.
@@ -69,6 +70,26 @@ pub trait TabularLearner: std::fmt::Debug + Send {
     /// Total updates performed.
     fn steps(&self) -> u64;
 
+    /// Checkpoint support: appends the learner's full mutable state to a
+    /// payload. The default writes nothing, paired with the default
+    /// [`TabularLearner::load_state`] that reads nothing — symmetric, so a
+    /// variant without checkpoint support round-trips as a no-op instead
+    /// of corrupting the payload framing.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Checkpoint support: restores state written by
+    /// [`TabularLearner::save_state`]. Default: reads nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the payload does not decode.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let _ = r;
+        Ok(())
+    }
+
     /// Clears learned state.
     fn reset(&mut self);
 
@@ -106,6 +127,14 @@ impl TabularLearner for QLearner {
 
     fn steps(&self) -> u64 {
         QLearner::steps(self)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        QLearner::save_state(self, w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        QLearner::load_state(self, r)
     }
 
     fn reset(&mut self) {

@@ -314,6 +314,14 @@ impl Device {
         self.state.transient_slice_energy()
     }
 
+    /// Overwrites the dynamic state wholesale (checkpoint restore). The
+    /// state must have been produced by [`Device::state`] on a device with
+    /// the same model; it is not re-validated here beyond the panics the
+    /// next `command`/`tick` would raise for out-of-range ids.
+    pub fn restore_state(&mut self, state: DeviceState) {
+        self.state = state;
+    }
+
     /// Resets the device to a given operational state, cancelling any
     /// in-flight transition (used when reusing a device across runs).
     ///

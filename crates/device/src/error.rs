@@ -31,6 +31,14 @@ pub enum DeviceError {
     InvalidServiceModel(String),
     /// The queue capacity was zero.
     ZeroQueueCapacity,
+    /// A queue restore supplied more waiting requests than the queue's
+    /// capacity admits.
+    QueueOverflow {
+        /// Requests in the restored snapshot.
+        len: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for DeviceError {
@@ -55,6 +63,12 @@ impl fmt::Display for DeviceError {
             DeviceError::UnknownState(name) => write!(f, "unknown power state `{name}`"),
             DeviceError::InvalidServiceModel(msg) => write!(f, "invalid service model: {msg}"),
             DeviceError::ZeroQueueCapacity => write!(f, "queue capacity must be at least 1"),
+            DeviceError::QueueOverflow { len, capacity } => {
+                write!(
+                    f,
+                    "restored queue of {len} requests exceeds capacity {capacity}"
+                )
+            }
         }
     }
 }

@@ -132,6 +132,33 @@ impl Queue {
         &self.stats
     }
 
+    /// Arrival timestamps of all waiting requests, oldest first
+    /// (checkpoint capture; pairs with [`Queue::restore`]).
+    pub fn arrival_times(&self) -> impl Iterator<Item = Step> + '_ {
+        self.arrivals.iter().copied()
+    }
+
+    /// Overwrites the waiting requests and lifetime counters wholesale
+    /// (checkpoint restore). `arrivals` must be oldest-first, as produced
+    /// by [`Queue::arrival_times`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::QueueOverflow`] when `arrivals` exceeds this
+    /// queue's capacity.
+    pub fn restore(&mut self, arrivals: &[Step], stats: QueueStats) -> Result<(), DeviceError> {
+        if arrivals.len() > self.capacity {
+            return Err(DeviceError::QueueOverflow {
+                len: arrivals.len(),
+                capacity: self.capacity,
+            });
+        }
+        self.arrivals.clear();
+        self.arrivals.extend(arrivals.iter().copied());
+        self.stats = stats;
+        Ok(())
+    }
+
     /// Empties the queue and zeroes the counters.
     pub fn reset(&mut self) {
         self.arrivals.clear();

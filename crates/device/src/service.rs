@@ -117,10 +117,16 @@ impl Server {
         }
     }
 
-    /// Abandons any in-progress request (e.g. when the device powers down
-    /// mid-service and must restart the job later).
-    pub fn reset_progress(&mut self) {
-        self.progress = 0;
+    /// Slices of service already applied to the in-flight request
+    /// (checkpoint capture; always 0 for the memoryless geometric model).
+    #[must_use]
+    pub fn progress(&self) -> u32 {
+        self.progress
+    }
+
+    /// Overwrites the in-flight service progress (checkpoint restore).
+    pub fn set_progress(&mut self, progress: u32) {
+        self.progress = progress;
     }
 }
 
@@ -176,10 +182,10 @@ mod tests {
     }
 
     #[test]
-    fn reset_progress_restarts_job() {
+    fn set_progress_restarts_job() {
         let mut s = Server::new(ServiceModel::deterministic(2).unwrap());
         assert!(!s.advance(0.0));
-        s.reset_progress();
+        s.set_progress(0);
         assert!(!s.advance(0.0));
         assert!(s.advance(0.0));
     }

@@ -1,0 +1,385 @@
+//! The versioned, checksummed checkpoint container and its two-generation
+//! on-disk store.
+//!
+//! # Container layout
+//!
+//! ```text
+//! magic        8  b"QDPMCKPT"
+//! version      4  u32 LE (SCHEMA_VERSION)
+//! config hash  8  u64 LE (FNV-1a of the canonical config encoding)
+//! generation   8  u64 LE (monotonic write counter)
+//! slice        8  u64 LE (trace slices fully applied to the rack)
+//! payload      8+n  length-prefixed rack state bytes
+//! checksum     8  u64 LE FNV-1a of every preceding byte
+//! ```
+//!
+//! # Durability protocol
+//!
+//! A checkpoint is written to a temporary file in the *same directory*,
+//! synced, then renamed over its final generation-numbered name — a crash
+//! at any byte leaves either the complete new generation or no new file at
+//! all, never a half-written one under a valid name. The previous
+//! generation is retained until the next successful write, so a write torn
+//! exactly at the rename (or a later partial disk corruption of the newest
+//! file) degrades to resuming from one generation earlier instead of
+//! failing.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qdpm_core::{StateReader, StateWriter};
+
+use crate::error::ServeError;
+
+/// Container magic bytes.
+pub const MAGIC: [u8; 8] = *b"QDPMCKPT";
+
+/// Current container schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// How many checkpoint generations are retained on disk.
+pub const GENERATIONS_KEPT: u64 = 2;
+
+const FILE_PREFIX: &str = "ckpt-";
+const FILE_SUFFIX: &str = ".qdpm";
+const TMP_NAME: &str = ".ckpt.tmp";
+
+/// FNV-1a 64-bit hash — the container checksum and the config fingerprint.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One decoded checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Monotonic write counter (embedded and in the filename).
+    pub generation: u64,
+    /// Trace slices fully applied to the rack when this was taken.
+    pub slice: u64,
+    /// Opaque rack state (see `RackCoordinator::save_state`).
+    pub rack_state: Vec<u8>,
+}
+
+/// Encodes a checkpoint into its on-disk container bytes.
+#[must_use]
+pub fn encode(ckpt: &Checkpoint, config_hash: u64) -> Vec<u8> {
+    let mut w = StateWriter::new();
+    w.put_u32(SCHEMA_VERSION);
+    w.put_u64(config_hash);
+    w.put_u64(ckpt.generation);
+    w.put_u64(ckpt.slice);
+    w.put_bytes(&ckpt.rack_state);
+    let body = w.into_bytes();
+    let mut out = Vec::with_capacity(MAGIC.len() + body.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&body);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decodes and validates container bytes.
+///
+/// # Errors
+///
+/// [`ServeError::Corrupt`] for truncation, bad magic, or a checksum
+/// mismatch; [`ServeError::UnsupportedSchema`] for an unknown version;
+/// [`ServeError::ConfigMismatch`] when the embedded config hash differs
+/// from `config_hash`.
+pub fn decode(bytes: &[u8], path: &Path, config_hash: u64) -> Result<Checkpoint, ServeError> {
+    let corrupt = |reason: String| ServeError::Corrupt {
+        path: path.to_path_buf(),
+        reason,
+    };
+    // Smallest possible container: magic + version + three u64 headers +
+    // an empty length-prefixed payload + checksum.
+    let min = MAGIC.len() + 4 + 8 + 8 + 8 + 8 + 8;
+    if bytes.len() < min {
+        return Err(corrupt(format!(
+            "truncated: {} bytes, container needs at least {min}",
+            bytes.len()
+        )));
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(corrupt("bad magic".to_string()));
+    }
+    let (framed, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let declared = u64::from_le_bytes(sum_bytes.try_into().expect("8-byte split"));
+    let actual = fnv1a64(framed);
+    if declared != actual {
+        return Err(corrupt(format!(
+            "checksum mismatch: stored {declared:#018x}, computed {actual:#018x}"
+        )));
+    }
+    let mut r = StateReader::new(&framed[MAGIC.len()..]);
+    let truncated = |e: qdpm_core::StateError| corrupt(format!("frame decode failed: {e}"));
+    let version = r.get_u32().map_err(truncated)?;
+    if version != SCHEMA_VERSION {
+        return Err(ServeError::UnsupportedSchema {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let found = r.get_u64().map_err(truncated)?;
+    if found != config_hash {
+        return Err(ServeError::ConfigMismatch {
+            path: path.to_path_buf(),
+            expected: config_hash,
+            found,
+        });
+    }
+    let generation = r.get_u64().map_err(truncated)?;
+    let slice = r.get_u64().map_err(truncated)?;
+    let rack_state = r.get_bytes().map_err(truncated)?.to_vec();
+    if r.remaining() != 0 {
+        return Err(corrupt(format!(
+            "{} trailing byte(s) after the payload",
+            r.remaining()
+        )));
+    }
+    Ok(Checkpoint {
+        generation,
+        slice,
+        rack_state,
+    })
+}
+
+/// Reads and validates one checkpoint file.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the file cannot be read, plus everything
+/// [`decode`] returns.
+pub fn read_checkpoint(path: &Path, config_hash: u64) -> Result<Checkpoint, ServeError> {
+    let bytes = fs::read(path).map_err(|source| ServeError::Io {
+        path: path.to_path_buf(),
+        source,
+    })?;
+    decode(&bytes, path, config_hash)
+}
+
+/// Generation-numbered file name of a checkpoint.
+#[must_use]
+pub fn generation_file(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("{FILE_PREFIX}{generation:016x}{FILE_SUFFIX}"))
+}
+
+/// Lists checkpoint generations in `dir`, newest first. A missing
+/// directory lists as empty.
+///
+/// # Errors
+///
+/// [`ServeError::Io`] when the directory exists but cannot be read.
+pub fn list_generations(dir: &Path) -> Result<Vec<(u64, PathBuf)>, ServeError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(source) => {
+            return Err(ServeError::Io {
+                path: dir.to_path_buf(),
+                source,
+            })
+        }
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|source| ServeError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(hex) = name
+            .strip_prefix(FILE_PREFIX)
+            .and_then(|s| s.strip_suffix(FILE_SUFFIX))
+        else {
+            continue;
+        };
+        let Ok(generation) = u64::from_str_radix(hex, 16) else {
+            continue;
+        };
+        found.push((generation, entry.path()));
+    }
+    found.sort_by_key(|&(generation, _)| std::cmp::Reverse(generation));
+    Ok(found)
+}
+
+/// Writes checkpoints atomically and prunes old generations.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    config_hash: u64,
+    next_generation: u64,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the store in `dir`. The next write goes
+    /// to one generation past the newest file already present, so a
+    /// resumed daemon never overwrites the checkpoint it restored from.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be created or listed.
+    pub fn open(dir: &Path, config_hash: u64) -> Result<Self, ServeError> {
+        fs::create_dir_all(dir).map_err(|source| ServeError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        let newest = list_generations(dir)?.first().map_or(0, |&(g, _)| g + 1);
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            config_hash,
+            next_generation: newest,
+        })
+    }
+
+    /// The directory this store writes into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Atomically writes the next checkpoint generation (tmp file in the
+    /// same directory, sync, rename) and prunes generations older than the
+    /// retained window. Returns the final path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when writing, syncing, or renaming fails. Prune
+    /// failures are ignored — stale extra generations are harmless.
+    pub fn save(&mut self, slice: u64, rack_state: &[u8]) -> Result<PathBuf, ServeError> {
+        let generation = self.next_generation;
+        let ckpt = Checkpoint {
+            generation,
+            slice,
+            rack_state: rack_state.to_vec(),
+        };
+        let bytes = encode(&ckpt, self.config_hash);
+        let tmp = self.dir.join(TMP_NAME);
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |source| ServeError::Io { path, source }
+        };
+        {
+            use std::io::Write as _;
+            let mut f = fs::File::create(&tmp).map_err(io_err(&tmp))?;
+            f.write_all(&bytes).map_err(io_err(&tmp))?;
+            f.sync_all().map_err(io_err(&tmp))?;
+        }
+        let path = generation_file(&self.dir, generation);
+        fs::rename(&tmp, &path).map_err(io_err(&path))?;
+        self.next_generation += 1;
+        for (gen, old) in list_generations(&self.dir).unwrap_or_default() {
+            if generation.saturating_sub(gen) >= GENERATIONS_KEPT {
+                let _ = fs::remove_file(old);
+            }
+        }
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdpm-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            generation: 7,
+            slice: 1234,
+            rack_state: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ckpt = sample();
+        let bytes = encode(&ckpt, 0xdead_beef);
+        let back = decode(&bytes, Path::new("x"), 0xdead_beef).unwrap();
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_corrupt_error() {
+        let bytes = encode(&sample(), 1);
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode(&bytes[..cut], Path::new("x"), 1).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Corrupt { .. }),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_flipped_byte_is_detected() {
+        let bytes = encode(&sample(), 1);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            let err = decode(&bad, Path::new("x"), 1).unwrap_err();
+            assert!(matches!(err, ServeError::Corrupt { .. }), "byte {i}: {err}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_and_config_are_typed() {
+        // Re-frame the container with a future version and a valid
+        // checksum: must surface as UnsupportedSchema, not Corrupt.
+        let ckpt = sample();
+        let mut w = StateWriter::new();
+        w.put_u32(SCHEMA_VERSION + 9);
+        w.put_u64(1);
+        w.put_u64(ckpt.generation);
+        w.put_u64(ckpt.slice);
+        w.put_bytes(&ckpt.rack_state);
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&w.into_bytes());
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes, Path::new("x"), 1).unwrap_err(),
+            ServeError::UnsupportedSchema { found, .. } if found == SCHEMA_VERSION + 9
+        ));
+
+        let good = encode(&ckpt, 1);
+        assert!(matches!(
+            decode(&good, Path::new("x"), 2).unwrap_err(),
+            ServeError::ConfigMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn store_writes_generations_and_prunes_to_two() {
+        let dir = tmp_dir("store");
+        let mut store = CheckpointStore::open(&dir, 42).unwrap();
+        for slice in [10u64, 20, 30, 40] {
+            store.save(slice, &[slice as u8]).unwrap();
+        }
+        let gens = list_generations(&dir).unwrap();
+        assert_eq!(gens.iter().map(|&(g, _)| g).collect::<Vec<_>>(), vec![3, 2]);
+        let newest = read_checkpoint(&gens[0].1, 42).unwrap();
+        assert_eq!((newest.generation, newest.slice), (3, 40));
+
+        // Reopening continues the generation counter past the newest file.
+        let mut reopened = CheckpointStore::open(&dir, 42).unwrap();
+        let path = reopened.save(50, &[9]).unwrap();
+        assert_eq!(read_checkpoint(&path, 42).unwrap().generation, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,133 @@
+//! Typed failures of the serving daemon.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use qdpm_core::StateError;
+use qdpm_sim::SimError;
+
+/// Everything that can go wrong while serving, checkpointing, or resuming.
+///
+/// Checkpoint damage is *typed*, not panicked on: the recovery scan maps
+/// each unusable generation to one of these and falls back to the next
+/// older one.
+#[derive(Debug)]
+pub enum ServeError {
+    /// An I/O operation failed; `path` is what was being touched.
+    Io {
+        /// The file or directory involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A checkpoint file is damaged: too short to hold the container
+    /// frame, wrong magic, or failing its embedded checksum.
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// What exactly was wrong.
+        reason: String,
+    },
+    /// A checkpoint was written by an unknown container schema.
+    UnsupportedSchema {
+        /// The offending file.
+        path: PathBuf,
+        /// The version the file declares.
+        found: u32,
+    },
+    /// A checkpoint belongs to a differently-configured daemon (its
+    /// embedded config hash does not match the running configuration).
+    ConfigMismatch {
+        /// The offending file.
+        path: PathBuf,
+        /// Hash of the running configuration.
+        expected: u64,
+        /// Hash embedded in the file.
+        found: u64,
+    },
+    /// The checkpoint payload decoded but did not fit the rebuilt rack
+    /// (the inner state codec rejected it).
+    BadPayload {
+        /// The offending file.
+        path: PathBuf,
+        /// The codec's complaint.
+        source: StateError,
+    },
+    /// Checkpoint files exist but every generation failed validation —
+    /// nothing to resume from.
+    NoUsableCheckpoint {
+        /// The checkpoint directory that was scanned.
+        dir: PathBuf,
+        /// How many candidate files were tried.
+        tried: usize,
+    },
+    /// Building or driving the simulated rack failed.
+    Sim(SimError),
+    /// A command-line or configuration value was invalid.
+    BadArgs(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            ServeError::Corrupt { path, reason } => {
+                write!(f, "{}: corrupt checkpoint: {reason}", path.display())
+            }
+            ServeError::UnsupportedSchema { path, found } => {
+                write!(
+                    f,
+                    "{}: unsupported checkpoint schema version {found}",
+                    path.display()
+                )
+            }
+            ServeError::ConfigMismatch {
+                path,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{}: checkpoint config hash {found:#018x} does not match \
+                     this daemon's configuration {expected:#018x}",
+                    path.display()
+                )
+            }
+            ServeError::BadPayload { path, source } => {
+                write!(
+                    f,
+                    "{}: unusable checkpoint payload: {source}",
+                    path.display()
+                )
+            }
+            ServeError::NoUsableCheckpoint { dir, tried } => {
+                write!(
+                    f,
+                    "{}: all {tried} checkpoint generation(s) failed validation",
+                    dir.display()
+                )
+            }
+            ServeError::Sim(e) => write!(f, "simulation error: {e}"),
+            ServeError::BadArgs(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::BadPayload { source, .. } => Some(source),
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}

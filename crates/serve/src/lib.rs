@@ -1,0 +1,37 @@
+//! qdpm-serve: a crash-tolerant, long-running serving daemon for Q-DPM
+//! fleets.
+//!
+//! The daemon ingests per-slice arrival counts from a recorded trace file
+//! (or stdin) at accelerated or throttled speed, drives an online
+//! [`RackCoordinator`](qdpm_sim::hierarchy::RackCoordinator) — optionally
+//! power-capped — one event at a time, and snapshots a versioned,
+//! checksummed checkpoint of *all* dynamic state between slices: every
+//! member simulator (device, queue, server, all four RNG streams, learner
+//! tables), the intra-rack dispatcher, and the rack's command budget.
+//!
+//! Durability is two-generation: each checkpoint is written to a temp file
+//! in the checkpoint directory, synced, and renamed into place, with the
+//! previous generation retained. On startup the daemon restores the newest
+//! generation that validates — magic, schema version, embedded config
+//! fingerprint, FNV-1a checksum, and payload fit are all checked — and
+//! degrades to the older generation (never a panic) when the newest is
+//! torn, corrupted, or foreign.
+//!
+//! The headline contract, pinned by the crash harness in this crate's
+//! integration tests: a run SIGKILLed at any instant and restarted
+//! finishes with statistics **bit-identical** (exact `f64` bits) to a run
+//! that was never interrupted.
+
+pub mod checkpoint;
+pub mod daemon;
+pub mod error;
+
+pub use checkpoint::{
+    decode, encode, fnv1a64, list_generations, read_checkpoint, Checkpoint, CheckpointStore,
+    GENERATIONS_KEPT, MAGIC, SCHEMA_VERSION,
+};
+pub use daemon::{
+    atomic_write, read_trace, recover_rack, render_report, run_serve, DevicePreset, ServeConfig,
+    ServeOptions, ServeSummary, TraceSource,
+};
+pub use error::ServeError;

@@ -1,0 +1,305 @@
+//! Command-line entry point: `qdpm-serve record` captures a trace,
+//! `qdpm-serve serve` drives a rack over one with checkpoint/resume.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qdpm_serve::{run_serve, DevicePreset, ServeConfig, ServeError, ServeOptions, TraceSource};
+use qdpm_sim::{EngineMode, FleetPolicy};
+use qdpm_workload::DispatchPolicy;
+
+const USAGE: &str = "\
+qdpm-serve — crash-tolerant Q-DPM serving daemon
+
+USAGE:
+  qdpm-serve record --out <PATH> --slices <N> [--rate <P>] [--seed <S>]
+      Record a Bernoulli(P) arrival trace (default rate 0.3, seed 42).
+
+  qdpm-serve serve --trace <PATH|-> [OPTIONS]
+      Serve a recorded trace (or stdin with '-').
+
+SERVE OPTIONS:
+  --devices <N>            rack size (default 4)
+  --policy <LIST>          comma-separated member policies, cycled across
+                           devices: always-on, greedy-off,
+                           break-even-timeout, fixed-timeout:<T>,
+                           adaptive-timeout, q-dpm, qos-q-dpm,
+                           shared-q-dpm, chaos-monkey (default q-dpm)
+  --preset <NAME>          device preset: three-state, ibm-hdd, wlan
+  --cap <WATTS>            rack power cap (default uncapped)
+  --seed <S>               master seed (default 42)
+  --mode <M>               engine: per-slice, event-skip (default per-slice)
+  --dispatch <D>           round-robin, least-loaded, hash-sharded:<SALT>,
+                           jsq, sleep-aware:<SPILL> (default round-robin)
+  --queue-cap <N>          per-device queue capacity (default 8)
+  --checkpoint-dir <DIR>   enable durable checkpoints in DIR
+  --checkpoint-every <N>   checkpoint cadence in slices (default 100)
+  --throttle-us <U>        sleep U microseconds per slice (default 0)
+  --report-out <PATH>      write the final deterministic report here
+  --threads <N>            gap-advance worker threads (default 1)
+  --fresh                  ignore existing checkpoints, start cold
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("qdpm-serve: {e}");
+            match e {
+                ServeError::BadArgs(_) => ExitCode::from(2),
+                _ => ExitCode::FAILURE,
+            }
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), ServeError> {
+    match args.first().map(String::as_str) {
+        Some("record") => record(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(ServeError::BadArgs(format!(
+            "unknown subcommand {other:?}; see --help"
+        ))),
+    }
+}
+
+/// Pulls the value of a `--flag VALUE` pair out of `args`.
+struct Flags<'a> {
+    args: &'a [String],
+    used: Vec<bool>,
+}
+
+impl<'a> Flags<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Flags {
+            args,
+            used: vec![false; args.len()],
+        }
+    }
+
+    fn value(&mut self, flag: &str) -> Result<Option<&'a str>, ServeError> {
+        for i in 0..self.args.len() {
+            if self.args[i] == flag {
+                self.used[i] = true;
+                let v = self
+                    .args
+                    .get(i + 1)
+                    .ok_or_else(|| ServeError::BadArgs(format!("{flag} needs a value")))?;
+                self.used[i + 1] = true;
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
+    }
+
+    fn switch(&mut self, flag: &str) -> bool {
+        for i in 0..self.args.len() {
+            if self.args[i] == flag {
+                self.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn finish(self) -> Result<(), ServeError> {
+        for (i, used) in self.used.iter().enumerate() {
+            if !used {
+                return Err(ServeError::BadArgs(format!(
+                    "unexpected argument {:?}; see --help",
+                    self.args[i]
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, ServeError>
+where
+    T::Err: std::fmt::Display,
+{
+    v.parse()
+        .map_err(|e| ServeError::BadArgs(format!("{flag} {v:?}: {e}")))
+}
+
+fn record(args: &[String]) -> Result<(), ServeError> {
+    let mut flags = Flags::new(args);
+    let out = flags
+        .value("--out")?
+        .ok_or_else(|| ServeError::BadArgs("record needs --out <PATH>".to_string()))?
+        .to_string();
+    let slices: u64 = match flags.value("--slices")? {
+        Some(v) => parse_num("--slices", v)?,
+        None => return Err(ServeError::BadArgs("record needs --slices <N>".to_string())),
+    };
+    let rate: f64 = match flags.value("--rate")? {
+        Some(v) => parse_num("--rate", v)?,
+        None => 0.3,
+    };
+    let seed: u64 = match flags.value("--seed")? {
+        Some(v) => parse_num("--seed", v)?,
+        None => 42,
+    };
+    flags.finish()?;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let spec = qdpm_workload::WorkloadSpec::bernoulli(rate)
+        .map_err(|e| ServeError::BadArgs(format!("--rate {rate}: {e}")))?;
+    let mut gen = spec.build();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rec = qdpm_workload::TraceRecorder::capture(gen.as_mut(), &mut rng, slices);
+    let out = PathBuf::from(out);
+    rec.save(&out).map_err(|source| ServeError::Io {
+        path: out.clone(),
+        source,
+    })?;
+    eprintln!("recorded {slices} slices to {}", out.display());
+    Ok(())
+}
+
+fn parse_policy(name: &str) -> Result<FleetPolicy, ServeError> {
+    Ok(match name {
+        "always-on" => FleetPolicy::AlwaysOn,
+        "greedy-off" => FleetPolicy::GreedyOff,
+        "break-even-timeout" => FleetPolicy::BreakEvenTimeout,
+        "adaptive-timeout" => FleetPolicy::AdaptiveTimeout,
+        "q-dpm" => FleetPolicy::QDpm(qdpm_core::QDpmConfig::default()),
+        "qos-q-dpm" => FleetPolicy::QosQDpm(qdpm_core::QosConfig::default()),
+        "shared-q-dpm" => FleetPolicy::SharedQDpm(qdpm_core::QDpmConfig::default()),
+        "chaos-monkey" => FleetPolicy::ChaosMonkey,
+        other => {
+            if let Some(t) = other.strip_prefix("fixed-timeout:") {
+                FleetPolicy::FixedTimeout(parse_num("--policy fixed-timeout", t)?)
+            } else {
+                return Err(ServeError::BadArgs(format!(
+                    "unknown policy {other:?}; see --help"
+                )));
+            }
+        }
+    })
+}
+
+fn parse_dispatch(name: &str) -> Result<DispatchPolicy, ServeError> {
+    Ok(match name {
+        "round-robin" => DispatchPolicy::RoundRobin,
+        "least-loaded" => DispatchPolicy::LeastLoaded,
+        "jsq" => DispatchPolicy::JoinShortestQueue,
+        other => {
+            if let Some(salt) = other.strip_prefix("hash-sharded:") {
+                DispatchPolicy::HashSharded {
+                    salt: parse_num("--dispatch hash-sharded", salt)?,
+                }
+            } else if let Some(spill) = other.strip_prefix("sleep-aware:") {
+                DispatchPolicy::SleepAware {
+                    spill: parse_num("--dispatch sleep-aware", spill)?,
+                }
+            } else {
+                return Err(ServeError::BadArgs(format!(
+                    "unknown dispatch policy {other:?}; see --help"
+                )));
+            }
+        }
+    })
+}
+
+fn serve(args: &[String]) -> Result<(), ServeError> {
+    let mut flags = Flags::new(args);
+    let trace = match flags.value("--trace")? {
+        Some("-") => TraceSource::Stdin,
+        Some(path) => TraceSource::File(PathBuf::from(path)),
+        None => {
+            return Err(ServeError::BadArgs(
+                "serve needs --trace <PATH|->".to_string(),
+            ))
+        }
+    };
+
+    let mut config = ServeConfig::default();
+    if let Some(v) = flags.value("--devices")? {
+        config.devices = parse_num("--devices", v)?;
+    }
+    if let Some(v) = flags.value("--policy")? {
+        config.policies = v
+            .split(',')
+            .map(parse_policy)
+            .collect::<Result<Vec<_>, _>>()?;
+    }
+    if let Some(v) = flags.value("--preset")? {
+        config.preset = DevicePreset::parse(v)?;
+    }
+    if let Some(v) = flags.value("--cap")? {
+        config.power_cap = Some(parse_num("--cap", v)?);
+    }
+    if let Some(v) = flags.value("--seed")? {
+        config.seed = parse_num("--seed", v)?;
+    }
+    if let Some(v) = flags.value("--mode")? {
+        config.engine_mode = match v {
+            "per-slice" => EngineMode::PerSlice,
+            "event-skip" => EngineMode::EventSkip,
+            other => {
+                return Err(ServeError::BadArgs(format!(
+                    "unknown engine mode {other:?} (per-slice, event-skip)"
+                )))
+            }
+        };
+    }
+    if let Some(v) = flags.value("--dispatch")? {
+        config.dispatch = parse_dispatch(v)?;
+    }
+    if let Some(v) = flags.value("--queue-cap")? {
+        config.queue_cap = parse_num("--queue-cap", v)?;
+    }
+
+    let checkpoint_dir = flags.value("--checkpoint-dir")?.map(PathBuf::from);
+    let checkpoint_every: u64 = match flags.value("--checkpoint-every")? {
+        Some(v) => parse_num("--checkpoint-every", v)?,
+        None => 100,
+    };
+    let throttle_us: u64 = match flags.value("--throttle-us")? {
+        Some(v) => parse_num("--throttle-us", v)?,
+        None => 0,
+    };
+    let report_out = flags.value("--report-out")?.map(PathBuf::from);
+    let threads: usize = match flags.value("--threads")? {
+        Some(v) => parse_num("--threads", v)?,
+        None => 1,
+    };
+    let fresh = flags.switch("--fresh");
+    flags.finish()?;
+
+    let summary = run_serve(&ServeOptions {
+        config,
+        trace,
+        checkpoint_dir,
+        checkpoint_every,
+        throttle: Duration::from_micros(throttle_us),
+        report_out,
+        threads,
+        fresh,
+    })?;
+
+    for (path, err) in &summary.skipped {
+        eprintln!("degraded: skipped {}: {err}", path.display());
+    }
+    match summary.resumed_at {
+        Some(slice) => eprintln!(
+            "resumed from slice {slice}, served {} slices, {} checkpoint(s)",
+            summary.slices, summary.checkpoints_written
+        ),
+        None => eprintln!(
+            "cold start, served {} slices, {} checkpoint(s)",
+            summary.slices, summary.checkpoints_written
+        ),
+    }
+    print!("{}", summary.report_text);
+    Ok(())
+}

@@ -1,0 +1,210 @@
+//! Graceful degradation: every way a checkpoint directory can rot —
+//! truncation, bit flips, foreign schema, foreign config, missing files —
+//! must surface as a *typed* error, fall back to the previous generation
+//! when one survives, and still resume bit-identically.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qdpm_serve::{
+    fnv1a64, list_generations, read_checkpoint, run_serve, ServeConfig, ServeError, ServeOptions,
+    MAGIC, SCHEMA_VERSION,
+};
+use qdpm_sim::FleetPolicy;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdpm-corrupt-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn trace(len: usize) -> Vec<u32> {
+    (0..len)
+        .map(|i| match i % 11 {
+            0 => 2,
+            4 | 7 => 1,
+            _ => 0,
+        })
+        .collect()
+}
+
+fn config() -> ServeConfig {
+    ServeConfig {
+        devices: 3,
+        policies: vec![
+            FleetPolicy::QDpm(qdpm_core::QDpmConfig::default()),
+            FleetPolicy::AdaptiveTimeout,
+        ],
+        seed: 777,
+        ..ServeConfig::default()
+    }
+}
+
+/// Serves the first 300 of 500 slices durably so the directory holds two
+/// retained generations (slices 200 and 300), then returns
+/// (uninterrupted-reference-text, checkpoint dir, full trace).
+fn seeded_dir(tag: &str) -> (String, PathBuf, Vec<u32>) {
+    let counts = trace(500);
+    let reference = run_serve(&ServeOptions {
+        checkpoint_every: 100,
+        ..ServeOptions::in_memory(config(), counts.clone())
+    })
+    .unwrap();
+    let dir = tmp_dir(tag);
+    run_serve(&ServeOptions {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        ..ServeOptions::in_memory(config(), counts[..300].to_vec())
+    })
+    .unwrap();
+    let gens = list_generations(&dir).unwrap();
+    assert_eq!(gens.len(), 2, "expected two retained generations");
+    (reference.report_text, dir, counts)
+}
+
+fn resume(dir: &Path, counts: &[u32]) -> Result<qdpm_serve::ServeSummary, ServeError> {
+    run_serve(&ServeOptions {
+        checkpoint_dir: Some(dir.to_path_buf()),
+        checkpoint_every: 100,
+        fresh: false,
+        ..ServeOptions::in_memory(config(), counts.to_vec())
+    })
+}
+
+#[test]
+fn truncated_newest_falls_back_and_still_matches() {
+    let (reference, dir, counts) = seeded_dir("trunc");
+    let newest = list_generations(&dir).unwrap()[0].1.clone();
+    let bytes = fs::read(&newest).unwrap();
+    fs::write(&newest, &bytes[..bytes.len() / 3]).unwrap();
+
+    let err = read_checkpoint(&newest, config().config_hash()).unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+
+    let summary = resume(&dir, &counts).unwrap();
+    assert_eq!(summary.skipped.len(), 1);
+    assert_eq!(summary.resumed_at, Some(200), "fell back one generation");
+    assert_eq!(summary.report_text, reference);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_byte_fails_checksum_and_falls_back() {
+    let (reference, dir, counts) = seeded_dir("flip");
+    let newest = list_generations(&dir).unwrap()[0].1.clone();
+    let mut bytes = fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&newest, &bytes).unwrap();
+
+    let err = read_checkpoint(&newest, config().config_hash()).unwrap_err();
+    assert!(
+        matches!(&err, ServeError::Corrupt { reason, .. } if reason.contains("checksum")),
+        "{err}"
+    );
+
+    let summary = resume(&dir, &counts).unwrap();
+    assert_eq!(summary.skipped.len(), 1);
+    assert_eq!(summary.resumed_at, Some(200));
+    assert_eq!(summary.report_text, reference);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_schema_version_falls_back() {
+    let (reference, dir, counts) = seeded_dir("schema");
+    let newest = list_generations(&dir).unwrap()[0].1.clone();
+    // Rewrite the version field, then re-seal the checksum so the file is
+    // intact-but-foreign rather than corrupt.
+    let mut bytes = fs::read(&newest).unwrap();
+    let v = MAGIC.len();
+    bytes[v..v + 4].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+    let framed = bytes.len() - 8;
+    let sum = fnv1a64(&bytes[..framed]);
+    bytes[framed..].copy_from_slice(&sum.to_le_bytes());
+    fs::write(&newest, &bytes).unwrap();
+
+    let err = read_checkpoint(&newest, config().config_hash()).unwrap_err();
+    assert!(
+        matches!(err, ServeError::UnsupportedSchema { found, .. } if found == SCHEMA_VERSION + 1),
+        "{err}"
+    );
+
+    let summary = resume(&dir, &counts).unwrap();
+    assert_eq!(summary.skipped.len(), 1);
+    assert_eq!(summary.resumed_at, Some(200));
+    assert_eq!(summary.report_text, reference);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_newest_generation_falls_back() {
+    let (reference, dir, counts) = seeded_dir("missing");
+    let newest = list_generations(&dir).unwrap()[0].1.clone();
+    fs::remove_file(&newest).unwrap();
+
+    // Reading the vanished file is a typed I/O error, not a panic.
+    let err = read_checkpoint(&newest, config().config_hash()).unwrap_err();
+    assert!(matches!(err, ServeError::Io { .. }), "{err}");
+
+    let summary = resume(&dir, &counts).unwrap();
+    assert_eq!(summary.resumed_at, Some(200));
+    assert_eq!(summary.report_text, reference);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_config_is_typed_and_unusable() {
+    let (_, dir, counts) = seeded_dir("config");
+    let newest = list_generations(&dir).unwrap()[0].1.clone();
+    let mut other = config();
+    other.seed += 1;
+    let err = read_checkpoint(&newest, other.config_hash()).unwrap_err();
+    assert!(matches!(err, ServeError::ConfigMismatch { .. }), "{err}");
+
+    // Resuming under the foreign config rejects every generation.
+    let err = run_serve(&ServeOptions {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        fresh: false,
+        ..ServeOptions::in_memory(other, counts)
+    })
+    .unwrap_err();
+    assert!(
+        matches!(err, ServeError::NoUsableCheckpoint { tried, .. } if tried == 2),
+        "{err}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_generation_corrupt_is_a_typed_error_not_a_panic() {
+    let (_, dir, counts) = seeded_dir("all-bad");
+    for (_, path) in list_generations(&dir).unwrap() {
+        fs::write(&path, b"QDPMCKPT garbage").unwrap();
+    }
+    let err = resume(&dir, &counts).unwrap_err();
+    assert!(
+        matches!(err, ServeError::NoUsableCheckpoint { tried, .. } if tried == 2),
+        "{err}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fresh_flag_ignores_damaged_directory() {
+    let (reference, dir, counts) = seeded_dir("fresh");
+    for (_, path) in list_generations(&dir).unwrap() {
+        fs::write(&path, b"junk").unwrap();
+    }
+    let summary = run_serve(&ServeOptions {
+        checkpoint_dir: Some(dir.clone()),
+        checkpoint_every: 100,
+        fresh: true,
+        ..ServeOptions::in_memory(config(), counts)
+    })
+    .unwrap();
+    assert_eq!(summary.resumed_at, None);
+    assert_eq!(summary.report_text, reference);
+    let _ = fs::remove_dir_all(&dir);
+}

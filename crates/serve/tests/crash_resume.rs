@@ -1,0 +1,188 @@
+//! The crash-kill harness: SIGKILL a real `qdpm-serve` child process at
+//! randomized instants (checkpoint writes are frequent, so kills land
+//! before, during, and after snapshots), resume it, and require the final
+//! report — exact `f64` bit patterns — to match a run that was never
+//! interrupted. Exercised for both engine modes and for a power-capped
+//! rack with a chaos-monkey member in the mix.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_qdpm-serve");
+const TRACE_SLICES: usize = 3_000;
+const CHECKPOINT_EVERY: &str = "10";
+const KILLS_REQUIRED: u32 = 5;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdpm-crash-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_trace(path: &Path) {
+    let mut text = String::from("# qdpm-trace v1\n");
+    for i in 0..TRACE_SLICES {
+        let count = match i % 17 {
+            0 | 1 => 2,
+            6 => 1,
+            11 => 3,
+            _ => 0,
+        };
+        text.push_str(&count.to_string());
+        text.push('\n');
+    }
+    fs::write(path, text).unwrap();
+}
+
+/// Deterministic pseudo-random kill delays (no external RNG in the
+/// harness; the *points* are still arbitrary relative to the child's
+/// slice/snapshot phase, which is what matters).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn delay_ms(&mut self) -> u64 {
+        20 + self.next() % 130
+    }
+}
+
+struct Scenario {
+    tag: &'static str,
+    mode: &'static str,
+    extra: &'static [&'static str],
+}
+
+fn serve_cmd(
+    scenario: &Scenario,
+    trace: &Path,
+    dir: &Path,
+    report: &Path,
+    throttle_us: u32,
+) -> Command {
+    let mut cmd = Command::new(BIN);
+    cmd.arg("serve")
+        .arg("--trace")
+        .arg(trace)
+        .arg("--devices")
+        .arg("3")
+        .arg("--policy")
+        .arg("q-dpm,adaptive-timeout,chaos-monkey")
+        .arg("--seed")
+        .arg("4242")
+        .arg("--mode")
+        .arg(scenario.mode)
+        .arg("--checkpoint-dir")
+        .arg(dir)
+        .arg("--checkpoint-every")
+        .arg(CHECKPOINT_EVERY)
+        .arg("--report-out")
+        .arg(report)
+        .arg("--threads")
+        .arg("2")
+        .arg("--throttle-us")
+        .arg(throttle_us.to_string())
+        .args(scenario.extra)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    cmd
+}
+
+fn run_scenario(scenario: &Scenario) {
+    let work = tmp_dir(scenario.tag);
+    let trace = work.join("arrivals.trace");
+    write_trace(&trace);
+
+    // Uninterrupted reference: full speed, durability on (the cadence
+    // chunking must match the killed runs), separate directory.
+    let ref_dir = work.join("ckpt-ref");
+    let ref_report = work.join("report-ref.txt");
+    let status = serve_cmd(scenario, &trace, &ref_dir, &ref_report, 0)
+        .status()
+        .unwrap();
+    assert!(status.success(), "{}: reference run failed", scenario.tag);
+    let reference = fs::read(&ref_report).unwrap();
+
+    // Kill sequence: throttled children, SIGKILLed at randomized delays,
+    // resumed from whatever checkpoint survived — until enough kills have
+    // landed, then one unthrottled run finishes the trace.
+    let kill_dir = work.join("ckpt-kill");
+    let kill_report = work.join("report-kill.txt");
+    let mut rng = Lcg(0x5eed_0000 + scenario.tag.len() as u64);
+    let mut kills = 0u32;
+    let mut spawns = 0u32;
+    while kills < KILLS_REQUIRED {
+        spawns += 1;
+        assert!(
+            spawns < 200,
+            "{}: runaway kill loop ({kills} kills after {spawns} spawns)",
+            scenario.tag
+        );
+        let mut child = serve_cmd(scenario, &trace, &kill_dir, &kill_report, 400)
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(rng.delay_ms()));
+        // std's kill is SIGKILL on Unix: no cleanup handler runs, exactly
+        // the crash being simulated.
+        child.kill().unwrap();
+        let status = child.wait().unwrap();
+        if status.success() {
+            // The child outran the delay and finished cleanly; the trace
+            // is long enough that this can only happen after several
+            // resumes, so keep counting kills from a fresh directory.
+            let _ = fs::remove_dir_all(&kill_dir);
+            let _ = fs::remove_file(&kill_report);
+            continue;
+        }
+        kills += 1;
+    }
+    let status = serve_cmd(scenario, &trace, &kill_dir, &kill_report, 0)
+        .status()
+        .unwrap();
+    assert!(status.success(), "{}: final resume failed", scenario.tag);
+
+    let killed = fs::read(&kill_report).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&killed),
+        String::from_utf8_lossy(&reference),
+        "{}: report after {kills} SIGKILLs diverged from the uninterrupted run",
+        scenario.tag
+    );
+    let _ = fs::remove_dir_all(&work);
+}
+
+#[test]
+fn per_slice_rack_survives_sigkills_bit_identically() {
+    run_scenario(&Scenario {
+        tag: "per-slice",
+        mode: "per-slice",
+        extra: &[],
+    });
+}
+
+#[test]
+fn event_skip_rack_survives_sigkills_bit_identically() {
+    run_scenario(&Scenario {
+        tag: "event-skip",
+        mode: "event-skip",
+        extra: &[],
+    });
+}
+
+#[test]
+fn capped_rack_survives_sigkills_bit_identically() {
+    run_scenario(&Scenario {
+        tag: "capped",
+        mode: "per-slice",
+        extra: &["--cap", "4.0", "--dispatch", "sleep-aware:2"],
+    });
+}

@@ -1,0 +1,41 @@
+//! Pins the bundled smoke trace to its committed golden report: any
+//! change to the engine, checkpoint chunking, dispatch, or report format
+//! that shifts a single bit shows up as a diff here (and in the CI smoke
+//! step, which drives the same pair through the real binary).
+
+use std::path::PathBuf;
+
+use qdpm_serve::{run_serve, ServeConfig, ServeOptions, TraceSource};
+use qdpm_sim::FleetPolicy;
+
+fn data(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/data")
+        .join(name)
+}
+
+#[test]
+fn bundled_trace_reproduces_the_committed_golden_report() {
+    let config = ServeConfig {
+        devices: 3,
+        policies: vec![
+            FleetPolicy::QDpm(qdpm_core::QDpmConfig::default()),
+            FleetPolicy::AdaptiveTimeout,
+        ],
+        seed: 2026,
+        ..ServeConfig::default()
+    };
+    let summary = run_serve(&ServeOptions {
+        trace: TraceSource::File(data("smoke.trace")),
+        checkpoint_every: 100,
+        ..ServeOptions::in_memory(config, Vec::new())
+    })
+    .unwrap();
+    let golden = std::fs::read_to_string(data("smoke.golden")).unwrap();
+    assert_eq!(
+        summary.report_text, golden,
+        "smoke report diverged from tests/data/smoke.golden — if the \
+         change is intentional, regenerate the golden with the same \
+         qdpm-serve invocation documented in .github/workflows/ci.yml"
+    );
+}

@@ -3,9 +3,12 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use qdpm_core::rng_util::uniform;
-use qdpm_core::{Observation, PowerManager, RewardWeights, StepOutcome};
+use qdpm_core::{
+    Observation, PowerManager, RewardWeights, StateError, StateReader, StateWriter, StepOutcome,
+};
 use qdpm_device::{
-    Device, DeviceMode, PowerModel, PowerStateId, Queue, Server, ServiceModel, Step,
+    Device, DeviceMode, DeviceState, PowerModel, PowerStateId, Queue, QueueStats, Server,
+    ServiceModel, Step, TransitionSpec,
 };
 use qdpm_workload::{ArrivalGap, RequestGenerator};
 
@@ -342,6 +345,167 @@ impl Simulator {
         self.device.reset_to(state);
     }
 
+    /// Checkpoint support: appends the simulator's entire dynamic state —
+    /// device mode and in-flight transition, waiting queue and its
+    /// counters, service progress, all four RNG streams, the clock, the
+    /// cumulative [`RunStats`], the event-skip prefetch, the carried noisy
+    /// observation, pending injected arrivals, and the workload's and power
+    /// manager's own state ([`RequestGenerator::save_state`],
+    /// [`PowerManager::save_state`]) — to a payload.
+    ///
+    /// Restoring the payload into a freshly built simulator with the same
+    /// configuration ([`Simulator::load_state`]) continues the run
+    /// bit-identically to never having stopped. An attached
+    /// [`SeriesRecorder`] is *not* checkpointed; long-running serving does
+    /// not use one.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        put_device_state(w, self.device.state());
+        let waiting: Vec<Step> = self.queue.arrival_times().collect();
+        w.put_usize(waiting.len());
+        for t in waiting {
+            w.put_u64(t);
+        }
+        let qs = *self.queue.stats();
+        w.put_u64(qs.enqueued);
+        w.put_u64(qs.dropped);
+        w.put_u64(qs.dequeued);
+        w.put_u64(qs.total_wait);
+        w.put_u32(self.server.progress());
+        for rng in [
+            &self.rng_workload,
+            &self.rng_policy,
+            &self.rng_service,
+            &self.rng_noise,
+        ] {
+            for word in rng.state() {
+                w.put_u64(word);
+            }
+        }
+        w.put_u64(self.now);
+        w.put_u64(self.idle_slices);
+        w.put_u64(self.stats.steps);
+        w.put_f64(self.stats.total_energy);
+        w.put_f64(self.stats.total_cost);
+        w.put_u64(self.stats.arrivals);
+        w.put_u64(self.stats.completed);
+        w.put_u64(self.stats.dropped);
+        w.put_f64(self.stats.queue_len_sum);
+        w.put_u64(self.stats.total_wait);
+        match self.pending_gap {
+            None => w.put_bool(false),
+            Some(gap) => {
+                w.put_bool(true);
+                w.put_u64(gap.empty_left);
+                match gap.arrival {
+                    None => w.put_bool(false),
+                    Some(count) => {
+                        w.put_bool(true);
+                        w.put_u32(count);
+                    }
+                }
+            }
+        }
+        match &self.carried_obs {
+            None => w.put_bool(false),
+            Some(obs) => {
+                w.put_bool(true);
+                put_observation(w, obs);
+            }
+        }
+        w.put_u32(self.injected);
+        self.generator.save_state(w);
+        self.pm.save_state(w);
+    }
+
+    /// Checkpoint support: restores state written by
+    /// [`Simulator::save_state`] into a simulator built with the same
+    /// configuration (model, service, workload spec, power manager kind,
+    /// seed, engine mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the payload does not decode or a
+    /// restored value is out of range for this simulator's models. On
+    /// error the simulator may be partially restored and must be
+    /// discarded, not resumed.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n_states = self.device.model().n_states();
+        let device = get_device_state(r, n_states)?;
+        let n_waiting = r.get_usize()?;
+        if n_waiting > self.queue.capacity() {
+            return Err(StateError::BadValue(format!(
+                "restored queue of {n_waiting} requests exceeds capacity {}",
+                self.queue.capacity()
+            )));
+        }
+        let mut waiting = Vec::with_capacity(n_waiting);
+        for _ in 0..n_waiting {
+            waiting.push(r.get_u64()?);
+        }
+        let qstats = QueueStats {
+            enqueued: r.get_u64()?,
+            dropped: r.get_u64()?,
+            dequeued: r.get_u64()?,
+            total_wait: r.get_u64()?,
+        };
+        let progress = r.get_u32()?;
+        let mut rng_states = [[0u64; 4]; 4];
+        for state in &mut rng_states {
+            for word in state.iter_mut() {
+                *word = r.get_u64()?;
+            }
+        }
+        let now = r.get_u64()?;
+        let idle_slices = r.get_u64()?;
+        let stats = RunStats {
+            steps: r.get_u64()?,
+            total_energy: r.get_f64()?,
+            total_cost: r.get_f64()?,
+            arrivals: r.get_u64()?,
+            completed: r.get_u64()?,
+            dropped: r.get_u64()?,
+            queue_len_sum: r.get_f64()?,
+            total_wait: r.get_u64()?,
+        };
+        let pending_gap = if r.get_bool()? {
+            let empty_left = r.get_u64()?;
+            let arrival = if r.get_bool()? {
+                Some(r.get_u32()?)
+            } else {
+                None
+            };
+            Some(PendingGap {
+                empty_left,
+                arrival,
+            })
+        } else {
+            None
+        };
+        let carried_obs = if r.get_bool()? {
+            Some(get_observation(r, n_states)?)
+        } else {
+            None
+        };
+        let injected = r.get_u32()?;
+        self.device.restore_state(device);
+        self.queue
+            .restore(&waiting, qstats)
+            .map_err(|e| StateError::BadValue(e.to_string()))?;
+        self.server.set_progress(progress);
+        self.rng_workload = StdRng::from_state(rng_states[0]);
+        self.rng_policy = StdRng::from_state(rng_states[1]);
+        self.rng_service = StdRng::from_state(rng_states[2]);
+        self.rng_noise = StdRng::from_state(rng_states[3]);
+        self.now = now;
+        self.idle_slices = idle_slices;
+        self.stats = stats;
+        self.pending_gap = pending_gap;
+        self.carried_obs = carried_obs;
+        self.injected = injected;
+        self.generator.load_state(r)?;
+        self.pm.load_state(r)
+    }
+
     /// Applies observation noise for the PM's view.
     fn noisy(&mut self, obs: Observation) -> Observation {
         let mut out = obs;
@@ -633,6 +797,129 @@ impl Simulator {
         }
         diff_stats(&self.stats, &before)
     }
+}
+
+/// Reads a power state id, validated against the model's state count.
+fn get_state_id(r: &mut StateReader<'_>, n_states: usize) -> Result<PowerStateId, StateError> {
+    let index = r.get_usize()?;
+    if index >= n_states {
+        return Err(StateError::BadValue(format!(
+            "power state {index} out of range for model of {n_states} states"
+        )));
+    }
+    Ok(PowerStateId::from_index(index))
+}
+
+/// Appends a [`DeviceMode`] (tag byte plus fields).
+fn put_device_mode(w: &mut StateWriter, mode: DeviceMode) {
+    match mode {
+        DeviceMode::Operational(state) => {
+            w.put_u8(0);
+            w.put_usize(state.index());
+        }
+        DeviceMode::Transitioning {
+            from,
+            to,
+            remaining,
+        } => {
+            w.put_u8(1);
+            w.put_usize(from.index());
+            w.put_usize(to.index());
+            w.put_u32(remaining);
+        }
+    }
+}
+
+/// Reads a [`DeviceMode`] written by [`put_device_mode`].
+fn get_device_mode(r: &mut StateReader<'_>, n_states: usize) -> Result<DeviceMode, StateError> {
+    match r.get_u8()? {
+        0 => Ok(DeviceMode::Operational(get_state_id(r, n_states)?)),
+        1 => {
+            let from = get_state_id(r, n_states)?;
+            let to = get_state_id(r, n_states)?;
+            let remaining = r.get_u32()?;
+            if remaining == 0 {
+                return Err(StateError::BadValue(
+                    "transitioning device with zero slices remaining".into(),
+                ));
+            }
+            Ok(DeviceMode::Transitioning {
+                from,
+                to,
+                remaining,
+            })
+        }
+        tag => Err(StateError::BadValue(format!(
+            "unknown device mode tag {tag}"
+        ))),
+    }
+}
+
+/// Appends a [`DeviceState`] (mode plus any in-flight transition spec).
+fn put_device_state(w: &mut StateWriter, state: DeviceState) {
+    put_device_mode(w, state.mode);
+    match state.active_transition {
+        None => w.put_bool(false),
+        Some(spec) => {
+            w.put_bool(true);
+            w.put_u32(spec.latency);
+            w.put_f64(spec.energy);
+        }
+    }
+}
+
+/// Reads a [`DeviceState`] written by [`put_device_state`].
+fn get_device_state(r: &mut StateReader<'_>, n_states: usize) -> Result<DeviceState, StateError> {
+    let mode = get_device_mode(r, n_states)?;
+    let active_transition = if r.get_bool()? {
+        Some(TransitionSpec {
+            latency: r.get_u32()?,
+            energy: r.get_f64()?,
+        })
+    } else {
+        None
+    };
+    if mode.is_transitioning() && active_transition.is_none() {
+        return Err(StateError::BadValue(
+            "transitioning device without an active transition spec".into(),
+        ));
+    }
+    Ok(DeviceState {
+        mode,
+        active_transition,
+    })
+}
+
+/// Appends an [`Observation`] (the carried noisy view).
+fn put_observation(w: &mut StateWriter, obs: &Observation) {
+    put_device_mode(w, obs.device_mode);
+    w.put_usize(obs.queue_len);
+    w.put_u64(obs.idle_slices);
+    match obs.sr_mode_hint {
+        None => w.put_bool(false),
+        Some(mode) => {
+            w.put_bool(true);
+            w.put_usize(mode);
+        }
+    }
+}
+
+/// Reads an [`Observation`] written by [`put_observation`].
+fn get_observation(r: &mut StateReader<'_>, n_states: usize) -> Result<Observation, StateError> {
+    let device_mode = get_device_mode(r, n_states)?;
+    let queue_len = r.get_usize()?;
+    let idle_slices = r.get_u64()?;
+    let sr_mode_hint = if r.get_bool()? {
+        Some(r.get_usize()?)
+    } else {
+        None
+    };
+    Ok(Observation {
+        device_mode,
+        queue_len,
+        idle_slices,
+        sr_mode_hint,
+    })
 }
 
 /// Subtracts two cumulative statistics (run-stretch accounting).
@@ -1100,6 +1387,118 @@ mod tests {
             stats.completed + u64::from(sim.observation().queue_len as u32),
             2
         );
+    }
+
+    /// A checkpoint taken mid-run and restored into a freshly built
+    /// simulator must continue bit-identically to never having stopped —
+    /// learning agent, stochastic workload, both engine modes.
+    #[test]
+    fn save_load_resumes_bit_identically() {
+        for mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+            let build = || {
+                let power = presets::three_state_generic();
+                let pm =
+                    qdpm_core::QDpmAgent::new(&power, qdpm_core::QDpmConfig::default()).unwrap();
+                Simulator::new(
+                    power,
+                    presets::default_service(),
+                    WorkloadSpec::bernoulli(0.08).unwrap().build(),
+                    Box::new(pm),
+                    SimConfig {
+                        seed: 21,
+                        mode,
+                        ..SimConfig::default()
+                    },
+                )
+                .unwrap()
+            };
+            let mut reference = build();
+            let mut first = build();
+            reference.run(1_500);
+            first.run(1_500);
+            let mut payload = StateWriter::new();
+            first.save_state(&mut payload);
+            let bytes = payload.into_bytes();
+            let mut resumed = build();
+            resumed.load_state(&mut StateReader::new(&bytes)).unwrap();
+            let a = reference.run(1_500);
+            let b = resumed.run(1_500);
+            assert_eq!(a, b, "{mode:?}: resumed stretch diverged");
+            assert_eq!(
+                reference.stats().total_energy.to_bits(),
+                resumed.stats().total_energy.to_bits(),
+                "{mode:?}: energy must match to the bit"
+            );
+            assert_eq!(
+                reference.stats().total_cost.to_bits(),
+                resumed.stats().total_cost.to_bits(),
+                "{mode:?}: cost must match to the bit"
+            );
+            assert_eq!(reference.observation(), resumed.observation(), "{mode:?}");
+        }
+    }
+
+    /// With observation noise the carried corrupted view is part of the
+    /// checkpoint: a restore mid-slice-boundary must replay the identical
+    /// noisy stream.
+    #[test]
+    fn save_load_preserves_carried_noisy_observation() {
+        let build = || {
+            let power = presets::three_state_generic();
+            let pm = qdpm_core::QDpmAgent::new(&power, qdpm_core::QDpmConfig::default()).unwrap();
+            Simulator::new(
+                power,
+                presets::default_service(),
+                WorkloadSpec::bernoulli(0.3).unwrap().build(),
+                Box::new(pm),
+                SimConfig {
+                    seed: 5,
+                    noise: ObservationNoise {
+                        queue_misread_prob: 0.4,
+                        idle_jitter: 2,
+                    },
+                    ..SimConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let mut reference = build();
+        let mut first = build();
+        reference.run(701);
+        first.run(701);
+        let mut payload = StateWriter::new();
+        first.save_state(&mut payload);
+        let bytes = payload.into_bytes();
+        let mut resumed = build();
+        resumed.load_state(&mut StateReader::new(&bytes)).unwrap();
+        assert_eq!(reference.run(900), resumed.run(900));
+        assert_eq!(reference.stats(), resumed.stats());
+    }
+
+    /// Truncated or out-of-range payloads are rejected with an error, not
+    /// a panic.
+    #[test]
+    fn load_rejects_truncated_and_corrupt_payloads() {
+        let mut sim = sim_with(0.2, 13);
+        sim.run(200);
+        let mut payload = StateWriter::new();
+        sim.save_state(&mut payload);
+        let bytes = payload.into_bytes();
+        // Truncation at any prefix must error cleanly.
+        for cut in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            let mut target = sim_with(0.2, 13);
+            assert!(
+                target
+                    .load_state(&mut StateReader::new(&bytes[..cut]))
+                    .is_err(),
+                "cut at {cut} must not load"
+            );
+        }
+        // A device-mode tag from the future is rejected.
+        let mut corrupt = bytes.clone();
+        corrupt[0] = 0xff;
+        let mut target = sim_with(0.2, 13);
+        assert!(target.load_state(&mut StateReader::new(&corrupt)).is_err());
     }
 
     /// Event skipping on a sparse Bernoulli workload changes RNG draw

@@ -144,6 +144,10 @@ pub enum FleetPolicy {
     Oracle,
     /// [`policies::Oracle`] with pre-waking.
     OraclePrewake,
+    /// [`policies::ChaosMonkey`]: hostile fault injection (uniformly
+    /// random commands every slice). Excluded from the engine-exact
+    /// populations — it consumes policy randomness per slice.
+    ChaosMonkey,
     /// A per-device [`QDpmAgent`] (its own Q-table).
     QDpm(QDpmConfig),
     /// A per-device QoS-constrained agent ([`QosQDpmAgent`]).
@@ -229,6 +233,7 @@ impl FleetPolicy {
             FleetPolicy::AdaptiveTimeout => "adaptive-timeout",
             FleetPolicy::Oracle => "oracle",
             FleetPolicy::OraclePrewake => "oracle-prewake",
+            FleetPolicy::ChaosMonkey => "chaos-monkey",
             FleetPolicy::QDpm(_) => "q-dpm",
             FleetPolicy::QosQDpm(_) => "qos-q-dpm",
             FleetPolicy::SharedQDpm(_) => "shared-q-dpm",
@@ -337,6 +342,7 @@ pub(crate) fn build_policy(
         FleetPolicy::OraclePrewake => {
             Box::new(policies::Oracle::from_trace(power, &dense_trace()?).with_prewake())
         }
+        FleetPolicy::ChaosMonkey => Box::new(policies::ChaosMonkey::new(power)),
         FleetPolicy::QDpm(config) => Box::new(QDpmAgent::new(power, config.clone())?),
         FleetPolicy::QosQDpm(config) => Box::new(QosQDpmAgent::new(power, config.clone())?),
         FleetPolicy::SharedQDpm(config) => {

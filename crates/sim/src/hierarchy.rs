@@ -72,7 +72,7 @@ use std::sync::{Arc, Mutex};
 
 use rand::Rng;
 
-use qdpm_core::{Observation, PowerManager, StepOutcome};
+use qdpm_core::{Observation, PowerManager, StateError, StateReader, StateWriter, StepOutcome};
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId, Step};
 use qdpm_workload::{DeviceSnapshot, DispatchPolicy, SparseTrace, WorkloadDispatcher};
 
@@ -212,6 +212,17 @@ impl PowerManager for CappedPolicy {
         // its `decide` would hold the current state, and a held state never
         // touches the budget.
         self.inner.commit_quiescent(obs, per_slice, max, rng)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        // The budget itself is rack-level state, checkpointed once by
+        // [`RackCoordinator::save_state`]; the decorator only carries the
+        // wrapped manager's state.
+        self.inner.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.inner.load_state(r)
     }
 
     fn name(&self) -> &str {
@@ -560,8 +571,13 @@ impl RackCoordinator {
     /// Executes one aggregate arrival slice: route `count` arrivals, then
     /// step every device through the slice (a grant slice when capped).
     /// Arrival slices are stepped serially — they are single slices; the
-    /// gaps between them carry the parallelism.
-    pub(crate) fn arrival_slice(&mut self, count: u32) -> f64 {
+    /// gaps between them carry the parallelism. Returns the rack's summed
+    /// energy draw of the slice.
+    ///
+    /// Public so external drivers (the `qdpm-serve` daemon) can feed the
+    /// rack one event at a time, interleaving checkpoints; batch callers
+    /// use [`RackCoordinator::run`].
+    pub fn arrival_slice(&mut self, count: u32) -> f64 {
         self.prepare_arrivals(count);
         if self.budget.is_some() {
             let energy = self.grant_step_all();
@@ -577,7 +593,7 @@ impl RackCoordinator {
     /// decisions land) its slice is stepped serially first; the remainder
     /// runs on up to `threads` workers (budget operations in the remainder
     /// are own-slot only, so the interleaving cannot change results).
-    pub(crate) fn advance_gap(&mut self, gap: u64, threads: usize) {
+    pub fn advance_gap(&mut self, gap: u64, threads: usize) {
         if gap == 0 {
             return;
         }
@@ -598,7 +614,7 @@ impl RackCoordinator {
 
     /// The rack's report from its current state.
     #[must_use]
-    pub(crate) fn report(&self) -> RackReport {
+    pub fn report(&self) -> RackReport {
         let per_device: Vec<RunStats> = self.sims.iter().map(|s| s.stats().clone()).collect();
         let final_modes: Vec<DeviceMode> = self
             .sims
@@ -624,6 +640,93 @@ impl RackCoordinator {
                 .map_or(0, |b| b.lock().expect("rack budget poisoned").vetoed),
             shed_arrivals: self.shed,
         }
+    }
+
+    /// Checkpoint support: appends the rack's entire dynamic state — every
+    /// member simulator ([`Simulator::save_state`]), the intra-rack
+    /// dispatcher, the command budget's nominals and veto counter, the
+    /// pending-grant flag, and the shed counter — to a payload.
+    ///
+    /// Must be called *between* slices (never mid-grant); the budget's
+    /// transient `grant_open` marker is always clear there and is not
+    /// persisted.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.sims.len());
+        for sim in &self.sims {
+            sim.save_state(w);
+        }
+        self.dispatcher.save_state(w);
+        match &self.budget {
+            None => w.put_bool(false),
+            Some(budget) => {
+                let b = budget.lock().expect("rack budget poisoned");
+                w.put_bool(true);
+                w.put_usize(b.nominal.len());
+                for &n in &b.nominal {
+                    w.put_f64(n);
+                }
+                w.put_u64(b.vetoed);
+            }
+        }
+        w.put_bool(self.grant_pending);
+        w.put_u64(self.shed);
+    }
+
+    /// Checkpoint support: restores state written by
+    /// [`RackCoordinator::save_state`] into a rack built from the same
+    /// spec and config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the payload does not decode, the
+    /// member count or budget shape disagrees with this rack, or a member
+    /// simulator rejects its share. On error the rack may be partially
+    /// restored and must be discarded, not resumed.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let n = r.get_usize()?;
+        if n != self.sims.len() {
+            return Err(StateError::BadValue(format!(
+                "checkpoint holds {n} rack members, this rack has {}",
+                self.sims.len()
+            )));
+        }
+        for sim in &mut self.sims {
+            sim.load_state(r)?;
+        }
+        self.dispatcher.load_state(r)?;
+        let has_budget = r.get_bool()?;
+        if has_budget != self.budget.is_some() {
+            return Err(StateError::BadValue(format!(
+                "checkpoint capped={has_budget}, this rack capped={}",
+                self.budget.is_some()
+            )));
+        }
+        if let Some(budget) = &self.budget {
+            let len = r.get_usize()?;
+            if len != self.sims.len() {
+                return Err(StateError::BadValue(format!(
+                    "budget for {len} devices does not fit rack of {}",
+                    self.sims.len()
+                )));
+            }
+            let mut nominal = Vec::with_capacity(len);
+            for _ in 0..len {
+                nominal.push(r.get_f64()?);
+            }
+            let vetoed = r.get_u64()?;
+            let mut b = budget.lock().expect("rack budget poisoned");
+            if nominal.iter().sum::<f64>() > b.cap + CAP_EPS {
+                return Err(StateError::BadValue(
+                    "restored nominals exceed the rack cap".into(),
+                ));
+            }
+            b.nominal = nominal;
+            b.vetoed = vetoed;
+            b.grant_open = None;
+        }
+        self.grant_pending = r.get_bool()?;
+        self.shed = r.get_u64()?;
+        Ok(())
     }
 
     /// Runs the rack over its horizon against `aggregate`, routing every
@@ -912,6 +1015,7 @@ mod tests {
     use super::*;
     use crate::fleet::FleetPolicy;
     use crate::EngineMode;
+    use qdpm_core::QDpmConfig;
     use qdpm_device::presets;
     use qdpm_workload::WorkloadSpec;
 
@@ -999,6 +1103,66 @@ mod tests {
                 .unwrap();
             assert_eq!(probed, segmented, "cap={cap:?}");
         }
+    }
+
+    /// Checkpointing a rack mid-stream and restoring into a freshly built
+    /// rack must finish with a report bit-identical to never having
+    /// stopped — capped and uncapped, learning members included.
+    #[test]
+    fn rack_save_load_resumes_bit_identically() {
+        for cap in [None, Some(3.5)] {
+            let mut spec = rack(4, cap);
+            spec.members[1].policy = FleetPolicy::QDpm(QDpmConfig::default());
+            spec.members[2].policy = FleetPolicy::AdaptiveTimeout;
+            let cfg = config(3_000, DispatchPolicy::SleepAware { spill: 3 });
+            let workload = bernoulli(0.4);
+            let events = materialize_events(&workload, cfg.seed, cfg.horizon).unwrap();
+            let split = events.len() / 2;
+
+            let reference = RackCoordinator::new(&spec, &cfg)
+                .unwrap()
+                .run(&workload, 2)
+                .unwrap();
+
+            let mut first = RackCoordinator::new(&spec, &cfg).unwrap();
+            let mut now = 0;
+            for &(slice, count) in &events[..split] {
+                first.advance_gap(slice - now, 2);
+                first.arrival_slice(count);
+                now = slice + 1;
+            }
+            let mut w = StateWriter::new();
+            first.save_state(&mut w);
+            let bytes = w.into_bytes();
+
+            let mut resumed = RackCoordinator::new(&spec, &cfg).unwrap();
+            resumed.load_state(&mut StateReader::new(&bytes)).unwrap();
+            for &(slice, count) in &events[split..] {
+                resumed.advance_gap(slice - now, 2);
+                resumed.arrival_slice(count);
+                now = slice + 1;
+            }
+            resumed.advance_gap(cfg.horizon - now, 2);
+            assert_eq!(reference, resumed.report(), "cap={cap:?}");
+        }
+    }
+
+    /// Rack checkpoints refuse shape mismatches instead of resuming into
+    /// the wrong topology.
+    #[test]
+    fn rack_load_rejects_mismatched_shapes() {
+        let cfg = config(1_000, DispatchPolicy::RoundRobin);
+        let mut donor = RackCoordinator::new(&rack(3, None), &cfg).unwrap();
+        donor.advance_gap(10, 1);
+        let mut w = StateWriter::new();
+        donor.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // Wrong member count.
+        let mut wrong_n = RackCoordinator::new(&rack(4, None), &cfg).unwrap();
+        assert!(wrong_n.load_state(&mut StateReader::new(&bytes)).is_err());
+        // Capped rack fed an uncapped checkpoint.
+        let mut capped = RackCoordinator::new(&rack(3, Some(5.0)), &cfg).unwrap();
+        assert!(capped.load_state(&mut StateReader::new(&bytes)).is_err());
     }
 
     #[test]

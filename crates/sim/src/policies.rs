@@ -4,7 +4,7 @@
 use rand::Rng;
 
 use qdpm_core::rng_util::uniform;
-use qdpm_core::{Observation, PowerManager, StepOutcome};
+use qdpm_core::{Observation, PowerManager, StateError, StateReader, StateWriter, StepOutcome};
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId, Step};
 use qdpm_mdp::{DeterministicPolicy, DpmStateSpace, StochasticPolicy};
 
@@ -299,6 +299,36 @@ impl PowerManager for AdaptiveTimeout {
         k
     }
 
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.timeout);
+        match self.sleep_started {
+            None => w.put_bool(false),
+            Some(started) => {
+                w.put_bool(true);
+                w.put_u64(started);
+            }
+        }
+        w.put_u64(self.now);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let timeout = r.get_u64()?;
+        if !(self.min_timeout..=self.max_timeout).contains(&timeout) {
+            return Err(StateError::BadValue(format!(
+                "adaptive timeout {timeout} outside [{}, {}]",
+                self.min_timeout, self.max_timeout
+            )));
+        }
+        self.timeout = timeout;
+        self.sleep_started = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        self.now = r.get_u64()?;
+        Ok(())
+    }
+
     fn name(&self) -> &str {
         "adaptive-timeout"
     }
@@ -478,6 +508,24 @@ impl PowerManager for Oracle {
         k
     }
 
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.cursor);
+        w.put_u64(self.now);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let cursor = r.get_usize()?;
+        if cursor > self.arrivals.len() {
+            return Err(StateError::BadValue(format!(
+                "oracle cursor {cursor} out of range for {} arrivals",
+                self.arrivals.len()
+            )));
+        }
+        self.cursor = cursor;
+        self.now = r.get_u64()?;
+        Ok(())
+    }
+
     fn name(&self) -> &str {
         "oracle"
     }
@@ -579,6 +627,40 @@ impl PowerManager for MdpPolicyController {
 
     fn name(&self) -> &str {
         &self.name
+    }
+}
+
+/// Commands a uniformly random power state every slice — legal or not.
+///
+/// A fault-injection policy for robustness testing: the device must ignore
+/// whatever its state machine forbids and every simulator invariant
+/// (conservation, energy floor, power caps) must survive the hostile
+/// command stream. It draws from the policy RNG each slice, so it is *not*
+/// engine-exact (event-skip compresses idle slices and consumes fewer
+/// draws) and is excluded from the conformance populations.
+#[derive(Debug, Clone)]
+pub struct ChaosMonkey {
+    n_states: usize,
+}
+
+impl ChaosMonkey {
+    /// Creates the policy for a device model.
+    #[must_use]
+    pub fn new(power: &PowerModel) -> Self {
+        ChaosMonkey {
+            n_states: power.n_states(),
+        }
+    }
+}
+
+impl PowerManager for ChaosMonkey {
+    fn decide(&mut self, _obs: &Observation, rng: &mut dyn Rng) -> PowerStateId {
+        let u = uniform(rng);
+        PowerStateId::from_index(((u * self.n_states as f64) as usize).min(self.n_states - 1))
+    }
+
+    fn name(&self) -> &str {
+        "chaos-monkey"
     }
 }
 

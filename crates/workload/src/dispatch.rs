@@ -461,6 +461,48 @@ impl WorkloadDispatcher {
         self.backlog.fill(0);
     }
 
+    /// Checkpoint support: appends the routing cursor, arrival sequence
+    /// number, and nominal backlogs to a payload (pairs with
+    /// [`WorkloadDispatcher::load_state`]).
+    pub fn save_state(&self, w: &mut qdpm_core::StateWriter) {
+        w.put_usize(self.cursor);
+        w.put_u64(self.seq);
+        w.put_usize(self.backlog.len());
+        for &b in &self.backlog {
+            w.put_u64(b);
+        }
+    }
+
+    /// Checkpoint support: restores state written by
+    /// [`WorkloadDispatcher::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`qdpm_core::StateError`] when the payload does not decode
+    /// or the backlog length does not match this dispatcher's fleet size.
+    pub fn load_state(
+        &mut self,
+        r: &mut qdpm_core::StateReader<'_>,
+    ) -> Result<(), qdpm_core::StateError> {
+        let cursor = r.get_usize()?;
+        let seq = r.get_u64()?;
+        let len = r.get_usize()?;
+        if len != self.n_devices {
+            return Err(qdpm_core::StateError::BadValue(format!(
+                "dispatcher backlog for {len} devices does not fit fleet of {}",
+                self.n_devices
+            )));
+        }
+        let mut backlog = Vec::with_capacity(len);
+        for _ in 0..len {
+            backlog.push(r.get_u64()?);
+        }
+        self.cursor = cursor;
+        self.seq = seq;
+        self.backlog = backlog;
+        Ok(())
+    }
+
     /// [`WorkloadDispatcher::split`] with a cohort fast path: devices
     /// listed in `groups` get their arrivals appended to one shared
     /// [`CohortArrivals`] index list per group instead of a per-device
@@ -742,6 +784,27 @@ impl RequestGenerator for SparseTrace {
             return None;
         }
         Some(self.total_arrivals() as f64 / self.horizon as f64)
+    }
+
+    fn save_state(&self, w: &mut qdpm_core::StateWriter) {
+        w.put_usize(self.pos);
+        w.put_u64(self.now);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut qdpm_core::StateReader<'_>,
+    ) -> Result<(), qdpm_core::StateError> {
+        let pos = r.get_usize()?;
+        if pos > self.events.len() {
+            return Err(qdpm_core::StateError::BadValue(format!(
+                "trace cursor {pos} out of range for {} events",
+                self.events.len()
+            )));
+        }
+        self.pos = pos;
+        self.now = r.get_u64()?;
+        Ok(())
     }
 
     fn reset(&mut self) {

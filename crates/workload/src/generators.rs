@@ -1,4 +1,5 @@
 use crate::{geometric_gap, ArrivalGap, RequestGenerator, WorkloadError};
+use qdpm_core::{StateError, StateReader, StateWriter};
 use rand::Rng;
 
 // The workspace's canonical samplers (bit-identical everywhere a seed is
@@ -251,6 +252,22 @@ impl RequestGenerator for MmppArrivals {
         Some(pi.iter().zip(&self.arrival_prob).map(|(a, b)| a * b).sum())
     }
 
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_usize(self.mode);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        let mode = r.get_usize()?;
+        if mode >= self.n {
+            return Err(StateError::BadValue(format!(
+                "mmpp mode {mode} out of range for {} modes",
+                self.n
+            )));
+        }
+        self.mode = mode;
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.mode = self.initial_mode;
     }
@@ -332,6 +349,15 @@ impl RequestGenerator for OnOffArrivals {
 
     fn mean_rate(&self) -> Option<f64> {
         Some(self.duty_cycle() * self.p_arrival_on)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_bool(self.on);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.on = r.get_bool()?;
+        Ok(())
     }
 
     fn reset(&mut self) {
@@ -425,6 +451,15 @@ impl RequestGenerator for ParetoArrivals {
         Some(1.0 / mean_gap)
     }
 
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.countdown);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.countdown = r.get_u64()?;
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.countdown = 0;
     }
@@ -501,6 +536,15 @@ impl RequestGenerator for PeriodicArrivals {
 
     fn mean_rate(&self) -> Option<f64> {
         Some(1.0 / self.period as f64)
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.countdown);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), StateError> {
+        self.countdown = r.get_u64()?;
+        Ok(())
     }
 
     fn reset(&mut self) {

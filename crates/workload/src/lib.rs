@@ -142,6 +142,31 @@ pub trait RequestGenerator: std::fmt::Debug + Send {
     /// Long-run mean arrivals per slice, when analytically defined.
     fn mean_rate(&self) -> Option<f64>;
 
+    /// Checkpoint support: appends the generator's resumable position (a
+    /// trace cursor, a recorded gap position) to a payload. The default
+    /// writes nothing, symmetric with the default
+    /// [`RequestGenerator::load_state`] — correct for generators whose
+    /// entire evolution lives in the RNG stream the caller checkpoints
+    /// separately.
+    fn save_state(&self, w: &mut qdpm_core::StateWriter) {
+        let _ = w;
+    }
+
+    /// Checkpoint support: restores a position written by
+    /// [`RequestGenerator::save_state`]. Default: reads nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`qdpm_core::StateError`] when the payload does not
+    /// decode or the restored position is out of range.
+    fn load_state(
+        &mut self,
+        r: &mut qdpm_core::StateReader<'_>,
+    ) -> Result<(), qdpm_core::StateError> {
+        let _ = r;
+        Ok(())
+    }
+
     /// Restores the generator to its initial state.
     fn reset(&mut self);
 }

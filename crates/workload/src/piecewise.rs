@@ -154,6 +154,29 @@ impl RequestGenerator for PiecewiseStationary {
         Some(acc)
     }
 
+    fn save_state(&self, w: &mut qdpm_core::StateWriter) {
+        w.put_usize(self.current);
+        w.put_u64(self.into_segment);
+        self.active.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut qdpm_core::StateReader<'_>,
+    ) -> Result<(), qdpm_core::StateError> {
+        let current = r.get_usize()?;
+        if current >= self.segments.len() {
+            return Err(qdpm_core::StateError::BadValue(format!(
+                "segment cursor {current} out of range for {} segments",
+                self.segments.len()
+            )));
+        }
+        self.current = current;
+        self.into_segment = r.get_u64()?;
+        self.active = self.segments[self.current].spec.build();
+        self.active.load_state(r)
+    }
+
     fn reset(&mut self) {
         self.current = 0;
         self.into_segment = 0;

@@ -99,6 +99,25 @@ impl RequestGenerator for TraceReplay {
         Some(total as f64 / self.arrivals.len() as f64)
     }
 
+    fn save_state(&self, w: &mut qdpm_core::StateWriter) {
+        w.put_usize(self.pos);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut qdpm_core::StateReader<'_>,
+    ) -> Result<(), qdpm_core::StateError> {
+        let pos = r.get_usize()?;
+        if pos >= self.arrivals.len() {
+            return Err(qdpm_core::StateError::BadValue(format!(
+                "replay cursor {pos} out of range for trace of {} slices",
+                self.arrivals.len()
+            )));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
     fn reset(&mut self) {
         self.pos = 0;
     }

@@ -5,8 +5,10 @@
 
 use qdpm::core::{Observation, PowerManager};
 use qdpm::device::{presets, PowerStateId};
-use qdpm::sim::{SimConfig, Simulator};
-use qdpm::workload::WorkloadSpec;
+use qdpm::sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetSim};
+use qdpm::sim::hierarchy::{RackCoordinator, RackSpec, CAP_EPS};
+use qdpm::sim::{ScenarioWorkload, SimConfig, Simulator};
+use qdpm::workload::{DispatchPolicy, WorkloadSpec};
 use rand::Rng;
 
 /// Commands a uniformly random power state each slice — legal or not.
@@ -63,6 +65,115 @@ fn random_commands_never_break_invariants() {
         );
         assert!(stats.total_energy.is_finite(), "{name}: non-finite energy");
         assert!(stats.queue_len_sum.is_finite());
+    }
+}
+
+/// A chaos-monkey member inside a *mixed* fleet (learners and heuristics
+/// alongside it) must not break any device's conservation law or energy
+/// floor, in either engine mode.
+#[test]
+fn chaos_member_in_mixed_fleet_keeps_invariants() {
+    use qdpm::sim::EngineMode;
+    let power = presets::three_state_generic();
+    let lo = power.state(power.lowest_power_state()).power;
+    let policies = [
+        FleetPolicy::ChaosMonkey,
+        FleetPolicy::frozen_q_dpm(),
+        FleetPolicy::BreakEvenTimeout,
+        FleetPolicy::ChaosMonkey,
+    ];
+    let members: Vec<FleetMember> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service: presets::default_service(),
+            policy: policy.clone(),
+        })
+        .collect();
+    let workload = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    for engine_mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let config = FleetConfig {
+            horizon: 20_000,
+            engine_mode,
+            seed: 99,
+            ..FleetConfig::default()
+        };
+        let report = FleetSim::new(&members, &workload, &config).unwrap().run(2);
+        assert_eq!(report.stats.total.steps, 4 * 20_000, "{engine_mode:?}");
+        for (i, stats) in report.per_device.iter().enumerate() {
+            let resolved = stats.completed + stats.dropped;
+            assert!(
+                resolved <= stats.arrivals,
+                "{engine_mode:?} dev-{i}: resolved more requests than arrived"
+            );
+            assert!(
+                stats.arrivals - resolved <= config.queue_cap as u64,
+                "{engine_mode:?} dev-{i}: unresolved requests exceed the queue"
+            );
+            assert!(
+                stats.total_energy >= lo * stats.steps as f64 - 1e-9,
+                "{engine_mode:?} dev-{i}: impossible (sub-minimum) energy"
+            );
+            assert!(stats.total_energy.is_finite() && stats.total_cost.is_finite());
+        }
+    }
+}
+
+/// A chaos-monkey member inside a power-capped rack: the budget must hold
+/// the cap on *every* slice no matter what the monkey commands, and the
+/// run must keep all per-device invariants without panicking.
+#[test]
+fn chaos_member_under_power_cap_never_exceeds_it() {
+    let power = presets::three_state_generic();
+    let lo = power.state(power.lowest_power_state()).power;
+    let cap = 4.0;
+    let spec = RackSpec {
+        label: "chaos-rack".to_string(),
+        members: [
+            FleetPolicy::ChaosMonkey,
+            FleetPolicy::BreakEvenTimeout,
+            FleetPolicy::frozen_q_dpm(),
+            FleetPolicy::ChaosMonkey,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service: presets::default_service(),
+            policy: policy.clone(),
+        })
+        .collect(),
+        power_cap: Some(cap),
+    };
+    let config = FleetConfig {
+        horizon: 10_000,
+        dispatch: DispatchPolicy::SleepAware { spill: 2 },
+        seed: 4242,
+        ..FleetConfig::default()
+    };
+    let workload = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    let (report, per_slice) = RackCoordinator::new(&spec, &config)
+        .unwrap()
+        .run_probed(&workload)
+        .unwrap();
+    assert_eq!(per_slice.len(), 10_000);
+    for (slice, &energy) in per_slice.iter().enumerate() {
+        assert!(
+            energy <= cap + CAP_EPS,
+            "slice {slice}: rack drew {energy}, cap {cap}"
+        );
+    }
+    for (i, stats) in report.fleet.per_device.iter().enumerate() {
+        let resolved = stats.completed + stats.dropped;
+        assert!(resolved <= stats.arrivals, "dev-{i}");
+        assert!(
+            stats.total_energy >= lo * stats.steps as f64 - 1e-9,
+            "dev-{i}"
+        );
+        assert!(stats.total_energy.is_finite(), "dev-{i}");
     }
 }
 
