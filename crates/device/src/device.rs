@@ -1,6 +1,6 @@
 use serde::{Deserialize, Serialize};
 
-use crate::{PowerModel, PowerStateId, TransitionSpec};
+use crate::{FaultState, PowerModel, PowerStateId, TransitionSpec};
 
 /// Instantaneous mode of a runtime [`Device`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -244,6 +244,7 @@ impl DeviceState {
 pub struct Device {
     model: PowerModel,
     state: DeviceState,
+    fault: FaultState,
 }
 
 impl Device {
@@ -252,7 +253,11 @@ impl Device {
     #[must_use]
     pub fn new(model: PowerModel) -> Self {
         let state = DeviceState::new(&model);
-        Device { model, state }
+        Device {
+            model,
+            state,
+            fault: FaultState::Healthy,
+        }
     }
 
     /// Creates a device starting in a specific state.
@@ -269,6 +274,7 @@ impl Device {
         Device {
             model,
             state: DeviceState::at(initial),
+            fault: FaultState::Healthy,
         }
     }
 
@@ -334,12 +340,77 @@ impl Device {
     }
 
     /// Resets the device to its initial condition (resident in the
-    /// highest-power state, no in-flight transition) without touching the
-    /// model — the cheap per-device reset the fleet runner uses when
-    /// recycling device instances between runs, avoiding a model re-clone.
+    /// highest-power state, no in-flight transition, healthy) without
+    /// touching the model — the cheap per-device reset the fleet runner
+    /// uses when recycling device instances between runs, avoiding a model
+    /// re-clone.
     pub fn reset(&mut self) {
         let initial = self.model.highest_power_state();
         self.reset_to(initial);
+        self.fault = FaultState::Healthy;
+    }
+
+    /// Current position on the fault axis (see [`FaultState`]).
+    ///
+    /// Note the engine clears fault windows lazily — an expired window may
+    /// still read as `Down`/`Degraded` here until the next slice ticks the
+    /// fault clock. Health reporting should normalize against the clock.
+    #[must_use]
+    pub fn fault(&self) -> FaultState {
+        self.fault
+    }
+
+    /// Installs a fault state (fault injection / checkpoint restore).
+    pub fn set_fault(&mut self, fault: FaultState) {
+        self.fault = fault;
+    }
+
+    /// Clears any active fault, returning the device to the healthy axis
+    /// position. Does not touch the power state machine — a recovering
+    /// crashed device must additionally be rebooted via [`Device::reset_to`]
+    /// by the caller.
+    pub fn clear_fault(&mut self) {
+        self.fault = FaultState::Healthy;
+    }
+
+    /// The fault-mandated per-slice power draw while down, or `None` when
+    /// the device is not down. While this returns `Some`, the power state
+    /// machine is suspended: the device neither serves nor ticks, and the
+    /// returned draw replaces the model's residency energy.
+    #[must_use]
+    pub fn fault_down_power(&self) -> Option<f64> {
+        match self.fault {
+            FaultState::Down { power, .. } => Some(power),
+            _ => None,
+        }
+    }
+
+    /// Gates one service opportunity against the fault axis: returns
+    /// whether the device may begin/continue service work this slice.
+    ///
+    /// Healthy devices always may. A degraded (straggling) device takes
+    /// only every `slowdown`-th opportunity — the gate counts opportunities
+    /// deterministically, consuming no randomness. Callers must invoke this
+    /// exactly once per slice in which service would otherwise happen, and
+    /// only then (the counter is part of simulation state and is
+    /// checkpointed with the device).
+    ///
+    /// A down device never reaches this gate (the engine short-circuits the
+    /// whole slice), so `Down` conservatively returns `false`.
+    pub fn service_gate(&mut self) -> bool {
+        match &mut self.fault {
+            FaultState::Healthy => true,
+            FaultState::Degraded {
+                slowdown,
+                opportunities,
+                ..
+            } => {
+                let allowed = *opportunities % (*slowdown).max(1) == 0;
+                *opportunities = opportunities.wrapping_add(1);
+                allowed
+            }
+            FaultState::Down { .. } => false,
+        }
     }
 }
 
@@ -474,5 +545,69 @@ mod tests {
         d.reset_to(on);
         assert_eq!(d.mode().operational_state(), Some(on));
         assert_eq!(d.tick().energy, 1.0);
+    }
+
+    #[test]
+    fn fresh_device_is_healthy_and_serves() {
+        let mut d = Device::new(model());
+        assert!(d.fault().is_healthy());
+        assert_eq!(d.fault_down_power(), None);
+        assert!(d.service_gate());
+        assert!(d.service_gate(), "healthy gate never closes");
+    }
+
+    #[test]
+    fn down_device_reports_fault_power_and_blocks_service() {
+        let mut d = Device::new(model());
+        d.set_fault(FaultState::Down {
+            until: 10,
+            power: 0.25,
+            queue_preserved: false,
+        });
+        assert_eq!(d.fault_down_power(), Some(0.25));
+        assert!(!d.service_gate());
+        d.clear_fault();
+        assert!(d.fault().is_healthy());
+        assert_eq!(d.fault_down_power(), None);
+    }
+
+    #[test]
+    fn straggler_gate_admits_every_nth_opportunity() {
+        let mut d = Device::new(model());
+        d.set_fault(FaultState::Degraded {
+            slowdown: 3,
+            until: 100,
+            opportunities: 0,
+        });
+        let taken: Vec<bool> = (0..7).map(|_| d.service_gate()).collect();
+        assert_eq!(
+            taken,
+            [true, false, false, true, false, false, true],
+            "every slowdown-th opportunity is taken, starting with the first"
+        );
+    }
+
+    #[test]
+    fn zero_slowdown_is_clamped_not_a_panic() {
+        let mut d = Device::new(model());
+        d.set_fault(FaultState::Degraded {
+            slowdown: 0,
+            until: 100,
+            opportunities: 0,
+        });
+        assert!(d.service_gate());
+        assert!(d.service_gate());
+    }
+
+    #[test]
+    fn reset_clears_faults() {
+        let mut d = Device::new(model());
+        d.set_fault(FaultState::Down {
+            until: u64::MAX,
+            power: 0.0,
+            queue_preserved: true,
+        });
+        d.reset();
+        assert_eq!(d, Device::new(model()), "reset restores the fresh state");
     }
 }

@@ -32,6 +32,7 @@
 
 mod device;
 mod error;
+pub mod fault;
 mod power;
 pub mod presets;
 mod queue;
@@ -39,6 +40,7 @@ mod service;
 
 pub use device::{CommandOutcome, Device, DeviceMode, DeviceState, TickReport};
 pub use error::DeviceError;
+pub use fault::{DeviceHealth, FaultEvent, FaultKind, FaultState};
 pub use power::{PowerModel, PowerModelBuilder, PowerStateId, PowerStateSpec, TransitionSpec};
 pub use queue::{Queue, QueueStats};
 pub use service::{Server, ServiceModel};

@@ -164,6 +164,19 @@ impl Queue {
         self.arrivals.clear();
         self.stats = QueueStats::default();
     }
+
+    /// Removes every waiting request without dequeuing them, returning how
+    /// many were removed. Models a device crash losing (or a coordinator
+    /// harvesting) its queue: the lifetime counters are deliberately left
+    /// untouched — the removed requests were neither served nor dropped at
+    /// admission, so `enqueued` permanently exceeds `dequeued + len` and the
+    /// caller must account the stranded requests (as lost, retried, or
+    /// shed) in its own books.
+    pub fn drain_all(&mut self) -> usize {
+        let n = self.arrivals.len();
+        self.arrivals.clear();
+        n
+    }
 }
 
 #[cfg(test)]

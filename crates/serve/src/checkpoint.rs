@@ -34,8 +34,10 @@ use crate::error::ServeError;
 /// Container magic bytes.
 pub const MAGIC: [u8; 8] = *b"QDPMCKPT";
 
-/// Current container schema version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Current container schema version. v2: the rack payload grew the fault
+/// clock, barrier cursor, and retry-queue state — v1 checkpoints no
+/// longer fit the rack and are rejected up front by the version check.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// How many checkpoint generations are retained on disk.
 pub const GENERATIONS_KEPT: u64 = 2;

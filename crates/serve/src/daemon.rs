@@ -19,8 +19,9 @@ use std::time::Duration;
 use qdpm_core::{StateReader, StateWriter};
 use qdpm_device::{presets, DeviceMode, PowerModel, ServiceModel};
 use qdpm_sim::hierarchy::{RackCoordinator, RackReport, RackSpec};
+use qdpm_sim::AvailabilityStats;
 use qdpm_sim::{EngineMode, FleetConfig, FleetMember, FleetPolicy, RunStats};
-use qdpm_workload::DispatchPolicy;
+use qdpm_workload::{DispatchPolicy, FaultInjector};
 
 use crate::checkpoint::{fnv1a64, list_generations, read_checkpoint, CheckpointStore};
 use crate::error::ServeError;
@@ -98,6 +99,11 @@ pub struct ServeConfig {
     pub dispatch: DispatchPolicy,
     /// Queue capacity of every device.
     pub queue_cap: usize,
+    /// Optional seeded fault injection (see
+    /// [`qdpm_workload::FaultInjector`]). Part of the config fingerprint:
+    /// the fault plan derives from the seed, so a resumed run replays the
+    /// identical failures.
+    pub faults: Option<FaultInjector>,
 }
 
 impl Default for ServeConfig {
@@ -111,6 +117,7 @@ impl Default for ServeConfig {
             engine_mode: EngineMode::PerSlice,
             dispatch: DispatchPolicy::RoundRobin,
             queue_cap: 8,
+            faults: None,
         }
     }
 }
@@ -156,6 +163,19 @@ impl ServeConfig {
             }
         }
         w.put_usize(self.queue_cap);
+        match &self.faults {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                w.put_f64(f.crash_rate);
+                w.put_u64(f.crash_down);
+                w.put_f64(f.fail_stop_rate);
+                w.put_f64(f.straggle_rate);
+                w.put_u64(f.straggle_slowdown);
+                w.put_u64(f.straggle_window);
+                w.put_f64(f.down_power);
+            }
+        }
         fnv1a64(&w.into_bytes())
     }
 
@@ -195,6 +215,7 @@ impl ServeConfig {
             engine_mode: self.engine_mode,
             dispatch: self.dispatch,
             horizon,
+            faults: self.faults.clone(),
             ..FleetConfig::default()
         };
         Ok(RackCoordinator::new(&spec, &config)?)
@@ -237,6 +258,11 @@ pub struct ServeOptions {
     pub threads: usize,
     /// Ignore existing checkpoints and start cold.
     pub fresh: bool,
+    /// Polled between slices: returning `true` requests a graceful stop —
+    /// the daemon writes a final checkpoint at the current slice and
+    /// returns early with [`ServeSummary::terminated_at`] set. The CLI
+    /// wires a SIGTERM latch in here; `None` never stops early.
+    pub shutdown: Option<fn() -> bool>,
 }
 
 impl ServeOptions {
@@ -252,6 +278,7 @@ impl ServeOptions {
             report_out: None,
             threads: 1,
             fresh: true,
+            shutdown: None,
         }
     }
 }
@@ -272,6 +299,10 @@ pub struct ServeSummary {
     pub skipped: Vec<(PathBuf, ServeError)>,
     /// The rendered deterministic report text.
     pub report_text: String,
+    /// Slice a graceful-shutdown request stopped the run at (`None` for
+    /// a run that served the whole trace). The final checkpoint covers
+    /// exactly this many slices; resuming completes the trace.
+    pub terminated_at: Option<u64>,
 }
 
 /// Parses a `# qdpm-trace v1` text file into per-slice arrival counts.
@@ -414,6 +445,7 @@ pub fn run_serve(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
     let mut checkpoints_written = 0u64;
     let mut last_saved = resumed_at;
     let mut gap = 0u64;
+    let mut terminated_at = None;
     let threads = opts.threads.max(1);
     for slice in start..horizon {
         let count = counts[slice as usize];
@@ -436,32 +468,46 @@ pub fn run_serve(opts: &ServeOptions) -> Result<ServeSummary, ServeError> {
                 last_saved = Some(done);
             }
         }
+        if opts.shutdown.is_some_and(|requested| requested()) {
+            // Graceful stop: settle the rack at this slice boundary and
+            // fall through to the final-checkpoint path. Resuming is
+            // bit-exact because gap advancement is additive — the
+            // interrupted and uninterrupted runs chunk identically.
+            terminated_at = Some(done);
+            break;
+        }
         if !opts.throttle.is_zero() {
             std::thread::sleep(opts.throttle);
         }
     }
     rack.advance_gap(gap, threads);
+    let served_to = terminated_at.unwrap_or(horizon);
     if let Some(store) = &mut store {
-        if last_saved != Some(horizon) {
+        if last_saved != Some(served_to) {
             let mut w = StateWriter::new();
             rack.save_state(&mut w);
-            store.save(horizon, &w.into_bytes())?;
+            store.save(served_to, &w.into_bytes())?;
             checkpoints_written += 1;
         }
     }
 
     let report = rack.report();
-    let report_text = render_report(&report, hash, horizon);
+    let report_text = render_report(&report, hash, served_to);
     if let Some(path) = &opts.report_out {
-        atomic_write(path, report_text.as_bytes())?;
+        // A gracefully-stopped run leaves the report to the resuming run:
+        // a partial report must never overwrite a complete one.
+        if terminated_at.is_none() {
+            atomic_write(path, report_text.as_bytes())?;
+        }
     }
     Ok(ServeSummary {
         report,
-        slices: horizon,
+        slices: served_to,
         resumed_at,
         checkpoints_written,
         skipped,
         report_text,
+        terminated_at,
     })
 }
 
@@ -522,13 +568,28 @@ fn stats_fields(s: &RunStats) -> String {
     )
 }
 
+fn availability_fields(a: &AvailabilityStats) -> String {
+    format!(
+        "faults {} downtime {} lost {} retried {} redispatched {} \
+         pending {} shed-unhealthy {} shed-retry {}",
+        a.faults_injected,
+        a.total_downtime(),
+        a.queue_lost,
+        a.retries_enqueued,
+        a.redispatched,
+        a.retry_pending,
+        a.shed_no_healthy,
+        a.shed_retry_exhausted,
+    )
+}
+
 /// Renders the deterministic final report. Floating-point values are
 /// printed as exact bit patterns (hex), so byte-equal reports mean
 /// bit-identical statistics.
 #[must_use]
 pub fn render_report(report: &RackReport, config_hash: u64, slices: u64) -> String {
     let mut out = String::new();
-    out.push_str("# qdpm-serve report v1\n");
+    out.push_str("# qdpm-serve report v2\n");
     out.push_str(&format!("config {config_hash:016x}\n"));
     out.push_str(&format!("slices {slices}\n"));
     match report.power_cap {
@@ -537,12 +598,25 @@ pub fn render_report(report: &RackReport, config_hash: u64, slices: u64) -> Stri
     }
     out.push_str(&format!("vetoed {}\n", report.vetoed_wakeups));
     out.push_str(&format!("shed {}\n", report.shed_arrivals));
+    out.push_str(&format!(
+        "availability {}\n",
+        availability_fields(&report.fleet.stats.availability),
+    ));
     for (i, stats) in report.fleet.per_device.iter().enumerate() {
         out.push_str(&format!(
-            "device {} {} final {}\n",
+            "device {} {} final {} health {} downtime {}\n",
             report.fleet.labels[i],
             stats_fields(stats),
             mode_str(&report.fleet.final_modes[i]),
+            report.health[i].name(),
+            report
+                .fleet
+                .stats
+                .availability
+                .downtime_slices
+                .get(i)
+                .copied()
+                .unwrap_or(0),
         ));
     }
     out.push_str(&format!(

@@ -7,7 +7,46 @@ use std::time::Duration;
 
 use qdpm_serve::{run_serve, DevicePreset, ServeConfig, ServeError, ServeOptions, TraceSource};
 use qdpm_sim::{EngineMode, FleetPolicy};
-use qdpm_workload::DispatchPolicy;
+use qdpm_workload::{DispatchPolicy, FaultInjector};
+
+/// SIGTERM → graceful-shutdown latch. The handler only flips an atomic;
+/// the serving loop polls it between slices and settles with a final
+/// checkpoint, so a `systemctl stop` (or plain `kill`) never loses work
+/// where a SIGKILL would rely on the last cadence checkpoint.
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    /// POSIX SIGTERM.
+    const SIGTERM: i32 = 15;
+
+    #[allow(unsafe_code)]
+    mod ffi {
+        extern "C" {
+            pub fn signal(signum: i32, handler: usize) -> usize;
+        }
+    }
+
+    extern "C" fn on_sigterm(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the latch (async-signal-safe: the handler is one atomic
+    /// store). Registration failure is ignored — the daemon then simply
+    /// keeps the default terminate-on-SIGTERM behaviour.
+    pub fn install() {
+        #[allow(unsafe_code)]
+        unsafe {
+            ffi::signal(SIGTERM, on_sigterm as *const () as usize);
+        }
+    }
+
+    /// Whether a SIGTERM has been received.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
 
 const USAGE: &str = "\
 qdpm-serve — crash-tolerant Q-DPM serving daemon
@@ -33,6 +72,14 @@ SERVE OPTIONS:
   --dispatch <D>           round-robin, least-loaded, hash-sharded:<SALT>,
                            jsq, sleep-aware:<SPILL> (default round-robin)
   --queue-cap <N>          per-device queue capacity (default 8)
+  --faults <RATE>          per-device per-slice transient-crash rate
+                           (deterministic seeded injection; default off)
+  --fault-down <SLICES>    slices a transient crash keeps a device down
+                           (default 250)
+  --fail-stop <RATE>       per-device per-slice fail-stop rate (a hit
+                           device never revives)
+  --fault-straggle <RATE>  per-device per-slice straggler-onset rate
+  --fault-power <WATTS>    slice draw of a downed device (default 0)
   --checkpoint-dir <DIR>   enable durable checkpoints in DIR
   --checkpoint-every <N>   checkpoint cadence in slices (default 100)
   --throttle-us <U>        sleep U microseconds per slice (default 0)
@@ -259,6 +306,29 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
         config.queue_cap = parse_num("--queue-cap", v)?;
     }
 
+    let mut faults = FaultInjector::default();
+    if let Some(v) = flags.value("--faults")? {
+        faults.crash_rate = parse_num("--faults", v)?;
+    }
+    if let Some(v) = flags.value("--fault-down")? {
+        faults.crash_down = parse_num("--fault-down", v)?;
+    }
+    if let Some(v) = flags.value("--fail-stop")? {
+        faults.fail_stop_rate = parse_num("--fail-stop", v)?;
+    }
+    if let Some(v) = flags.value("--fault-straggle")? {
+        faults.straggle_rate = parse_num("--fault-straggle", v)?;
+    }
+    if let Some(v) = flags.value("--fault-power")? {
+        faults.down_power = parse_num("--fault-power", v)?;
+    }
+    if faults.is_active() {
+        faults
+            .validate()
+            .map_err(|e| ServeError::BadArgs(format!("fault flags: {e}")))?;
+        config.faults = Some(faults);
+    }
+
     let checkpoint_dir = flags.value("--checkpoint-dir")?.map(PathBuf::from);
     let checkpoint_every: u64 = match flags.value("--checkpoint-every")? {
         Some(v) => parse_num("--checkpoint-every", v)?,
@@ -276,6 +346,7 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
     let fresh = flags.switch("--fresh");
     flags.finish()?;
 
+    sigterm::install();
     let summary = run_serve(&ServeOptions {
         config,
         trace,
@@ -285,6 +356,7 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
         report_out,
         threads,
         fresh,
+        shutdown: Some(sigterm::requested),
     })?;
 
     for (path, err) in &summary.skipped {
@@ -299,6 +371,9 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
             "cold start, served {} slices, {} checkpoint(s)",
             summary.slices, summary.checkpoints_written
         ),
+    }
+    if let Some(slice) = summary.terminated_at {
+        eprintln!("sigterm: stopped gracefully at slice {slice}, state checkpointed");
     }
     print!("{}", summary.report_text);
     Ok(())

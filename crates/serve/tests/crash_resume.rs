@@ -186,3 +186,117 @@ fn capped_rack_survives_sigkills_bit_identically() {
         extra: &["--cap", "4.0", "--dispatch", "sleep-aware:2"],
     });
 }
+
+/// Fault injection rides through the same SIGKILL gauntlet: a rack with
+/// seeded crashes and stragglers, killed mid-run and resumed, must land on
+/// the byte-identical report — the fault clock, retry queue, and barrier
+/// cursor are all part of the checkpoint.
+#[test]
+fn faulted_rack_survives_sigkills_bit_identically() {
+    run_scenario(&Scenario {
+        tag: "faulted",
+        mode: "per-slice",
+        extra: &[
+            "--faults",
+            "0.002",
+            "--fault-down",
+            "90",
+            "--fault-straggle",
+            "0.002",
+            "--fault-power",
+            "0.02",
+            "--dispatch",
+            "jsq",
+        ],
+    });
+}
+
+/// Graceful SIGTERM: the daemon catches the signal at a slice boundary,
+/// writes a final checkpoint, reports the early stop, and exits 0. A later
+/// resume finishes the trace and must produce the byte-identical report of
+/// a run that was never signalled.
+#[test]
+fn sigterm_then_resume_matches_uninterrupted_run() {
+    let scenario = Scenario {
+        tag: "sigterm",
+        mode: "per-slice",
+        extra: &[
+            "--faults",
+            "0.002",
+            "--fault-down",
+            "90",
+            "--fault-power",
+            "0.02",
+        ],
+    };
+    let work = tmp_dir(scenario.tag);
+    let trace = work.join("arrivals.trace");
+    write_trace(&trace);
+
+    // Uninterrupted reference.
+    let ref_dir = work.join("ckpt-ref");
+    let ref_report = work.join("report-ref.txt");
+    let status = serve_cmd(&scenario, &trace, &ref_dir, &ref_report, 0)
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference run failed");
+    let reference = fs::read(&ref_report).unwrap();
+
+    // SIGTERM sequence: throttled children, terminated at randomized
+    // delays. A graceful stop exits 0, prints the sigterm notice, and
+    // leaves no report (the run is unfinished) — unlike a SIGKILL.
+    let term_dir = work.join("ckpt-term");
+    let term_report = work.join("report-term.txt");
+    let mut rng = Lcg(0x7e12);
+    let mut graceful = 0u32;
+    let mut spawns = 0u32;
+    while graceful < 3 {
+        spawns += 1;
+        assert!(
+            spawns < 200,
+            "runaway sigterm loop ({graceful} graceful stops after {spawns} spawns)"
+        );
+        let child = serve_cmd(&scenario, &trace, &term_dir, &term_report, 400)
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(rng.delay_ms()));
+        let term = Command::new("kill")
+            .arg("-TERM")
+            .arg(child.id().to_string())
+            .status()
+            .unwrap();
+        assert!(term.success(), "kill -TERM failed");
+        let out = child.wait_with_output().unwrap();
+        if out.status.success() && term_report.exists() {
+            // The child finished the whole trace before the signal
+            // landed; restart the experiment from scratch.
+            let _ = fs::remove_dir_all(&term_dir);
+            let _ = fs::remove_file(&term_report);
+            continue;
+        }
+        assert!(
+            out.status.success(),
+            "SIGTERM must exit 0 via the graceful path, got {:?}",
+            out.status
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("sigterm: stopped gracefully"),
+            "missing graceful-stop notice in stderr: {stderr:?}"
+        );
+        graceful += 1;
+    }
+    let status = serve_cmd(&scenario, &trace, &term_dir, &term_report, 0)
+        .status()
+        .unwrap();
+    assert!(status.success(), "resume after SIGTERM failed");
+
+    let resumed = fs::read(&term_report).unwrap();
+    assert_eq!(
+        String::from_utf8_lossy(&resumed),
+        String::from_utf8_lossy(&reference),
+        "report after {graceful} graceful SIGTERMs diverged from the uninterrupted run"
+    );
+    let _ = fs::remove_dir_all(&work);
+}

@@ -7,12 +7,12 @@ use qdpm_core::{
     Observation, PowerManager, RewardWeights, StateError, StateReader, StateWriter, StepOutcome,
 };
 use qdpm_device::{
-    Device, DeviceMode, DeviceState, PowerModel, PowerStateId, Queue, QueueStats, Server,
-    ServiceModel, Step, TransitionSpec,
+    Device, DeviceHealth, DeviceMode, DeviceState, FaultEvent, FaultKind, FaultState, PowerModel,
+    PowerStateId, Queue, QueueStats, Server, ServiceModel, Step, TransitionSpec,
 };
 use qdpm_workload::{ArrivalGap, RequestGenerator};
 
-use crate::{RunStats, SeriesRecorder, SimError, WindowPoint};
+use crate::{FaultStats, RunStats, SeriesRecorder, SimError, WindowPoint};
 
 /// How [`Simulator::run`] advances simulated time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,6 +178,13 @@ pub struct Simulator {
     /// executed slice. The online fleet dispatcher routes aggregate
     /// arrivals through this door.
     injected: u32,
+    /// Slice-sorted fault schedule ([`Simulator::set_fault_schedule`]);
+    /// empty for fault-free runs.
+    faults: Vec<FaultEvent>,
+    /// Next unconsumed entry of `faults`.
+    fault_pos: usize,
+    /// Availability accounting the fault clock maintains.
+    fault_stats: FaultStats,
 }
 
 impl Simulator {
@@ -215,6 +222,9 @@ impl Simulator {
             pending_gap: None,
             carried_obs: None,
             injected: 0,
+            faults: Vec::new(),
+            fault_pos: 0,
+            fault_stats: FaultStats::default(),
         })
     }
 
@@ -345,6 +355,235 @@ impl Simulator {
         self.device.reset_to(state);
     }
 
+    /// Installs the slice-sorted fault schedule this simulator will replay
+    /// (see `qdpm_workload::FaultInjector::plan`). The schedule is part of
+    /// the run's deterministic plan: injection consults only the simulation
+    /// clock, never thread timing or live state, so fault-injected runs
+    /// stay bit-exact across engine modes and thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the clock has advanced or if `events` is not
+    /// sorted by slice.
+    pub fn set_fault_schedule(&mut self, events: Vec<FaultEvent>) {
+        assert_eq!(
+            self.now, 0,
+            "fault schedules must be installed before the run starts"
+        );
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "fault schedule must be slice-sorted"
+        );
+        self.faults = events;
+        self.fault_pos = 0;
+    }
+
+    /// The device's current health, normalized against the clock (an
+    /// expired fault window the lazy fault clock has not cleared yet reads
+    /// healthy).
+    #[must_use]
+    pub fn health(&self) -> DeviceHealth {
+        match self.device.fault() {
+            FaultState::Healthy => DeviceHealth::Healthy,
+            FaultState::Degraded { until, .. } => {
+                if self.now < until {
+                    DeviceHealth::Degraded
+                } else {
+                    DeviceHealth::Healthy
+                }
+            }
+            FaultState::Down { until, .. } => {
+                if self.now < until {
+                    DeviceHealth::Down
+                } else {
+                    DeviceHealth::Healthy
+                }
+            }
+        }
+    }
+
+    /// Whether a fault window has expired but the lazy fault clock has not
+    /// applied the revival reset yet. In this gap [`Simulator::health`]
+    /// already reads healthy while [`Simulator::observation`] still shows
+    /// the stale pre-crash device mode; the device's true post-revival
+    /// state is its lowest power state. A capped rack's budget refresh
+    /// must bound such a member at its floor, not at the stale mode's
+    /// demand.
+    #[must_use]
+    pub fn pending_revival(&self) -> bool {
+        matches!(self.device.fault(), FaultState::Down { until, .. } if self.now >= until)
+    }
+
+    /// The fault-specified slice draw while the device is down
+    /// (normalized like [`Simulator::health`]), `None` otherwise. A capped
+    /// rack reclaims the rest of the member's nominal budget from this.
+    #[must_use]
+    pub fn fault_down_power(&self) -> Option<f64> {
+        if self.health() == DeviceHealth::Down {
+            self.device.fault_down_power()
+        } else {
+            None
+        }
+    }
+
+    /// Availability accounting maintained by the fault clock.
+    #[must_use]
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Removes every admitted-but-unserved request from the queue (and any
+    /// partial service progress), returning how many were stranded. A fleet
+    /// coordinator calls this at a crash-onset barrier to move the doomed
+    /// queue into its retry machinery *before* the onset slice executes;
+    /// the crash itself then finds an empty queue and loses nothing. The
+    /// harvested requests must be re-accounted by the caller — they are no
+    /// longer visible in this simulator's queue or stats.
+    pub fn harvest_stranded(&mut self) -> u64 {
+        let n = self.queue.drain_all() as u64;
+        self.server.set_progress(0);
+        n
+    }
+
+    /// Whether the fault clock has anything left to do — unconsumed
+    /// schedule entries or an active fault window. False for the entire
+    /// lifetime of a fault-free run: the per-slice hot path stays a single
+    /// predictable branch.
+    #[inline]
+    fn fault_clock_pending(&self) -> bool {
+        self.fault_pos < self.faults.len() || !self.device.fault().is_healthy()
+    }
+
+    /// Whether the next scheduled fault is due at the current slice.
+    #[inline]
+    fn fault_due(&self) -> bool {
+        self.faults
+            .get(self.fault_pos)
+            .is_some_and(|e| e.at <= self.now)
+    }
+
+    /// Advances the fault axis to the current slice: expires fault windows
+    /// whose deadline has been reached (rebooting a recovered crash into
+    /// the lowest-power state), then applies any scheduled fault due now.
+    /// Idempotent at a fixed `now`.
+    fn tick_fault_clock(&mut self) {
+        match self.device.fault() {
+            FaultState::Down { until, .. } if self.now >= until => {
+                // Reboot: back in the lowest-power state, no in-flight
+                // transition, and any carried noisy view is stale.
+                self.device.clear_fault();
+                let lowest = self.device.model().lowest_power_state();
+                self.device.reset_to(lowest);
+                self.carried_obs = None;
+            }
+            FaultState::Degraded { until, .. } if self.now >= until => {
+                self.device.clear_fault();
+            }
+            _ => {}
+        }
+        while let Some(&event) = self.faults.get(self.fault_pos) {
+            if event.at > self.now {
+                break;
+            }
+            self.fault_pos += 1;
+            if event.at < self.now {
+                // Stale entry (scheduled inside another fault's window and
+                // skipped past): drop it rather than firing late.
+                continue;
+            }
+            if self.device.fault_down_power().is_some() {
+                // A down device cannot fault again.
+                continue;
+            }
+            self.apply_fault(event.kind);
+        }
+    }
+
+    /// Applies one fault to the device, moving the availability books.
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.fault_stats.faults_injected += 1;
+        match kind {
+            FaultKind::TransientCrash {
+                down_for,
+                down_power,
+            } => {
+                let lost = self.queue.drain_all() as u64;
+                self.fault_stats.queue_lost += lost;
+                self.server.set_progress(0);
+                self.device.set_fault(FaultState::Down {
+                    until: self.now.saturating_add(down_for.max(1)),
+                    power: down_power,
+                    queue_preserved: false,
+                });
+            }
+            FaultKind::FailStop { down_power } => {
+                self.device.set_fault(FaultState::Down {
+                    until: Step::MAX,
+                    power: down_power,
+                    queue_preserved: true,
+                });
+            }
+            FaultKind::Straggler { slowdown, window } => {
+                self.device.set_fault(FaultState::Degraded {
+                    slowdown: slowdown.max(1),
+                    until: self.now.saturating_add(window),
+                    opportunities: 0,
+                });
+            }
+        }
+    }
+
+    /// One slice of downtime: the power state machine is suspended (no PM
+    /// decision or observation, no device tick, no service, no RNG draws),
+    /// the device draws the fault-specified `power`, and arrivals keep
+    /// landing on the queue under normal admission control. Suspending the
+    /// PM keeps every RNG stream identical across engine modes — down
+    /// slices execute per-slice in both.
+    fn step_down_slice<const RECORD: bool>(&mut self, power: f64) -> StepOutcome {
+        let arrivals = self.slice_arrivals();
+        let mut dropped = 0u32;
+        for _ in 0..arrivals {
+            if !self.queue.push(self.now) {
+                dropped += 1;
+            }
+        }
+        self.idle_slices = if arrivals > 0 {
+            0
+        } else {
+            self.idle_slices + 1
+        };
+        let outcome = StepOutcome {
+            energy: power,
+            queue_len: self.queue.len(),
+            dropped,
+            completed: 0,
+            arrivals,
+        };
+        self.now += 1;
+        self.stats.record(&outcome, &self.weights, 0);
+        self.fault_stats.downtime_slices += 1;
+        if RECORD {
+            if let Some(rec) = &mut self.recorder {
+                rec.record(&outcome, &self.weights);
+            }
+        }
+        outcome
+    }
+
+    /// The fault-aware slice: ticks the fault clock, short-circuits down
+    /// slices, and otherwise runs the ordinary specialized body. For
+    /// fault-free runs this is one predictable extra branch per slice.
+    #[inline]
+    fn step_slice<const NOISY: bool, const RECORD: bool>(&mut self) -> StepOutcome {
+        if self.fault_clock_pending() {
+            self.tick_fault_clock();
+            if let Some(power) = self.device.fault_down_power() {
+                return self.step_down_slice::<RECORD>(power);
+            }
+        }
+        self.step_impl::<NOISY, RECORD>()
+    }
+
     /// Checkpoint support: appends the simulator's entire dynamic state —
     /// device mode and in-flight transition, waiting queue and its
     /// counters, service progress, all four RNG streams, the clock, the
@@ -413,6 +652,11 @@ impl Simulator {
             }
         }
         w.put_u32(self.injected);
+        put_fault_state(w, self.device.fault());
+        w.put_usize(self.fault_pos);
+        w.put_u64(self.fault_stats.faults_injected);
+        w.put_u64(self.fault_stats.downtime_slices);
+        w.put_u64(self.fault_stats.queue_lost);
         self.generator.save_state(w);
         self.pm.save_state(w);
     }
@@ -487,7 +731,23 @@ impl Simulator {
             None
         };
         let injected = r.get_u32()?;
+        let fault = get_fault_state(r)?;
+        let fault_pos = r.get_usize()?;
+        if fault_pos > self.faults.len() {
+            return Err(StateError::BadValue(format!(
+                "restored fault cursor {fault_pos} past schedule of {} events",
+                self.faults.len()
+            )));
+        }
+        let fault_stats = FaultStats {
+            faults_injected: r.get_u64()?,
+            downtime_slices: r.get_u64()?,
+            queue_lost: r.get_u64()?,
+        };
         self.device.restore_state(device);
+        self.device.set_fault(fault);
+        self.fault_pos = fault_pos;
+        self.fault_stats = fault_stats;
         self.queue
             .restore(&waiting, qstats)
             .map_err(|e| StateError::BadValue(e.to_string()))?;
@@ -529,10 +789,10 @@ impl Simulator {
     /// Advances the simulation by one slice and returns its outcome.
     pub fn step(&mut self) -> StepOutcome {
         match (self.has_noise(), self.recorder.is_some()) {
-            (false, false) => self.step_impl::<false, false>(),
-            (false, true) => self.step_impl::<false, true>(),
-            (true, false) => self.step_impl::<true, false>(),
-            (true, true) => self.step_impl::<true, true>(),
+            (false, false) => self.step_slice::<false, false>(),
+            (false, true) => self.step_slice::<false, true>(),
+            (true, false) => self.step_slice::<true, false>(),
+            (true, true) => self.step_slice::<true, true>(),
         }
     }
 
@@ -582,10 +842,12 @@ impl Simulator {
         // 4. Device elapses the slice (residency/transition energy).
         let tick = self.device.tick();
 
-        // 5. Service.
+        // 5. Service, gated by the fault axis: a straggling device takes
+        //    only every slowdown-th opportunity, and a gated (or fault-free
+        //    idle) slice draws nothing from the service stream.
         let mut completed = 0u32;
         let mut wait_of_completed = 0u64;
-        if tick.can_serve && !self.queue.is_empty() {
+        if tick.can_serve && !self.queue.is_empty() && self.device.service_gate() {
             let u = uniform(&mut self.rng_service);
             if self.server.advance(u) {
                 wait_of_completed = self
@@ -664,17 +926,33 @@ impl Simulator {
         let before = self.stats.clone();
         let mut remaining = steps;
         while remaining > 0 {
+            // An active fault window (down or degraded) or a fault due at
+            // this slice pins per-slice execution: downtime and degraded
+            // service are accounted slice by slice in both engine modes,
+            // which keeps fault-injected runs bit-exact by construction.
+            if !self.device.fault().is_healthy() || self.fault_due() {
+                self.step_slice::<false, false>();
+                remaining -= 1;
+                continue;
+            }
             // A non-empty queue or pending injected arrivals pin the next
             // slice to ordinary execution — fast-forwarding would land the
             // injection on the wrong slice.
             if !self.queue.is_empty() || self.injected > 0 {
-                self.step_impl::<false, false>();
+                self.step_slice::<false, false>();
                 remaining -= 1;
                 continue;
             }
-            let empty_ahead = self.ensure_gap(remaining).min(remaining);
+            // A scheduled fault bounds the commit-quiescent horizon exactly
+            // like an arrival: never prefetch or commit past its onset.
+            let fault_window = self
+                .faults
+                .get(self.fault_pos)
+                .map_or(u64::MAX, |e| e.at.saturating_sub(self.now));
+            let window = remaining.min(fault_window);
+            let empty_ahead = self.ensure_gap(window).min(window);
             if empty_ahead == 0 {
-                self.step_impl::<false, false>();
+                self.step_slice::<false, false>();
                 remaining -= 1;
                 continue;
             }
@@ -743,9 +1021,11 @@ impl Simulator {
             remaining -= committed;
             // The manager declined (part of) the offered window: the next
             // slice is its decision epoch — run it per slice right away
-            // instead of re-offering a window it just turned down.
+            // instead of re-offering a window it just turned down. The
+            // declined slice lies strictly inside the fault-free window
+            // (committed < offered <= window), so it cannot cross an onset.
             if committed < offered && remaining > 0 {
-                self.step_impl::<false, false>();
+                self.step_slice::<false, false>();
                 remaining -= 1;
             }
         }
@@ -776,22 +1056,22 @@ impl Simulator {
         match (self.has_noise(), self.recorder.is_some()) {
             (false, false) => {
                 for _ in 0..steps {
-                    self.step_impl::<false, false>();
+                    self.step_slice::<false, false>();
                 }
             }
             (false, true) => {
                 for _ in 0..steps {
-                    self.step_impl::<false, true>();
+                    self.step_slice::<false, true>();
                 }
             }
             (true, false) => {
                 for _ in 0..steps {
-                    self.step_impl::<true, false>();
+                    self.step_slice::<true, false>();
                 }
             }
             (true, true) => {
                 for _ in 0..steps {
-                    self.step_impl::<true, true>();
+                    self.step_slice::<true, true>();
                 }
             }
         }
@@ -888,6 +1168,61 @@ fn get_device_state(r: &mut StateReader<'_>, n_states: usize) -> Result<DeviceSt
         mode,
         active_transition,
     })
+}
+
+/// Appends a [`FaultState`] (tag byte plus fields).
+fn put_fault_state(w: &mut StateWriter, fault: FaultState) {
+    match fault {
+        FaultState::Healthy => w.put_u8(0),
+        FaultState::Degraded {
+            slowdown,
+            until,
+            opportunities,
+        } => {
+            w.put_u8(1);
+            w.put_u64(slowdown);
+            w.put_u64(until);
+            w.put_u64(opportunities);
+        }
+        FaultState::Down {
+            until,
+            power,
+            queue_preserved,
+        } => {
+            w.put_u8(2);
+            w.put_u64(until);
+            w.put_f64(power);
+            w.put_bool(queue_preserved);
+        }
+    }
+}
+
+/// Reads a [`FaultState`] written by [`put_fault_state`].
+fn get_fault_state(r: &mut StateReader<'_>) -> Result<FaultState, StateError> {
+    match r.get_u8()? {
+        0 => Ok(FaultState::Healthy),
+        1 => {
+            let slowdown = r.get_u64()?;
+            if slowdown == 0 {
+                return Err(StateError::BadValue(
+                    "degraded device with zero slowdown".into(),
+                ));
+            }
+            Ok(FaultState::Degraded {
+                slowdown,
+                until: r.get_u64()?,
+                opportunities: r.get_u64()?,
+            })
+        }
+        2 => Ok(FaultState::Down {
+            until: r.get_u64()?,
+            power: r.get_f64()?,
+            queue_preserved: r.get_bool()?,
+        }),
+        tag => Err(StateError::BadValue(format!(
+            "unknown fault state tag {tag}"
+        ))),
+    }
 }
 
 /// Appends an [`Observation`] (the carried noisy view).

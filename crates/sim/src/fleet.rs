@@ -113,12 +113,14 @@ use qdpm_core::{
     QosQDpmAgent, RewardWeights, SharedQLearner, StateEncoder,
 };
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId, ServiceModel, Step};
-use qdpm_workload::{CohortArrivals, DispatchPolicy, SparseTrace, WorkloadDispatcher};
+use qdpm_workload::{
+    CohortArrivals, DispatchPolicy, FaultInjector, FaultPlan, SparseTrace, WorkloadDispatcher,
+};
 
 use crate::fleet_batch::{group_cohorts, CohortSim};
 use crate::hierarchy::{drive_rack, RackCoordinator, RackSpec};
 use crate::parallel::{derive_cell_seed, run_indexed_mut, ScenarioWorkload};
-use crate::{policies, EngineMode, RunStats, SimConfig, SimError, Simulator};
+use crate::{policies, EngineMode, FaultStats, RunStats, SimConfig, SimError, Simulator};
 
 /// Declarative power-management policy of one fleet member.
 ///
@@ -287,6 +289,15 @@ pub struct FleetConfig {
     /// `true`) exists for benchmarking and for the conformance suite to
     /// pin that equivalence.
     pub batch_cohorts: bool,
+    /// Seeded fault injection across the fleet (default: none). The plan
+    /// is materialized ahead of simulation from per-device
+    /// SplitMix64-derived streams
+    /// ([`FaultInjector::plan`]`(n_devices, horizon, seed)`), so
+    /// fault-injected runs stay bit-exact across engine modes and thread
+    /// counts. Devices with scheduled faults are excluded from batched
+    /// cohorts (the structure-of-arrays engine has no fault axis) and run
+    /// on the dynamic path instead.
+    pub faults: Option<FaultInjector>,
 }
 
 impl Default for FleetConfig {
@@ -300,6 +311,7 @@ impl Default for FleetConfig {
             horizon: 50_000,
             force_online: false,
             batch_cohorts: true,
+            faults: None,
         }
     }
 }
@@ -417,6 +429,22 @@ pub(crate) fn materialize_events(
     Ok(events)
 }
 
+/// Validates and materializes the fleet's fault plan (empty when no
+/// injector is configured). Both execution shapes call this with the same
+/// `(config, n_devices)`, so preplanned and online runs of the same fleet
+/// see the identical fault schedule.
+pub(crate) fn plan_faults(config: &FleetConfig, n_devices: usize) -> Result<FaultPlan, SimError> {
+    match &config.faults {
+        None => Ok(FaultPlan::empty(n_devices)),
+        Some(injector) => {
+            injector
+                .validate()
+                .map_err(|e| SimError::BadConfig(format!("fault injector: {e}")))?;
+            Ok(injector.plan(n_devices, config.horizon, config.seed))
+        }
+    }
+}
+
 /// Aggregate statistics of a fleet run.
 ///
 /// `total` is the left fold of the per-device [`RunStats`] *in device
@@ -452,6 +480,74 @@ pub struct FleetStats {
     pub mode_occupancy: Vec<f64>,
     /// Fraction of devices mid-transition at the end of the run.
     pub transitioning: f64,
+    /// Availability and failure-handling accounting (all-zero with empty
+    /// per-device downtime for fault-free runs).
+    pub availability: AvailabilityStats,
+}
+
+/// Availability and failure-handling accounting of a fleet run: what the
+/// fault clocks did to each device, and what the coordination layer did
+/// about it. Preplanned fleets fill only the device-side counters; the
+/// retry and shed counters are moved by the online coordinator's
+/// failure-aware dispatch.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Fault events applied across the fleet.
+    pub faults_injected: u64,
+    /// Per-device slices spent down, in device order (empty when no fleet
+    /// path filled it, e.g. intermediate aggregates).
+    pub downtime_slices: Vec<u64>,
+    /// Requests lost from device queues at crash onsets (not harvested for
+    /// retry by any coordinator).
+    pub queue_lost: u64,
+    /// Stranded arrivals harvested into the retry queue.
+    pub retries_enqueued: u64,
+    /// Retried arrivals successfully re-dispatched to a healthy device.
+    pub redispatched: u64,
+    /// Retried arrivals still waiting for re-dispatch at the end of the
+    /// run.
+    pub retry_pending: u64,
+    /// Arrivals shed because every device was down
+    /// (`ShedReason::NoHealthyDevice`).
+    pub shed_no_healthy: u64,
+    /// Arrivals shed after exhausting the retry budget
+    /// (`ShedReason::RetryBudgetExhausted`).
+    pub shed_retry_exhausted: u64,
+}
+
+impl AvailabilityStats {
+    /// Total downtime slices across the fleet.
+    #[must_use]
+    pub fn total_downtime(&self) -> u64 {
+        self.downtime_slices.iter().sum()
+    }
+
+    /// Devices that spent at least one slice down.
+    #[must_use]
+    pub fn devices_hit(&self) -> usize {
+        self.downtime_slices.iter().filter(|&&d| d > 0).count()
+    }
+
+    /// All arrivals shed by the coordination layer, any reason.
+    #[must_use]
+    pub fn total_shed(&self) -> u64 {
+        self.shed_no_healthy + self.shed_retry_exhausted
+    }
+
+    /// Builds the device-side half from per-device [`FaultStats`] (the
+    /// retry/shed counters stay zero; coordinators overwrite them).
+    #[must_use]
+    pub fn from_device_stats(per_device: &[FaultStats]) -> Self {
+        let mut out = AvailabilityStats {
+            downtime_slices: per_device.iter().map(|f| f.downtime_slices).collect(),
+            ..AvailabilityStats::default()
+        };
+        for f in per_device {
+            out.faults_injected += f.faults_injected;
+            out.queue_lost += f.queue_lost;
+        }
+        out
+    }
 }
 
 /// Nearest-rank percentile (`p` in `[0, 100]`) of a sorted sample.
@@ -512,6 +608,7 @@ impl FleetStats {
             mode_occupancy,
             transitioning,
             total,
+            availability: AvailabilityStats::default(),
         }
     }
 }
@@ -540,11 +637,13 @@ enum BatchUnit {
     Dynamic {
         /// Global device index.
         index: usize,
-        /// The device's simulator.
-        sim: Simulator,
+        /// The device's simulator (boxed: the fault clock widened
+        /// `Simulator` past the cohort variant, and slim units pack the
+        /// work list tighter for the thread fan-out).
+        sim: Box<Simulator>,
     },
-    /// A homogeneous cohort, batched path.
-    Cohort(CohortSim),
+    /// A homogeneous cohort, batched path (boxed for the same reason).
+    Cohort(Box<CohortSim>),
 }
 
 /// How a constructed fleet will execute (see the module notes on the two
@@ -559,9 +658,10 @@ enum FleetInner {
         n_states: usize,
     },
     /// Online dispatch: a cap-less rack routed live at every aggregate
-    /// arrival event.
+    /// arrival event. Boxed: a rack (fault barriers, retry queue, budget
+    /// plumbing) dwarfs the preplanned variant's three thin vecs.
     Online {
-        rack: RackCoordinator,
+        rack: Box<RackCoordinator>,
         events: Vec<(Step, u32)>,
     },
 }
@@ -612,11 +712,16 @@ impl FleetSim {
             return Ok(FleetSim {
                 devices: members.len(),
                 has_shared: rack.has_shared_table(),
-                inner: FleetInner::Online { rack, events },
+                inner: FleetInner::Online {
+                    rack: Box::new(rack),
+                    events,
+                },
                 horizon: config.horizon,
                 aggregate_arrivals,
             });
         }
+
+        let fault_plan = plan_faults(config, members.len())?;
 
         let mut generator = aggregate.build()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
@@ -624,11 +729,18 @@ impl FleetSim {
         // Homogeneous groups of ≥ 2 batchable members take the batched
         // cohort path; the dispatcher scatters the identical partition
         // either way, so batched and dynamic runs see the same arrivals.
-        let groups = if config.batch_cohorts && config.engine_mode == EngineMode::PerSlice {
+        // Members with scheduled faults are excluded — the batched engine
+        // has no fault clock — and fall back to the dynamic path, keeping
+        // faulted runs bit-identical whether or not batching is on.
+        let mut groups = if config.batch_cohorts && config.engine_mode == EngineMode::PerSlice {
             group_cohorts(members)
         } else {
             Vec::new()
         };
+        for group in &mut groups {
+            group.retain(|&i| fault_plan.device(i).is_empty());
+        }
+        groups.retain(|g| g.len() >= 2);
         let grouped =
             dispatcher.split_grouped(generator.as_mut(), &mut rng, config.horizon, &groups);
         let aggregate_arrivals = grouped
@@ -655,24 +767,29 @@ impl FleetSim {
                 noise: crate::ObservationNoise::none(),
                 mode: config.engine_mode,
             };
+            let mut sim = Simulator::new(
+                member.power.clone(),
+                member.service,
+                Box::new(trace),
+                pm,
+                sim_config,
+            )?;
+            let schedule = fault_plan.device(index);
+            if !schedule.is_empty() {
+                sim.set_fault_schedule(schedule.to_vec());
+            }
             units.push(BatchUnit::Dynamic {
                 index,
-                sim: Simulator::new(
-                    member.power.clone(),
-                    member.service,
-                    Box::new(trace),
-                    pm,
-                    sim_config,
-                )?,
+                sim: Box::new(sim),
             });
         }
         for (group, arrivals) in groups.iter().zip(grouped.cohorts) {
-            units.push(BatchUnit::Cohort(CohortSim::new(
+            units.push(BatchUnit::Cohort(Box::new(CohortSim::new(
                 &members[group[0]],
                 group.clone(),
                 arrivals,
                 config,
-            )?));
+            )?)));
         }
         Ok(FleetSim {
             devices: members.len(),
@@ -775,7 +892,17 @@ impl FleetSim {
                     per_device[index] = stats;
                     final_modes[index] = mode;
                 }
-                let stats = FleetStats::aggregate(&per_device, &final_modes, n_states);
+                // Units are driven in place, so fault accounting is read
+                // back after the run (cohort members are fault-free by
+                // construction — their slots stay zero).
+                let mut fault_stats = vec![FaultStats::default(); devices];
+                for unit in &units {
+                    if let BatchUnit::Dynamic { index, sim } = unit {
+                        fault_stats[*index] = *sim.fault_stats();
+                    }
+                }
+                let mut stats = FleetStats::aggregate(&per_device, &final_modes, n_states);
+                stats.availability = AvailabilityStats::from_device_stats(&fault_stats);
                 FleetReport {
                     labels,
                     per_device,
@@ -888,6 +1015,7 @@ impl FleetCell {
                 horizon: self.params.horizon,
                 force_online: false,
                 batch_cohorts: true,
+                faults: None,
             },
         )
     }

@@ -73,19 +73,132 @@ use std::sync::{Arc, Mutex};
 use rand::Rng;
 
 use qdpm_core::{Observation, PowerManager, StateError, StateReader, StateWriter, StepOutcome};
-use qdpm_device::{DeviceMode, PowerModel, PowerStateId, Step};
-use qdpm_workload::{DeviceSnapshot, DispatchPolicy, SparseTrace, WorkloadDispatcher};
+use qdpm_device::{DeviceHealth, DeviceMode, FaultKind, PowerModel, PowerStateId, Step};
+use qdpm_workload::{DeviceSnapshot, DispatchPolicy, RetryQueue, SparseTrace, WorkloadDispatcher};
 
 use crate::fleet::{
-    build_policy, materialize_events, FleetConfig, FleetMember, FleetReport, FleetStats, SharedPool,
+    build_policy, materialize_events, plan_faults, AvailabilityStats, FleetConfig, FleetMember,
+    FleetReport, FleetStats, SharedPool,
 };
 use crate::parallel::{derive_cell_seed, run_indexed_mut, ScenarioWorkload};
-use crate::{RunStats, SimConfig, SimError, Simulator};
+use crate::{FaultStats, RunStats, SimConfig, SimError, Simulator};
 
 /// Slack added to every cap comparison, absorbing the accumulated f64
 /// rounding of repeated budget arithmetic (the conformance invariant uses
 /// the same slack).
 pub const CAP_EPS: f64 = 1e-9;
+
+/// Re-dispatch attempts a stranded arrival batch gets before the rack
+/// sheds it ([`qdpm_workload::ShedReason::RetryBudgetExhausted`]).
+pub const RETRY_BUDGET: u32 = 3;
+
+/// Slices between a crash harvest and the first re-dispatch attempt;
+/// subsequent attempts double it ([`RetryQueue`]'s deterministic backoff).
+pub const RETRY_BACKOFF_BASE: u64 = 8;
+
+/// A slice where the rack must regain serial control to react to a
+/// scheduled fault: harvest a crashing member's queue into the retry
+/// machinery, or refresh the command budget around a health change.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FaultBarrier {
+    /// The slice *before* which the rack acts (the fault clock fires
+    /// inside this slice).
+    at: Step,
+    /// What the rack does there.
+    kind: BarrierKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BarrierKind {
+    /// A transient crash fires at this slice: move the member's queue
+    /// into the retry queue before the crash drains it, and (capped
+    /// racks) pin the member's nominal to the fault draw for the onset
+    /// slice — the fault clock flips health *inside* the slice, after
+    /// the budget refresh would otherwise have read the stale demand.
+    Harvest { member: usize, draw: f64 },
+    /// A fail-stop fires at this slice (capped racks only): pin the
+    /// member's nominal to the fault draw for the onset slice, exactly
+    /// like the harvest barrier does for crashes — without it the onset
+    /// slice draws `down_power` against a budget that still accounts the
+    /// pre-fault demand, and the cap can be pierced.
+    Onset { member: usize, draw: f64 },
+    /// A member's health changed in the previous slice: force a grant
+    /// slice so [`RackCoordinator`]'s budget refresh sees the new state
+    /// (reclaiming a down member's nominal, or re-flooring a revived one).
+    Refresh,
+}
+
+/// Materializes the serial stops a rack needs for a fault plan: a harvest
+/// barrier at every transient-crash onset, an onset barrier at every
+/// fail-stop (capped racks), and — capped racks only — a budget-refresh
+/// barrier on the slice after every onset and revival.
+/// Sorted by slice (ties: device order, harvests first).
+fn build_barriers(
+    plan: &qdpm_workload::FaultPlan,
+    capped: bool,
+    horizon: Step,
+) -> Vec<FaultBarrier> {
+    let mut barriers = Vec::new();
+    for member in 0..plan.n_devices() {
+        for event in plan.device(member) {
+            match event.kind {
+                FaultKind::TransientCrash {
+                    down_for,
+                    down_power,
+                } => {
+                    barriers.push(FaultBarrier {
+                        at: event.at,
+                        kind: BarrierKind::Harvest {
+                            member,
+                            draw: down_power,
+                        },
+                    });
+                    if capped {
+                        let revival = event.at.saturating_add(down_for.max(1));
+                        for t in [event.at + 1, revival.saturating_add(1)] {
+                            if t < horizon {
+                                barriers.push(FaultBarrier {
+                                    at: t,
+                                    kind: BarrierKind::Refresh,
+                                });
+                            }
+                        }
+                    }
+                }
+                FaultKind::FailStop { down_power } => {
+                    if capped {
+                        barriers.push(FaultBarrier {
+                            at: event.at,
+                            kind: BarrierKind::Onset {
+                                member,
+                                draw: down_power,
+                            },
+                        });
+                        if event.at + 1 < horizon {
+                            barriers.push(FaultBarrier {
+                                at: event.at + 1,
+                                kind: BarrierKind::Refresh,
+                            });
+                        }
+                    }
+                }
+                // A straggler keeps serving (slowly); nothing for the
+                // coordinator to do.
+                FaultKind::Straggler { .. } => {}
+            }
+        }
+    }
+    barriers.sort_by_key(|b| {
+        let (order, member) = match b.kind {
+            BarrierKind::Harvest { member, .. } => (0, member),
+            BarrierKind::Onset { member, .. } => (1, member),
+            BarrierKind::Refresh => (2, usize::MAX),
+        };
+        (b.at, order, member)
+    });
+    barriers.dedup();
+    barriers
+}
 
 /// Specification of one rack: a label, its member devices, and an optional
 /// power cap.
@@ -245,6 +358,9 @@ pub struct RackReport {
     /// Arrivals rerouted away from sleepers the budget could not wake
     /// (0 for uncapped racks).
     pub shed_arrivals: u64,
+    /// Each device's health at the end of the run, in device order (a
+    /// fail-stopped member reports [`DeviceHealth::Down`] forever).
+    pub health: Vec<DeviceHealth>,
 }
 
 /// Drives one rack of devices under online dispatch and an optional power
@@ -309,6 +425,26 @@ pub struct RackCoordinator {
     seed: u64,
     /// Reused per-slice assignment buffer.
     assign: Vec<u32>,
+    /// Per-device lowest-state draw (the budget floor a down member keeps
+    /// reserved so its revival slice is always affordable).
+    floors: Vec<f64>,
+    /// Transient per-member nominal override for a fault-onset slice: the
+    /// fault clock flips health *inside* the slice, so the onset barrier
+    /// pins the budget to the fault draw here one slice early. Consumed by
+    /// the next budget refresh; always `None` between slices (never
+    /// checkpointed).
+    onset_draw: Vec<Option<f64>>,
+    /// Serial stops of the fault plan, slice-sorted.
+    barriers: Vec<FaultBarrier>,
+    /// First unconsumed barrier.
+    barrier_pos: usize,
+    /// Arrival batches harvested off crashing members, awaiting
+    /// re-dispatch with exponential slice backoff.
+    retry: RetryQueue,
+    /// Arrivals shed because every member was down when they arrived.
+    shed_no_healthy: u64,
+    /// The rack clock: slices executed so far (all member sims agree).
+    now: Step,
 }
 
 impl RackCoordinator {
@@ -364,6 +500,8 @@ impl RackCoordinator {
             }
         };
 
+        let fault_plan = plan_faults(config, spec.members.len())?;
+
         let mut pool: Option<SharedPool> = None;
         let mut sims = Vec::with_capacity(spec.members.len());
         for (index, member) in spec.members.iter().enumerate() {
@@ -395,8 +533,13 @@ impl RackCoordinator {
             if budget.is_some() {
                 sim.reset_device_to(member.power.lowest_power_state());
             }
+            let schedule = fault_plan.device(index);
+            if !schedule.is_empty() {
+                sim.set_fault_schedule(schedule.to_vec());
+            }
             sims.push(sim);
         }
+        let barriers = build_barriers(&fault_plan, budget.is_some(), config.horizon);
 
         Ok(RackCoordinator {
             label: spec.label.clone(),
@@ -409,6 +552,12 @@ impl RackCoordinator {
                 .max()
                 .unwrap_or(0),
             assign: vec![0; sims.len()],
+            floors: spec
+                .members
+                .iter()
+                .map(|m| m.power.state(m.power.lowest_power_state()).power)
+                .collect(),
+            onset_draw: vec![None; sims.len()],
             sims,
             dispatcher,
             budget,
@@ -417,6 +566,11 @@ impl RackCoordinator {
             has_shared: pool.is_some(),
             horizon: config.horizon,
             seed: config.seed,
+            barriers,
+            barrier_pos: 0,
+            retry: RetryQueue::new(RETRY_BUDGET, RETRY_BACKOFF_BASE),
+            shed_no_healthy: 0,
+            now: 0,
         })
     }
 
@@ -441,23 +595,27 @@ impl RackCoordinator {
 
     /// Live per-device snapshots for the dispatcher (a transitioning
     /// device counts as `waking` when its transition lands in a serving
-    /// state).
+    /// state; a down device is flagged so health-aware policies route
+    /// around it).
     fn snapshots(&self) -> Vec<DeviceSnapshot> {
         self.sims
             .iter()
             .zip(&self.models)
             .map(|(sim, model)| {
                 let obs = sim.observation();
+                let down = sim.health() == DeviceHealth::Down;
                 match obs.device_mode {
                     DeviceMode::Operational(s) => DeviceSnapshot {
                         queue_len: obs.queue_len,
                         awake: model.state(s).can_serve,
                         waking: false,
+                        down,
                     },
                     DeviceMode::Transitioning { to, .. } => DeviceSnapshot {
                         queue_len: obs.queue_len,
                         awake: false,
                         waking: model.state(to).can_serve,
+                        down,
                     },
                 }
             })
@@ -465,31 +623,137 @@ impl RackCoordinator {
     }
 
     /// One rack-level snapshot for the cluster dispatcher: summed queue
-    /// depth, awake if *any* device serves, waking if any is on its way.
+    /// depth, awake if *any* device serves, waking if any is on its way,
+    /// down only if *every* device is down.
     fn snapshot(&self) -> DeviceSnapshot {
         let mut agg = DeviceSnapshot {
             queue_len: 0,
             awake: false,
             waking: false,
+            down: true,
         };
         for s in self.snapshots() {
             agg.queue_len += s.queue_len;
-            agg.awake |= s.awake;
-            agg.waking |= s.waking;
+            agg.awake |= s.awake && !s.down;
+            agg.waking |= s.waking && !s.down;
+            agg.down &= s.down;
         }
         agg
     }
 
     /// Recomputes every nominal down to the device's actual draw bound,
     /// releasing budget that finished transitions no longer hold. Only
-    /// called at grant slices (serial), and only ever lowers values: a
-    /// device's actual draw is bounded by the demand its last allowed
-    /// command reserved.
-    fn refresh_nominals(&self) {
+    /// called at grant slices (serial). A *down* member's bound is its
+    /// fault-specified draw — the rest of its reservation is reclaimed so
+    /// capped racks consolidate onto the survivors — floored at the
+    /// member's sleeping draw so the revival slice (which resets the
+    /// device to its lowest state) is always pre-reserved. A fault whose
+    /// `down_power` exceeds the member's normal envelope erodes the cap's
+    /// slack instead: fault physics outrank the planner. A member whose
+    /// fault fires *this* slice is bounded by the onset barrier's pinned
+    /// draw (`onset_draw`), consumed here — its health still reads
+    /// healthy until the slice executes. A member whose fault window just
+    /// expired is bounded at its floor: the revival reset (to the lowest
+    /// state) applies lazily inside its next step, so its observation
+    /// still shows the stale pre-crash mode — trusting that would hand a
+    /// revived sleeper its old active-state slot for free.
+    fn refresh_nominals(&mut self) {
         let Some(budget) = &self.budget else { return };
         let mut b = budget.lock().expect("rack budget poisoned");
         for (i, sim) in self.sims.iter().enumerate() {
-            b.nominal[i] = mode_demand(&self.models[i], sim.observation().device_mode);
+            b.nominal[i] = if let Some(power) = self.onset_draw[i].take() {
+                power.max(self.floors[i])
+            } else if sim.pending_revival() {
+                self.floors[i]
+            } else {
+                match sim.fault_down_power() {
+                    Some(power) => power.max(self.floors[i]),
+                    None => mode_demand(&self.models[i], sim.observation().device_mode),
+                }
+            };
+        }
+    }
+
+    /// Performs the serial fault work due at the current slice, *before*
+    /// the slice executes: consume due barriers (harvesting a crashing
+    /// member's queue into [`RetryQueue`] so the crash finds nothing to
+    /// lose), then re-dispatch every retry batch whose backoff has
+    /// elapsed to the least-loaded healthy member — preferring serving or
+    /// waking ones — re-queueing with doubled backoff (or shedding, once
+    /// the attempt budget is spent) when the whole rack is down. Any
+    /// action on a capped rack forces the slice to be a grant slice, so
+    /// the budget refresh sees health changes and injected batches can
+    /// fund a wake.
+    fn fault_barrier_slice(&mut self) {
+        let mut acted = false;
+        while self
+            .barriers
+            .get(self.barrier_pos)
+            .is_some_and(|b| b.at <= self.now)
+        {
+            let barrier = self.barriers[self.barrier_pos];
+            self.barrier_pos += 1;
+            if barrier.at < self.now {
+                continue; // passed while quiescent; nothing left to do
+            }
+            acted = true;
+            match barrier.kind {
+                BarrierKind::Harvest { member, draw } => {
+                    let stranded = self.sims[member].harvest_stranded();
+                    if stranded > 0 {
+                        let count = u32::try_from(stranded).unwrap_or(u32::MAX);
+                        self.retry.push(count, self.now);
+                    }
+                    if self.budget.is_some() {
+                        self.onset_draw[member] = Some(draw);
+                    }
+                }
+                BarrierKind::Onset { member, draw } => {
+                    if self.budget.is_some() {
+                        self.onset_draw[member] = Some(draw);
+                    }
+                }
+                BarrierKind::Refresh => {}
+            }
+        }
+        while let Some(job) = self.retry.pop_ready(self.now) {
+            let snaps = self.snapshots();
+            let healthy = |i: &usize| !snaps[*i].down;
+            let target = (0..snaps.len())
+                .filter(|&i| snaps[i].available())
+                .min_by_key(|&i| (snaps[i].queue_len, i))
+                .or_else(|| {
+                    (0..snaps.len())
+                        .filter(healthy)
+                        .min_by_key(|&i| (snaps[i].queue_len, i))
+                });
+            match target {
+                Some(t) => {
+                    self.sims[t].inject_arrivals(job.jobs);
+                    self.retry.mark_redispatched(&job);
+                    acted = true;
+                }
+                // Whole rack down: back off again (sheds once the
+                // budget is spent). The new ready slice is strictly in
+                // the future, so this loop terminates.
+                None => {
+                    self.retry.requeue(job, self.now);
+                }
+            }
+        }
+        if acted && self.budget.is_some() {
+            self.grant_pending = true;
+        }
+    }
+
+    /// The next future slice where the rack must regain serial control
+    /// for fault handling (barrier or retry re-dispatch), if any.
+    fn next_fault_stop(&self) -> Option<Step> {
+        let barrier = self.barriers.get(self.barrier_pos).map(|b| b.at);
+        let retry = self.retry.next_ready();
+        match (barrier, retry) {
+            (Some(b), Some(r)) => Some(b.min(r)),
+            (stop, None) | (None, stop) => stop,
         }
     }
 
@@ -512,13 +776,38 @@ impl RackCoordinator {
         self.sims.iter_mut().map(|sim| sim.step().energy).sum()
     }
 
-    /// Routes one arrival slice: snapshot, dispatch, budget-aware load
-    /// shedding, and injection into the chosen members' simulators.
+    /// Routes one arrival slice: snapshot, dispatch, failure- and
+    /// budget-aware load shedding, and injection into the chosen members'
+    /// simulators.
     fn prepare_arrivals(&mut self, count: u32) {
         let mut snaps = self.snapshots();
+        if snaps.iter().all(|s| s.down) {
+            // Nothing can absorb the slice: shed it with a typed reason
+            // ([`qdpm_workload::ShedReason::NoHealthyDevice`]) rather
+            // than queue onto devices that may never revive.
+            self.shed_no_healthy += u64::from(count);
+            self.assign.iter_mut().for_each(|a| *a = 0);
+            return;
+        }
         let pre_available: Vec<bool> = snaps.iter().map(DeviceSnapshot::available).collect();
         self.dispatcher
             .route_slice(count, &mut snaps, &mut self.assign);
+
+        // State-blind policies route without reading snapshots: strip
+        // their assignments off down members onto the least-loaded
+        // healthy one (state-aware policies already skip them).
+        for i in 0..self.assign.len() {
+            if self.assign[i] > 0 && snaps[i].down {
+                let t = (0..snaps.len())
+                    .filter(|&j| !snaps[j].down)
+                    .min_by_key(|&j| (snaps[j].queue_len, j))
+                    .expect("a healthy device exists past the all-down check");
+                let moved = self.assign[i];
+                self.assign[t] += moved;
+                snaps[t].queue_len += moved as usize;
+                self.assign[i] = 0;
+            }
+        }
 
         if let Some(budget) = &self.budget {
             // Shed arrivals aimed at sleepers the budget cannot wake: a
@@ -578,14 +867,17 @@ impl RackCoordinator {
     /// rack one event at a time, interleaving checkpoints; batch callers
     /// use [`RackCoordinator::run`].
     pub fn arrival_slice(&mut self, count: u32) -> f64 {
+        self.fault_barrier_slice();
         self.prepare_arrivals(count);
-        if self.budget.is_some() {
+        let energy = if self.budget.is_some() {
             let energy = self.grant_step_all();
             self.grant_pending = true;
             energy
         } else {
             self.plain_step_all()
-        }
+        };
+        self.now += 1;
+        energy
     }
 
     /// Advances every device across `gap` arrival-free slices. When a
@@ -593,22 +885,35 @@ impl RackCoordinator {
     /// decisions land) its slice is stepped serially first; the remainder
     /// runs on up to `threads` workers (budget operations in the remainder
     /// are own-slot only, so the interleaving cannot change results).
+    ///
+    /// The gap is internally chunked at fault stops — crash-harvest
+    /// barriers, budget-refresh slices, retry-backoff expiries — where
+    /// the rack regains serial control ([`RackCoordinator`] docs). Chunk
+    /// boundaries depend only on the fault plan and retry state, never on
+    /// `threads`, so results stay identical at any thread count.
     pub fn advance_gap(&mut self, gap: u64, threads: usize) {
-        if gap == 0 {
-            return;
-        }
-        self.dispatcher.advance_quiet(gap);
-        let mut left = gap;
-        if self.budget.is_some() && self.grant_pending {
-            self.grant_step_all();
-            left -= 1;
-        }
-        self.grant_pending = false;
-        if left > 0 {
-            let threads = if self.has_shared { 1 } else { threads };
-            run_indexed_mut(&mut self.sims, threads, |_, sim| {
-                sim.run(left);
-            });
+        let threads = if self.has_shared { 1 } else { threads };
+        let end = self.now + gap;
+        while self.now < end {
+            self.fault_barrier_slice();
+            let stop = self
+                .next_fault_stop()
+                .unwrap_or(end)
+                .clamp(self.now + 1, end);
+            let chunk = stop - self.now;
+            self.dispatcher.advance_quiet(chunk);
+            let mut left = chunk;
+            if self.budget.is_some() && self.grant_pending {
+                self.grant_step_all();
+                left -= 1;
+            }
+            self.grant_pending = false;
+            if left > 0 {
+                run_indexed_mut(&mut self.sims, threads, |_, sim| {
+                    sim.run(left);
+                });
+            }
+            self.now = stop;
         }
     }
 
@@ -621,7 +926,14 @@ impl RackCoordinator {
             .iter()
             .map(|s| s.observation().device_mode)
             .collect();
-        let stats = FleetStats::aggregate(&per_device, &final_modes, self.n_states);
+        let mut stats = FleetStats::aggregate(&per_device, &final_modes, self.n_states);
+        let fault_stats: Vec<FaultStats> = self.sims.iter().map(|s| *s.fault_stats()).collect();
+        stats.availability = AvailabilityStats::from_device_stats(&fault_stats);
+        stats.availability.retries_enqueued = self.retry.enqueued();
+        stats.availability.redispatched = self.retry.redispatched();
+        stats.availability.retry_pending = self.retry.pending();
+        stats.availability.shed_no_healthy = self.shed_no_healthy;
+        stats.availability.shed_retry_exhausted = self.retry.dropped();
         RackReport {
             label: self.label.clone(),
             power_cap: self
@@ -639,13 +951,15 @@ impl RackCoordinator {
                 .as_ref()
                 .map_or(0, |b| b.lock().expect("rack budget poisoned").vetoed),
             shed_arrivals: self.shed,
+            health: self.sims.iter().map(Simulator::health).collect(),
         }
     }
 
     /// Checkpoint support: appends the rack's entire dynamic state — every
-    /// member simulator ([`Simulator::save_state`]), the intra-rack
-    /// dispatcher, the command budget's nominals and veto counter, the
-    /// pending-grant flag, and the shed counter — to a payload.
+    /// member simulator ([`Simulator::save_state`], fault clock included),
+    /// the intra-rack dispatcher, the command budget's nominals and veto
+    /// counter, the pending-grant flag, the shed counters, the rack clock,
+    /// the fault-barrier cursor, and the retry queue — to a payload.
     ///
     /// Must be called *between* slices (never mid-grant); the budget's
     /// transient `grant_open` marker is always clear there and is not
@@ -670,6 +984,10 @@ impl RackCoordinator {
         }
         w.put_bool(self.grant_pending);
         w.put_u64(self.shed);
+        w.put_u64(self.now);
+        w.put_usize(self.barrier_pos);
+        self.retry.save_state(w);
+        w.put_u64(self.shed_no_healthy);
     }
 
     /// Checkpoint support: restores state written by
@@ -726,6 +1044,17 @@ impl RackCoordinator {
         }
         self.grant_pending = r.get_bool()?;
         self.shed = r.get_u64()?;
+        self.now = r.get_u64()?;
+        let barrier_pos = r.get_usize()?;
+        if barrier_pos > self.barriers.len() {
+            return Err(StateError::BadValue(format!(
+                "barrier cursor {barrier_pos} beyond the {}-entry fault plan",
+                self.barriers.len()
+            )));
+        }
+        self.barrier_pos = barrier_pos;
+        self.retry.load_state(r)?;
+        self.shed_no_healthy = r.get_u64()?;
         Ok(())
     }
 
@@ -764,6 +1093,7 @@ impl RackCoordinator {
         let mut next = 0usize;
         let mut per_slice = Vec::with_capacity(self.horizon as usize);
         for slice in 0..self.horizon {
+            self.fault_barrier_slice();
             let arrival = (next < events.len() && events[next].0 == slice).then(|| {
                 let count = events[next].1;
                 next += 1;
@@ -782,6 +1112,7 @@ impl RackCoordinator {
             } else {
                 self.plain_step_all()
             });
+            self.now += 1;
         }
         Ok((self.report(), per_slice))
     }
@@ -965,6 +1296,7 @@ impl ClusterSim {
                 queue_len: 0,
                 awake: false,
                 waking: false,
+                down: false,
             };
             n
         ];

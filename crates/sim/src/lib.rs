@@ -61,14 +61,14 @@ pub use adaptive::{AdaptiveConfig, AdaptiveSolver, ModelBasedAdaptive};
 pub use engine::{EngineMode, ObservationNoise, SimConfig, Simulator};
 pub use error::SimError;
 pub use fleet::{
-    FleetCell, FleetConfig, FleetGrid, FleetGridParams, FleetMember, FleetPolicy, FleetReport,
-    FleetSim, FleetStats,
+    AvailabilityStats, FleetCell, FleetConfig, FleetGrid, FleetGridParams, FleetMember,
+    FleetPolicy, FleetReport, FleetSim, FleetStats,
 };
 pub use fleet_batch::{is_batchable, CohortSim};
 pub use hierarchy::{
     ClusterConfig, ClusterReport, ClusterSim, ClusterStats, RackCoordinator, RackReport, RackSpec,
 };
-pub use metrics::{RunStats, SeriesRecorder, WindowPoint};
+pub use metrics::{FaultStats, RunStats, SeriesRecorder, WindowPoint};
 pub use parallel::{
     derive_cell_seed, run_indexed, GridParams, ScenarioCell, ScenarioGrid, ScenarioWorkload,
 };

@@ -25,6 +25,32 @@ pub struct RunStats {
     pub total_wait: u64,
 }
 
+/// Availability accounting of one simulated device under fault injection:
+/// counters the fault clock moves alongside the per-slice [`RunStats`].
+/// All-zero for fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Fault events applied to the device (crash, fail-stop or straggler
+    /// onsets — expiries are not counted).
+    pub faults_injected: u64,
+    /// Slices spent down (serving nothing, drawing fault power).
+    pub downtime_slices: u64,
+    /// Requests lost from the queue at crash onsets (already-admitted
+    /// arrivals that were neither served nor dropped at admission). A
+    /// coordinator that harvests the queue for retry before the onset
+    /// slice leaves this at zero and accounts the strands itself.
+    pub queue_lost: u64,
+}
+
+impl FaultStats {
+    /// Folds another device's counters into these (fleet aggregation).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.faults_injected += other.faults_injected;
+        self.downtime_slices += other.downtime_slices;
+        self.queue_lost += other.queue_lost;
+    }
+}
+
 impl RunStats {
     /// Creates zeroed statistics.
     #[must_use]

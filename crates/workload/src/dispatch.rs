@@ -45,14 +45,18 @@ pub struct DeviceSnapshot {
     /// Whether the device is mid-transition *toward* a serving state (it
     /// will be able to serve soon without a fresh wake command).
     pub waking: bool,
+    /// Whether the device is down (faulted): serving nothing and unable to
+    /// accept a wake command. State-aware policies route around down
+    /// devices whenever any healthy device exists.
+    pub down: bool,
 }
 
 impl DeviceSnapshot {
     /// Whether the device can absorb work without a wake command: either
-    /// serving now or already on its way up.
+    /// serving now or already on its way up — and not down.
     #[must_use]
     pub fn available(&self) -> bool {
-        self.awake || self.waking
+        !self.down && (self.awake || self.waking)
     }
 }
 
@@ -77,9 +81,9 @@ impl DeviceSnapshot {
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut d = WorkloadDispatcher::new(DispatchPolicy::SleepAware { spill: 2 }, 3)?;
 /// let mut snaps = vec![
-///     DeviceSnapshot { queue_len: 0, awake: true, waking: false },
-///     DeviceSnapshot { queue_len: 0, awake: false, waking: false },
-///     DeviceSnapshot { queue_len: 0, awake: false, waking: false },
+///     DeviceSnapshot { queue_len: 0, awake: true, waking: false, down: false },
+///     DeviceSnapshot { queue_len: 0, awake: false, waking: false, down: false },
+///     DeviceSnapshot { queue_len: 0, awake: false, waking: false, down: false },
 /// ];
 /// let mut assign = vec![0u32; 3];
 /// // Three arrivals: two consolidate onto awake device 0; the third sees
@@ -341,10 +345,20 @@ impl WorkloadDispatcher {
                     let snaps = snapshots
                         .as_deref_mut()
                         .expect("state-aware policy routed without snapshots");
+                    // Down devices are skipped whenever any healthy device
+                    // exists; with the whole fleet down the assignment
+                    // stays total (the coordinator sheds before routing).
                     let t = snaps
                         .iter()
                         .enumerate()
+                        .filter(|(_, s)| !s.down)
                         .min_by_key(|&(i, s)| (s.queue_len, cyc(i)))
+                        .or_else(|| {
+                            snaps
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(i, s)| (s.queue_len, cyc(i)))
+                        })
                         .map(|(i, _)| i)
                         .expect("dispatcher has at least one device");
                     snaps[t].queue_len += 1;
@@ -361,11 +375,14 @@ impl WorkloadDispatcher {
                         .filter(|(_, s)| s.available())
                         .min_by_key(|&(i, s)| (s.queue_len, cyc(i)))
                         .map(|(i, _)| i);
+
+                    // Sleepers worth waking exclude down devices — a wake
+                    // command cannot revive a faulted member.
                     let first_sleeper = || {
                         snaps
                             .iter()
                             .enumerate()
-                            .filter(|(_, s)| !s.available())
+                            .filter(|(_, s)| !s.available() && !s.down)
                             .min_by_key(|&(i, _)| cyc(i))
                             .map(|(i, _)| i)
                     };
@@ -375,8 +392,18 @@ impl WorkloadDispatcher {
                         // the next sleeper instead.
                         Some(b) if snaps[b].queue_len < spill => b,
                         Some(b) => first_sleeper().unwrap_or(b),
-                        // Whole fleet asleep: wake one.
-                        None => first_sleeper().expect("dispatcher has at least one device"),
+                        // Whole fleet asleep: wake one. With every device
+                        // down the assignment stays total by falling back
+                        // to the cursor-nearest device (the coordinator
+                        // sheds before routing in that case).
+                        None => first_sleeper().unwrap_or_else(|| {
+                            snaps
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(i, _)| cyc(i))
+                                .map(|(i, _)| i)
+                                .expect("dispatcher has at least one device")
+                        }),
                     };
                     snaps[t].queue_len += 1;
                     if !snaps[t].awake {
@@ -933,6 +960,7 @@ mod tests {
                 queue_len,
                 awake,
                 waking,
+                down: false,
             })
             .collect()
     }

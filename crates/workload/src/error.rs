@@ -38,6 +38,9 @@ pub enum WorkloadError {
         /// Count of the offending event.
         count: u32,
     },
+    /// A fault-injection spec was inconsistent (rates summing past 1,
+    /// non-finite or negative down power, ...).
+    InvalidFaultSpec(String),
 }
 
 impl fmt::Display for WorkloadError {
@@ -64,6 +67,9 @@ impl fmt::Display for WorkloadError {
                 "sparse trace event (slice {slice}, count {count}) is unsorted, \
                  zero-count, or beyond the horizon"
             ),
+            WorkloadError::InvalidFaultSpec(msg) => {
+                write!(f, "invalid fault-injection spec: {msg}")
+            }
         }
     }
 }

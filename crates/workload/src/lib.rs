@@ -40,6 +40,7 @@ mod dispatch;
 mod drift;
 mod error;
 mod estimator;
+pub mod fault;
 mod generators;
 mod markov;
 mod piecewise;
@@ -55,6 +56,9 @@ pub use dispatch::{
 pub use drift::{RandomWalkRate, SinusoidalRate};
 pub use error::WorkloadError;
 pub use estimator::{EwmaRateEstimator, PageHinkley, RateEstimator};
+pub use fault::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, RetryJob, RetryQueue, ShedReason,
+};
 pub use generators::{
     BernoulliArrivals, MmppArrivals, OnOffArrivals, ParetoArrivals, PeriodicArrivals,
 };

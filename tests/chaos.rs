@@ -177,6 +177,244 @@ fn chaos_member_under_power_cap_never_exceeds_it() {
     }
 }
 
+/// Chaos commands *and* injected faults at once, in both engine modes:
+/// every arrival is classified exactly once — completed, dropped at
+/// admission, still queued, or lost to a crash — and the energy floor
+/// holds outside downtime (a down device may legally draw less than the
+/// lowest operational state).
+#[test]
+fn chaos_with_faults_conserves_every_arrival() {
+    use qdpm::device::{FaultEvent, FaultKind};
+    use qdpm::sim::EngineMode;
+    let power = presets::three_state_generic();
+    let lo = power.state(power.lowest_power_state()).power;
+    let schedule = vec![
+        FaultEvent {
+            at: 2_000,
+            kind: FaultKind::TransientCrash {
+                down_for: 500,
+                down_power: 0.01,
+            },
+        },
+        FaultEvent {
+            at: 5_000,
+            kind: FaultKind::Straggler {
+                slowdown: 4,
+                window: 1_000,
+            },
+        },
+        FaultEvent {
+            at: 9_000,
+            kind: FaultKind::TransientCrash {
+                down_for: 300,
+                down_power: 0.0,
+            },
+        },
+    ];
+    for mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let monkey = ChaosMonkey {
+            n_states: power.n_states(),
+        };
+        let mut sim = Simulator::new(
+            power.clone(),
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.4).unwrap().build(),
+            Box::new(monkey),
+            SimConfig {
+                seed: 2718,
+                mode,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.set_fault_schedule(schedule.clone());
+        let steps = 20_000u64;
+        let stats = sim.run(steps);
+        let faults = *sim.fault_stats();
+        let queued = sim.observation().queue_len as u64;
+        assert_eq!(
+            stats.arrivals,
+            stats.completed + stats.dropped + queued + faults.queue_lost,
+            "{mode:?}: an arrival escaped classification under faults"
+        );
+        assert_eq!(faults.faults_injected, 3, "{mode:?}");
+        assert_eq!(faults.downtime_slices, 800, "{mode:?}");
+        assert!(
+            stats.total_energy >= lo * (steps - faults.downtime_slices) as f64 - 1e-9,
+            "{mode:?}: impossible (sub-minimum) energy outside downtime"
+        );
+        assert!(stats.total_energy.is_finite(), "{mode:?}");
+    }
+}
+
+/// Chaos-monkey members in a *faulted* mixed fleet, both engine modes:
+/// fleet-wide conservation (unresolved arrivals are exactly the final
+/// queues plus crash losses), per-device energy floors net of downtime,
+/// and no panic anywhere.
+#[test]
+fn faulted_chaos_fleet_keeps_conservation_in_both_modes() {
+    use qdpm::sim::EngineMode;
+    use qdpm::workload::FaultInjector;
+    let power = presets::three_state_generic();
+    let lo = power.state(power.lowest_power_state()).power;
+    let policies = [
+        FleetPolicy::ChaosMonkey,
+        FleetPolicy::frozen_q_dpm(),
+        FleetPolicy::BreakEvenTimeout,
+        FleetPolicy::ChaosMonkey,
+    ];
+    let members: Vec<FleetMember> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service: presets::default_service(),
+            policy: policy.clone(),
+        })
+        .collect();
+    let workload = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    let faults = FaultInjector {
+        crash_rate: 0.002,
+        crash_down: 150,
+        straggle_rate: 0.003,
+        straggle_slowdown: 3,
+        straggle_window: 200,
+        down_power: 0.02,
+        ..FaultInjector::default()
+    };
+    for engine_mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let config = FleetConfig {
+            horizon: 20_000,
+            engine_mode,
+            seed: 99,
+            faults: Some(faults.clone()),
+            ..FleetConfig::default()
+        };
+        let report = FleetSim::new(&members, &workload, &config).unwrap().run(2);
+        assert_eq!(report.stats.total.steps, 4 * 20_000, "{engine_mode:?}");
+        let avail = &report.stats.availability;
+        assert!(
+            avail.faults_injected > 0,
+            "{engine_mode:?}: these rates must fire over 20k slices"
+        );
+        // Fleet-wide classification: what neither completed nor dropped
+        // is either still queued (bounded by the queue caps) or was lost
+        // to a crash — nothing else can absorb an arrival.
+        let unresolved: u64 = report
+            .per_device
+            .iter()
+            .map(|s| s.arrivals - s.completed - s.dropped)
+            .sum();
+        assert!(
+            unresolved >= avail.queue_lost,
+            "{engine_mode:?}: more crash losses than unresolved arrivals"
+        );
+        assert!(
+            unresolved - avail.queue_lost <= (members.len() * config.queue_cap) as u64,
+            "{engine_mode:?}: unresolved arrivals exceed queues + crash losses"
+        );
+        for (i, stats) in report.per_device.iter().enumerate() {
+            let resolved = stats.completed + stats.dropped;
+            assert!(
+                resolved <= stats.arrivals,
+                "{engine_mode:?} dev-{i}: resolved more requests than arrived"
+            );
+            let downtime = avail.downtime_slices[i];
+            assert!(
+                stats.total_energy >= lo * (stats.steps - downtime) as f64 - 1e-9,
+                "{engine_mode:?} dev-{i}: impossible (sub-minimum) energy"
+            );
+            assert!(stats.total_energy.is_finite() && stats.total_cost.is_finite());
+        }
+    }
+}
+
+/// A faulted, power-capped chaos rack, both engine modes: the cap holds
+/// on every slice (it stays feasible — `down_power` is under the sleeping
+/// draw), the retry pipeline gives every harvested arrival exactly one
+/// fate, and the rack-level arrival ledger balances: external arrivals
+/// minus the all-down sheds plus re-dispatches is exactly what the
+/// devices saw.
+#[test]
+fn faulted_chaos_rack_holds_cap_and_balances_ledger() {
+    use qdpm::sim::EngineMode;
+    use qdpm::workload::FaultInjector;
+    use rand::SeedableRng;
+    let power = presets::three_state_generic();
+    let cap = 4.0;
+    let spec = RackSpec {
+        label: "chaos-rack".to_string(),
+        members: [
+            FleetPolicy::ChaosMonkey,
+            FleetPolicy::BreakEvenTimeout,
+            FleetPolicy::frozen_q_dpm(),
+            FleetPolicy::ChaosMonkey,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service: presets::default_service(),
+            policy: policy.clone(),
+        })
+        .collect(),
+        power_cap: Some(cap),
+    };
+    let faults = FaultInjector {
+        crash_rate: 0.003,
+        crash_down: 120,
+        down_power: 0.02,
+        ..FaultInjector::default()
+    };
+    let workload = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    let horizon = 10_000u64;
+    let seed = 4242u64;
+    for engine_mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let config = FleetConfig {
+            horizon,
+            dispatch: DispatchPolicy::SleepAware { spill: 2 },
+            seed,
+            engine_mode,
+            faults: Some(faults.clone()),
+            ..FleetConfig::default()
+        };
+        let (report, per_slice) = RackCoordinator::new(&spec, &config)
+            .unwrap()
+            .run_probed(&workload)
+            .unwrap();
+        assert_eq!(per_slice.len() as u64, horizon, "{engine_mode:?}");
+        for (slice, &energy) in per_slice.iter().enumerate() {
+            assert!(
+                energy <= cap + CAP_EPS,
+                "{engine_mode:?} slice {slice}: rack drew {energy}, cap {cap}"
+            );
+        }
+        let avail = &report.fleet.stats.availability;
+        assert!(avail.faults_injected > 0, "{engine_mode:?}");
+        assert_eq!(
+            avail.retries_enqueued,
+            avail.redispatched + avail.retry_pending + avail.shed_retry_exhausted,
+            "{engine_mode:?}: retry pipeline lost or invented an arrival"
+        );
+        // Independent redraw of the aggregate stream: the rack's ledger
+        // must balance against it exactly.
+        let external: u64 = {
+            let mut gen = workload.build().unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..horizon)
+                .map(|_| u64::from(gen.next_arrivals(&mut rng)))
+                .sum()
+        };
+        assert_eq!(
+            report.fleet.stats.total.arrivals,
+            external - avail.shed_no_healthy + avail.redispatched,
+            "{engine_mode:?}: rack arrival ledger out of balance"
+        );
+    }
+}
+
 #[test]
 fn chaos_against_zero_and_saturated_load() {
     let power = presets::three_state_generic();
