@@ -30,6 +30,7 @@ fn fixture() -> (Observation, StepOutcome) {
             dropped: 0,
             completed: 1,
             arrivals: 1,
+            deadline_misses: 0,
         },
     )
 }

@@ -70,6 +70,7 @@ fn bench_qdpm_step(c: &mut Criterion) {
         dropped: 0,
         completed: 0,
         arrivals: 1,
+        deadline_misses: 0,
     };
     c.bench_function("qdpm_decide_plus_learn", |b| {
         b.iter(|| {

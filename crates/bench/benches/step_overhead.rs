@@ -31,6 +31,7 @@ fn fixture() -> (Observation, StepOutcome) {
             dropped: 0,
             completed: 0,
             arrivals: 1,
+            deadline_misses: 0,
         },
     )
 }

@@ -8,9 +8,12 @@
 //! per-dispatcher fleet sweep (all five `DispatchPolicy`s, precomputed
 //! and online), a homogeneous training-Q-DPM cohort timed on the batched
 //! structure-of-arrays engine against the dynamic per-device path
-//! (`fleet.batched`), and a pinned power-capped cluster
-//! (`qdpm_sim::hierarchy`) with per-rack rows — and writes the result to
-//! `BENCH_throughput.json` at the workspace root (schema v5). Each run
+//! (`fleet.batched`), a joint DVFS + deadline scenario (the five-state
+//! `three-state-dvfs` machine with deadline-tagged arrivals — the
+//! frequency-scaled service law and per-slice deadline ledger on the hot
+//! path), and a pinned power-capped cluster (`qdpm_sim::hierarchy`) with
+//! per-rack rows — and writes the result to
+//! `BENCH_throughput.json` at the workspace root (schema v6). Each run
 //! also *appends* a compact point to the file's `trajectory` array,
 //! carrying earlier points forward verbatim, so the committed file holds
 //! the throughput trajectory itself, not just its latest point.
@@ -27,11 +30,12 @@ use qdpm_core::{
     Exploration, FuzzyConfig, FuzzyQDpmAgent, PowerManager, QDpmAgent, QDpmConfig, QosConfig,
     QosQDpmAgent,
 };
+use qdpm_device::presets;
 use qdpm_sim::fleet::{FleetConfig, FleetMember, FleetPolicy, FleetSim};
 use qdpm_sim::hierarchy::{ClusterConfig, ClusterSim, RackSpec};
 use qdpm_sim::parallel::{derive_cell_seed, run_indexed};
 use qdpm_sim::{policies, EngineMode, ScenarioWorkload, SimConfig, Simulator};
-use qdpm_workload::{DispatchPolicy, WorkloadSpec};
+use qdpm_workload::{DeadlineSpec, DispatchPolicy, WorkloadSpec};
 
 /// The pinned serial scenario: the paper's standard three-state device,
 /// geometric service, Bernoulli(0.1) arrivals, master seed 42.
@@ -90,6 +94,32 @@ fn build_sim(policy: &str, seed: u64, arrival_p: f64, mode: EngineMode) -> Simul
 /// caches), then time a long stretch.
 fn throughput(policy: &str, arrival_p: f64, mode: EngineMode, warmup: u64, measure: u64) -> f64 {
     let mut sim = build_sim(policy, SEED, arrival_p, mode);
+    sim.run(warmup);
+    let start = Instant::now();
+    sim.run(measure);
+    measure as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Steady-state slices/sec of a training Q-DPM agent on the pinned
+/// joint DVFS scenario: the five-state `three-state-dvfs` machine with
+/// deadline-tagged Bernoulli arrivals — the operating-frequency service
+/// scaling and the per-slice deadline ledger both on the hot path.
+fn dvfs_throughput(mode: EngineMode, warmup: u64, measure: u64) -> f64 {
+    let power = presets::three_state_dvfs();
+    let pm = QDpmAgent::new(&power, QDpmConfig::default()).unwrap();
+    let mut sim = Simulator::new(
+        power,
+        presets::default_service(),
+        WorkloadSpec::bernoulli(ARRIVAL_P).unwrap().build(),
+        Box::new(pm),
+        SimConfig {
+            seed: SEED,
+            mode,
+            deadline: Some(DeadlineSpec::uniform(3, 12).unwrap()),
+            ..SimConfig::default()
+        },
+    )
+    .unwrap();
     sim.run(warmup);
     let start = Instant::now();
     sim.run(measure);
@@ -338,6 +368,15 @@ fn main() {
         ));
     }
 
+    // DVFS section: the joint sleep-state x operating-point machine with
+    // deadline-tagged arrivals, both engine modes — gates the cost of the
+    // frequency-scaled service law and the per-slice deadline ledger.
+    let dvfs_per = dvfs_throughput(EngineMode::PerSlice, warmup, measure);
+    let dvfs_skip = dvfs_throughput(EngineMode::EventSkip, warmup, measure);
+    eprintln!(
+        "dvfs q_dpm+deadlines: per-slice {dvfs_per:.0}, event-skip {dvfs_skip:.0} slices/sec"
+    );
+
     // Parallel grid: the speedup is only meaningful when more than one
     // worker can actually run — on a 1-thread configuration the "parallel"
     // run repeats the serial one and the ratio is pure noise, so it is
@@ -532,13 +571,14 @@ fn main() {
          \"serial_q_dpm\": {serial_q_dpm:.1}, \
          \"event_skip_q_dpm_eval\": {skip_q_dpm_eval:.1}, \
          \"fleet_event_skip_serial\": {fleet_event_skip_serial:.1}, \
-         \"fleet_batched_serial\": {batched_serial:.1} }}"
+         \"fleet_batched_serial\": {batched_serial:.1}, \
+         \"dvfs_deadline_q_dpm\": {dvfs_per:.1} }}"
     ));
     let trajectory_lines: Vec<String> = trajectory.iter().map(|p| format!("    {p}")).collect();
 
     let json = format!(
         "{{\n\
-         \x20 \"schema\": \"qdpm-bench-throughput/v5\",\n\
+         \x20 \"schema\": \"qdpm-bench-throughput/v6\",\n\
          \x20 \"generated_unix\": {generated_unix},\n\
          \x20 \"quick\": {quick},\n\
          \x20 \"machine\": {{\n\
@@ -558,6 +598,15 @@ fn main() {
          \x20   \"warmup_slices\": {skip_warmup},\n\
          \x20   \"measured_slices\": {skip_measure},\n\
          \x20   \"slices_per_sec\": {{\n{skips}\n\
+         \x20   }}\n\
+         \x20 }},\n\
+         \x20 \"dvfs\": {{\n\
+         \x20   \"scenario\": \"three_state_dvfs (5 joint states) + geometric service + bernoulli({p:.2}) with deadlines uniform[3,12], training q_dpm, seed {seed}\",\n\
+         \x20   \"warmup_slices\": {warmup},\n\
+         \x20   \"measured_slices\": {measure},\n\
+         \x20   \"slices_per_sec\": {{\n\
+         \x20     \"per_slice\": {dvfs_per:.1},\n\
+         \x20     \"event_skip\": {dvfs_skip:.1}\n\
          \x20   }}\n\
          \x20 }},\n\
          \x20 \"parallel_grid\": {{\n\
@@ -607,7 +656,8 @@ fn main() {
          \x20 ],\n\
          \x20 \"schema_notes\": [\n\
          \x20   \"speedup is null wherever threads_effective == 1 (single-CPU hosts, or --threads 1): the parallel run would repeat the serial one and the ratio is measurement noise, not data\",\n\
-         \x20   \"trajectory appends one compact point per bench_report run (earlier points carried forward verbatim); points are comparable when machine and quick match\"\n\
+         \x20   \"trajectory appends one compact point per bench_report run (earlier points carried forward verbatim); points are comparable when machine and quick match\",\n\
+         \x20   \"dvfs section and the trajectory's dvfs_deadline_q_dpm field are new in v6 (joint sleep+DVFS machine with deadline-tagged arrivals); pre-v6 trajectory points lack the field\"\n\
          \x20 ]\n\
          }}\n",
         os = std::env::consts::OS,

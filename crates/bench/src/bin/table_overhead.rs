@@ -79,6 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dropped: 0,
             completed: 0,
             arrivals: 1,
+            deadline_misses: 0,
         };
         // Warm up, then time a batch.
         for _ in 0..1_000 {

@@ -24,14 +24,24 @@ pub struct StepOutcome {
     pub completed: u32,
     /// Requests that arrived during the slice.
     pub arrivals: u32,
+    /// Deadline-tagged requests that completed during the slice *after*
+    /// their deadline (0 in untagged workloads, and always 0 during
+    /// quiescent stretches — an empty queue has nothing to miss, which is
+    /// what keeps event-skip commits exact for deadline-tagged runs).
+    pub deadline_misses: u32,
 }
 
 /// Weights turning a [`StepOutcome`] into the scalar reinforcement of the
-/// paper's Eqn. (3): `reward = -(energy*e + perf*(queue + drop_penalty*drops))`.
+/// paper's Eqn. (3), extended with a deadline term:
+/// `reward = -(energy*e + perf*(queue + drop_penalty*drops +
+/// deadline_penalty*misses))`.
 ///
 /// This mirrors the cost criteria of the exact DTMDP (energy + weighted
 /// performance), so a converged Q-DPM agent and the model-based optimum
-/// optimize the same objective.
+/// optimize the same objective. The deadline penalty defaults to `0.0`,
+/// which adds an exact floating-point zero for untagged workloads — the
+/// reward (and therefore every learned table) is bit-identical to the
+/// pre-deadline formula unless a penalty is explicitly configured.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RewardWeights {
     /// Weight on energy.
@@ -40,10 +50,14 @@ pub struct RewardWeights {
     pub perf: f64,
     /// Extra performance penalty per dropped request.
     pub drop_penalty: f64,
+    /// Extra performance penalty per deadline miss (see
+    /// [`StepOutcome::deadline_misses`]).
+    pub deadline_penalty: f64,
 }
 
 impl RewardWeights {
-    /// Creates validated weights.
+    /// Creates validated weights with no deadline penalty (see
+    /// [`RewardWeights::with_deadline_penalty`]).
     ///
     /// # Errors
     ///
@@ -63,7 +77,25 @@ impl RewardWeights {
             energy,
             perf,
             drop_penalty,
+            deadline_penalty: 0.0,
         })
+    }
+
+    /// Sets the per-miss deadline penalty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadRewardWeight`] for a negative or non-finite
+    /// penalty.
+    pub fn with_deadline_penalty(mut self, deadline_penalty: f64) -> Result<Self, CoreError> {
+        if !(deadline_penalty.is_finite() && deadline_penalty >= 0.0) {
+            return Err(CoreError::BadRewardWeight {
+                what: "deadline_penalty",
+                value: deadline_penalty,
+            });
+        }
+        self.deadline_penalty = deadline_penalty;
+        Ok(self)
     }
 
     /// The scalar reward of one slice.
@@ -71,19 +103,22 @@ impl RewardWeights {
     pub fn reward(&self, outcome: &StepOutcome) -> f64 {
         -(self.energy * outcome.energy
             + self.perf
-                * (outcome.queue_len as f64 + self.drop_penalty * f64::from(outcome.dropped)))
+                * (outcome.queue_len as f64
+                    + self.drop_penalty * f64::from(outcome.dropped)
+                    + self.deadline_penalty * f64::from(outcome.deadline_misses)))
     }
 }
 
 impl Default for RewardWeights {
-    /// Energy 1.0, perf 0.1, drop penalty 20 — the reproduction's standard
-    /// trade-off (mirrors `CostWeights::default()` plus the builder's drop
-    /// penalty).
+    /// Energy 1.0, perf 0.1, drop penalty 20, no deadline penalty — the
+    /// reproduction's standard trade-off (mirrors `CostWeights::default()`
+    /// plus the builder's drop penalty).
     fn default() -> Self {
         RewardWeights {
             energy: 1.0,
             perf: 0.1,
             drop_penalty: 20.0,
+            deadline_penalty: 0.0,
         }
     }
 }
@@ -658,6 +693,7 @@ mod tests {
             dropped: 1,
             completed: 0,
             arrivals: 1,
+            deadline_misses: 0,
         };
         // -(2.0 + 0.5*(3 + 10)) = -8.5
         assert!((w.reward(&outcome) + 8.5).abs() < 1e-12);
@@ -697,6 +733,7 @@ mod tests {
             dropped: 0,
             completed: 0,
             arrivals: 0,
+            deadline_misses: 0,
         };
         agent.observe(&outcome, &observation(&power, "active", 0));
         assert_eq!(agent.learner().steps(), 1);
@@ -712,6 +749,7 @@ mod tests {
             dropped: 0,
             completed: 0,
             arrivals: 0,
+            deadline_misses: 0,
         };
         agent.observe(&outcome, &observation(&power, "active", 0));
         assert_eq!(agent.learner().steps(), 0);
@@ -786,6 +824,7 @@ mod tests {
                 dropped: 0,
                 completed: 0,
                 arrivals: 0,
+                deadline_misses: 0,
             };
             let next_obs = Observation {
                 device_mode: next_mode,

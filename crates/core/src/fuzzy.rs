@@ -662,6 +662,7 @@ mod tests {
                     dropped: 0,
                     completed: 0,
                     arrivals: 0,
+                    deadline_misses: 0,
                 },
                 &obs,
             );

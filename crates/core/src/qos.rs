@@ -357,6 +357,7 @@ mod tests {
                     dropped: 0,
                     completed: 0,
                     arrivals: 1,
+                    deadline_misses: 0,
                 },
                 &o,
             );
@@ -391,6 +392,7 @@ mod tests {
                     dropped: 0,
                     completed: 0,
                     arrivals: 0,
+                    deadline_misses: 0,
                 },
                 &o,
             );
@@ -428,6 +430,7 @@ mod tests {
                     dropped: 1,
                     completed: 0,
                     arrivals: 1,
+                    deadline_misses: 0,
                 },
                 &o,
             );
@@ -459,6 +462,7 @@ mod tests {
                 dropped: 1,
                 completed: 0,
                 arrivals: 1,
+                deadline_misses: 0,
             },
             &o,
         );

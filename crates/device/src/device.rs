@@ -213,6 +213,23 @@ impl DeviceState {
             .as_ref()
             .map(TransitionSpec::energy_per_step)
     }
+
+    /// Service-speed multiplier of the currently occupied state — the
+    /// device's DVFS operating point (see
+    /// [`crate::PowerStateSpec::freq`]). `1.0` while transitioning (a
+    /// transitioning device cannot serve, so no speed applies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current operational state is out of range for
+    /// `model`.
+    #[must_use]
+    pub fn operating_freq(&self, model: &PowerModel) -> f64 {
+        match self.mode {
+            DeviceMode::Operational(s) => model.state(s).freq,
+            DeviceMode::Transitioning { .. } => 1.0,
+        }
+    }
 }
 
 /// A runtime power-managed device: a [`PowerModel`] plus its current mode.
@@ -318,6 +335,14 @@ impl Device {
     #[must_use]
     pub fn transient_slice_energy(&self) -> Option<f64> {
         self.state.transient_slice_energy()
+    }
+
+    /// Service-speed multiplier of the currently occupied state (the DVFS
+    /// operating point; `1.0` while transitioning). See
+    /// [`DeviceState::operating_freq`].
+    #[must_use]
+    pub fn operating_freq(&self) -> f64 {
+        self.state.operating_freq(&self.model)
     }
 
     /// Overwrites the dynamic state wholesale (checkpoint restore). The

@@ -16,6 +16,16 @@ pub enum DeviceError {
         /// The rejected power value.
         power: f64,
     },
+    /// A state's service-speed multiplier was non-positive or non-finite.
+    InvalidFrequency {
+        /// Name of the offending state (or operating point).
+        state: String,
+        /// The rejected frequency multiplier.
+        freq: f64,
+    },
+    /// A DVFS expansion was malformed (no operating points, duplicate
+    /// point names, or an out-of-range static power fraction).
+    InvalidDvfs(String),
     /// A transition's energy was negative or non-finite.
     InvalidTransitionEnergy {
         /// Source state name.
@@ -54,6 +64,10 @@ impl fmt::Display for DeviceError {
             DeviceError::InvalidPower { state, power } => {
                 write!(f, "state `{state}` has invalid power {power}")
             }
+            DeviceError::InvalidFrequency { state, freq } => {
+                write!(f, "state `{state}` has invalid frequency {freq}")
+            }
+            DeviceError::InvalidDvfs(msg) => write!(f, "invalid dvfs expansion: {msg}"),
             DeviceError::InvalidTransitionEnergy { from, to, energy } => {
                 write!(
                     f,

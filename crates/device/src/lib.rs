@@ -31,6 +31,7 @@
 //! ```
 
 mod device;
+pub mod dvfs;
 mod error;
 pub mod fault;
 mod power;
@@ -39,11 +40,12 @@ mod queue;
 mod service;
 
 pub use device::{CommandOutcome, Device, DeviceMode, DeviceState, TickReport};
+pub use dvfs::{DvfsExpansion, OperatingPoint};
 pub use error::DeviceError;
 pub use fault::{DeviceHealth, FaultEvent, FaultKind, FaultState};
 pub use power::{PowerModel, PowerModelBuilder, PowerStateId, PowerStateSpec, TransitionSpec};
 pub use queue::{Queue, QueueStats};
-pub use service::{Server, ServiceModel};
+pub use service::{scaled_completion, Server, ServiceModel};
 
 /// Discrete simulation time, measured in slices since the start of a run.
 pub type Step = u64;

@@ -49,6 +49,16 @@ pub struct PowerStateSpec {
     pub power: f64,
     /// Whether the device can serve queued requests while in this state.
     pub can_serve: bool,
+    /// Service-speed multiplier of this state's operating point (DVFS).
+    ///
+    /// Scales per-slice service progress while the device serves from this
+    /// state: a geometric server's completion probability becomes
+    /// `min(p * freq, 1)` (see `qdpm_device::scaled_completion`). `1.0` —
+    /// the default, and the only value plain sleep-state models use — is
+    /// nominal speed; non-serving states ignore the field. Models with
+    /// per-point frequencies are typically produced by
+    /// [`crate::dvfs::expand`] rather than written by hand.
+    pub freq: f64,
 }
 
 /// Cost of moving between two power states.
@@ -297,13 +307,30 @@ impl PowerModelBuilder {
     }
 
     /// Adds a power state. `power` is energy per slice; `can_serve` marks
-    /// states in which queued requests are processed.
+    /// states in which queued requests are processed. The state runs at
+    /// nominal service speed (`freq == 1.0`); see
+    /// [`PowerModelBuilder::state_with_freq`] for DVFS operating points.
     #[must_use]
-    pub fn state(mut self, name: impl Into<String>, power: f64, can_serve: bool) -> Self {
+    pub fn state(self, name: impl Into<String>, power: f64, can_serve: bool) -> Self {
+        self.state_with_freq(name, power, can_serve, 1.0)
+    }
+
+    /// Adds a power state pinned to a DVFS operating point: `freq` scales
+    /// per-slice service progress while the device serves from this state
+    /// (non-serving states ignore it). See [`PowerStateSpec::freq`].
+    #[must_use]
+    pub fn state_with_freq(
+        mut self,
+        name: impl Into<String>,
+        power: f64,
+        can_serve: bool,
+        freq: f64,
+    ) -> Self {
         self.states.push(PowerStateSpec {
             name: name.into(),
             power,
             can_serve,
+            freq,
         });
         self
     }
@@ -341,6 +368,12 @@ impl PowerModelBuilder {
                 return Err(DeviceError::InvalidPower {
                     state: s.name.clone(),
                     power: s.power,
+                });
+            }
+            if !s.freq.is_finite() || s.freq <= 0.0 {
+                return Err(DeviceError::InvalidFrequency {
+                    state: s.name.clone(),
+                    freq: s.freq,
                 });
             }
             if self.states[..i].iter().any(|t| t.name == s.name) {
@@ -465,6 +498,32 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(matches!(err, DeviceError::InvalidPower { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_frequency() {
+        for freq in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            let err = PowerModel::builder("e")
+                .state_with_freq("x", 1.0, true, freq)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(err, DeviceError::InvalidFrequency { .. }),
+                "{freq}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_states_run_at_nominal_frequency() {
+        let m = two_state();
+        assert!(m.states().all(|(_, s)| s.freq == 1.0));
+        let m = PowerModel::builder("t")
+            .state_with_freq("slow", 0.6, true, 0.5)
+            .build()
+            .unwrap();
+        let slow = m.state_by_name("slow").unwrap();
+        assert_eq!(m.state(slow).freq, 0.5);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! slice duration. Power numbers are in watt-slices (i.e. joules per slice at
 //! the stated slice length), transition energy in joules.
 
-use crate::{PowerModel, ServiceModel};
+use crate::{dvfs, PowerModel, ServiceModel};
 
 /// Generic two-state machine (`on`/`off`) with parameterized sleep economics.
 ///
@@ -113,6 +113,19 @@ pub fn sa1100() -> PowerModel {
         .expect("sa1100 preset parameters are valid")
 }
 
+/// [`three_state_generic`] expanded across the standard DVFS ladder
+/// (`slow` 0.6×, `nominal` 1.0×, `turbo` 1.4×; 30% static power): the
+/// default joint sleep-state × operating-point machine of the DVFS
+/// experiments. Five states — `active@slow`, `active@nominal`,
+/// `active@turbo`, `idle`, `sleep` — where the nominal point reproduces
+/// [`three_state_generic`]'s active power bit-for-bit.
+#[must_use]
+pub fn three_state_dvfs() -> PowerModel {
+    dvfs::expand(&three_state_generic(), &dvfs::standard_points(), 0.3)
+        .expect("three_state_dvfs preset parameters are valid")
+        .into_model()
+}
+
 /// Default geometric service model paired with [`three_state_generic`]:
 /// mean service time of 1/0.6 ≈ 1.7 slices per request.
 #[must_use]
@@ -126,6 +139,7 @@ pub fn preset_names() -> &'static [&'static str] {
     &[
         "two-state",
         "three-state-generic",
+        "three-state-dvfs",
         "ibm-hdd",
         "wlan-card",
         "sa1100",
@@ -139,6 +153,7 @@ pub fn by_name(name: &str) -> Option<PowerModel> {
     match name {
         "two-state" => Some(two_state(1.0, 0.1, 3, 1.2)),
         "three-state-generic" => Some(three_state_generic()),
+        "three-state-dvfs" => Some(three_state_dvfs()),
         "ibm-hdd" => Some(ibm_hdd()),
         "wlan-card" => Some(wlan_card()),
         "sa1100" => Some(sa1100()),

@@ -72,6 +72,24 @@ impl ServiceModel {
     }
 }
 
+/// Per-slice completion probability of a geometric server running at DVFS
+/// frequency multiplier `freq`: `min(p * freq, 1)`.
+///
+/// This is the single service-scaling law shared bit-exactly by the
+/// per-slice engine, the event-skipping engine, the batched cohort engine,
+/// and the exact MDP builder — every consumer must call this helper rather
+/// than inlining the arithmetic, so all paths produce the identical `f64`.
+/// `freq == 1.0` (every non-DVFS model) returns `p` untouched, keeping
+/// plain sleep-state simulations bit-identical to their pre-DVFS behavior.
+#[must_use]
+pub fn scaled_completion(p: f64, freq: f64) -> f64 {
+    if freq == 1.0 {
+        p
+    } else {
+        (p * freq).min(1.0)
+    }
+}
+
 /// Runtime server state: tracks progress of the in-service request.
 ///
 /// Sampling is externalized: the caller draws a uniform `u in [0, 1)` (so the
@@ -103,8 +121,18 @@ impl Server {
     /// completion. For the deterministic model, `u` is ignored and the
     /// request completes on its final slice.
     pub fn advance(&mut self, u: f64) -> bool {
+        self.advance_scaled(u, 1.0)
+    }
+
+    /// [`Server::advance`] at a DVFS frequency multiplier: the geometric
+    /// completion probability becomes [`scaled_completion`]`(p, freq)`.
+    ///
+    /// The deterministic model ignores `freq` — its per-request step count
+    /// is part of the checkpointed Markov state, so speed-scaling it would
+    /// enlarge the state space the exact MDP builder refuses anyway.
+    pub fn advance_scaled(&mut self, u: f64, freq: f64) -> bool {
         match self.model {
-            ServiceModel::Geometric { p } => u < p,
+            ServiceModel::Geometric { p } => u < scaled_completion(p, freq),
             ServiceModel::Deterministic { steps } => {
                 self.progress += 1;
                 if self.progress >= steps {
@@ -160,6 +188,31 @@ mod tests {
             ServiceModel::deterministic(3).unwrap().mean_service_steps(),
             3.0
         );
+    }
+
+    #[test]
+    fn scaled_completion_law() {
+        // freq 1.0 must return p bit-identically (not via multiplication).
+        let p = 0.1 + 0.2; // 0.30000000000000004
+        assert_eq!(scaled_completion(p, 1.0).to_bits(), p.to_bits());
+        assert!((scaled_completion(0.3, 0.5) - 0.15).abs() < 1e-15);
+        assert_eq!(scaled_completion(0.8, 2.0), 1.0); // saturates
+    }
+
+    #[test]
+    fn advance_scaled_shifts_geometric_threshold() {
+        let mut s = Server::new(ServiceModel::geometric(0.4).unwrap());
+        assert!(s.advance_scaled(0.59, 1.5)); // 0.4 * 1.5 = 0.6
+        assert!(!s.advance_scaled(0.61, 1.5));
+        assert!(!s.advance_scaled(0.3, 0.5)); // 0.4 * 0.5 = 0.2
+        assert!(s.advance_scaled(0.19, 0.5));
+    }
+
+    #[test]
+    fn deterministic_ignores_frequency() {
+        let mut s = Server::new(ServiceModel::deterministic(2).unwrap());
+        assert!(!s.advance_scaled(0.0, 3.0));
+        assert!(s.advance_scaled(0.0, 3.0));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use qdpm_device::{DeviceMode, PowerModel, PowerStateId, ServiceModel};
+use qdpm_device::{scaled_completion, DeviceMode, PowerModel, PowerStateId, ServiceModel};
 use qdpm_workload::MarkovArrivalModel;
 
 use crate::{Mdp, MdpError};
@@ -320,7 +320,23 @@ pub fn build_dpm_mdp(
                 let s_idx = space.index(sr, dev, q);
                 for a in space.legal_actions(power, dev) {
                     let (energy, serving, dev_end) = space.step_device(power, dev, a);
-                    let serve_prob = if serving { serve_p } else { 0.0 };
+                    // A serving slice is spent in the operational state
+                    // `dev_end` resolves to (stay, or the target of an
+                    // instant switch); its operating point scales the
+                    // completion probability through the same law the
+                    // simulator's `Server::advance_scaled` applies, so the
+                    // compiled MDP stays exact for DVFS-expanded models.
+                    let serve_prob = if serving {
+                        let occupied = match space.dev_mode(dev_end) {
+                            DevMode::Operational(s) => PowerStateId::from_index(s),
+                            DevMode::Transient { .. } => {
+                                unreachable!("serving slice ends in a transient")
+                            }
+                        };
+                        scaled_completion(serve_p, power.state(occupied).freq)
+                    } else {
+                        0.0
+                    };
                     let arrive_p = arrivals.arrival_prob[sr];
                     // Enumerate (arrival?, service?, next sr mode) branches.
                     let mut acc: HashMap<usize, f64> = HashMap::new();

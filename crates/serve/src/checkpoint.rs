@@ -35,9 +35,11 @@ use crate::error::ServeError;
 pub const MAGIC: [u8; 8] = *b"QDPMCKPT";
 
 /// Current container schema version. v2: the rack payload grew the fault
-/// clock, barrier cursor, and retry-queue state — v1 checkpoints no
-/// longer fit the rack and are rejected up front by the version check.
-pub const SCHEMA_VERSION: u32 = 2;
+/// clock, barrier cursor, and retry-queue state. v3: every member
+/// simulator's payload grew the deadline ledger, the waiting requests'
+/// deadlines, and the deadline draw counter — older checkpoints no
+/// longer fit and are rejected up front by the version check.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// How many checkpoint generations are retained on disk.
 pub const GENERATIONS_KEPT: u64 = 2;

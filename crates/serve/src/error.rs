@@ -65,6 +65,16 @@ pub enum ServeError {
     Sim(SimError),
     /// A command-line or configuration value was invalid.
     BadArgs(String),
+    /// A numeric command-line value parsed but fell outside the flag's
+    /// valid domain (a rate above 1, a negative or non-finite power, ...).
+    OutOfRange {
+        /// The flag whose value was rejected.
+        flag: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human description of the valid domain.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -111,6 +121,13 @@ impl fmt::Display for ServeError {
             }
             ServeError::Sim(e) => write!(f, "simulation error: {e}"),
             ServeError::BadArgs(msg) => write!(f, "{msg}"),
+            ServeError::OutOfRange {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "{flag} {value}: expected {expected}")
+            }
         }
     }
 }

@@ -176,6 +176,45 @@ where
         .map_err(|e| ServeError::BadArgs(format!("{flag} {v:?}: {e}")))
 }
 
+/// Parses a probability-valued flag: finite and within `[0, 1]`.
+fn parse_prob(flag: &'static str, v: &str) -> Result<f64, ServeError> {
+    let x: f64 = parse_num(flag, v)?;
+    if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+        return Err(ServeError::OutOfRange {
+            flag,
+            value: x,
+            expected: "a probability in [0, 1]",
+        });
+    }
+    Ok(x)
+}
+
+/// Parses a strictly positive finite flag value (a power cap).
+fn parse_pos(flag: &'static str, v: &str) -> Result<f64, ServeError> {
+    let x: f64 = parse_num(flag, v)?;
+    if !x.is_finite() || x <= 0.0 {
+        return Err(ServeError::OutOfRange {
+            flag,
+            value: x,
+            expected: "a finite value > 0",
+        });
+    }
+    Ok(x)
+}
+
+/// Parses a non-negative finite flag value (a downed device's draw).
+fn parse_nonneg(flag: &'static str, v: &str) -> Result<f64, ServeError> {
+    let x: f64 = parse_num(flag, v)?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(ServeError::OutOfRange {
+            flag,
+            value: x,
+            expected: "a finite value >= 0",
+        });
+    }
+    Ok(x)
+}
+
 fn record(args: &[String]) -> Result<(), ServeError> {
     let mut flags = Flags::new(args);
     let out = flags
@@ -187,7 +226,7 @@ fn record(args: &[String]) -> Result<(), ServeError> {
         None => return Err(ServeError::BadArgs("record needs --slices <N>".to_string())),
     };
     let rate: f64 = match flags.value("--rate")? {
-        Some(v) => parse_num("--rate", v)?,
+        Some(v) => parse_prob("--rate", v)?,
         None => 0.3,
     };
     let seed: u64 = match flags.value("--seed")? {
@@ -283,7 +322,7 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
         config.preset = DevicePreset::parse(v)?;
     }
     if let Some(v) = flags.value("--cap")? {
-        config.power_cap = Some(parse_num("--cap", v)?);
+        config.power_cap = Some(parse_pos("--cap", v)?);
     }
     if let Some(v) = flags.value("--seed")? {
         config.seed = parse_num("--seed", v)?;
@@ -308,19 +347,19 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
 
     let mut faults = FaultInjector::default();
     if let Some(v) = flags.value("--faults")? {
-        faults.crash_rate = parse_num("--faults", v)?;
+        faults.crash_rate = parse_prob("--faults", v)?;
     }
     if let Some(v) = flags.value("--fault-down")? {
         faults.crash_down = parse_num("--fault-down", v)?;
     }
     if let Some(v) = flags.value("--fail-stop")? {
-        faults.fail_stop_rate = parse_num("--fail-stop", v)?;
+        faults.fail_stop_rate = parse_prob("--fail-stop", v)?;
     }
     if let Some(v) = flags.value("--fault-straggle")? {
-        faults.straggle_rate = parse_num("--fault-straggle", v)?;
+        faults.straggle_rate = parse_prob("--fault-straggle", v)?;
     }
     if let Some(v) = flags.value("--fault-power")? {
-        faults.down_power = parse_num("--fault-power", v)?;
+        faults.down_power = parse_nonneg("--fault-power", v)?;
     }
     if faults.is_active() {
         faults
@@ -377,4 +416,80 @@ fn serve(args: &[String]) -> Result<(), ServeError> {
     }
     print!("{}", summary.report_text);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn out_of_range(r: Result<f64, ServeError>, flag: &str) {
+        match r {
+            Err(ServeError::OutOfRange { flag: f, .. }) => assert_eq!(f, flag),
+            other => panic!("{flag}: expected OutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rate_flag_rejects_out_of_domain_values() {
+        assert_eq!(parse_prob("--rate", "0.3").unwrap(), 0.3);
+        assert_eq!(parse_prob("--rate", "0").unwrap(), 0.0);
+        assert_eq!(parse_prob("--rate", "1").unwrap(), 1.0);
+        for bad in ["2.0", "-0.1", "NaN", "inf", "-inf"] {
+            out_of_range(parse_prob("--rate", bad), "--rate");
+        }
+        assert!(matches!(
+            parse_prob("--rate", "abc"),
+            Err(ServeError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn fault_rate_flags_reject_out_of_domain_values() {
+        for flag in ["--faults", "--fail-stop", "--fault-straggle"] {
+            // The flag must be validated *before* FaultInjector::is_active
+            // gating: a negative rate used to make the injector read
+            // inactive and skip validation entirely.
+            assert_eq!(parse_prob(flag, "0.01").unwrap(), 0.01);
+            for bad in ["1.5", "-0.2", "NaN", "inf"] {
+                out_of_range(parse_prob(flag, bad), flag);
+            }
+        }
+    }
+
+    #[test]
+    fn cap_flag_rejects_non_positive_and_non_finite_values() {
+        assert_eq!(parse_pos("--cap", "3.5").unwrap(), 3.5);
+        for bad in ["0", "-2.5", "NaN", "inf", "-inf"] {
+            out_of_range(parse_pos("--cap", bad), "--cap");
+        }
+    }
+
+    #[test]
+    fn fault_power_flag_rejects_negative_and_non_finite_values() {
+        assert_eq!(parse_nonneg("--fault-power", "0").unwrap(), 0.0);
+        assert_eq!(parse_nonneg("--fault-power", "0.2").unwrap(), 0.2);
+        for bad in ["-0.1", "NaN", "inf"] {
+            out_of_range(parse_nonneg("--fault-power", bad), "--fault-power");
+        }
+    }
+
+    #[test]
+    fn throttle_flag_rejects_negative_values() {
+        // `--throttle-us` is unsigned: a negative value fails integer
+        // parsing with a typed BadArgs, never wrapping around.
+        assert_eq!(parse_num::<u64>("--throttle-us", "250").unwrap(), 250);
+        assert!(matches!(
+            parse_num::<u64>("--throttle-us", "-5"),
+            Err(ServeError::BadArgs(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_errors_render_flag_value_and_domain() {
+        let err = parse_prob("--rate", "2.5").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--rate"), "{msg}");
+        assert!(msg.contains("2.5"), "{msg}");
+        assert!(msg.contains("[0, 1]"), "{msg}");
+    }
 }

@@ -312,6 +312,7 @@ mod tests {
                         dropped: 0,
                         completed: 0,
                         arrivals,
+                        deadline_misses: 0,
                     },
                     &o,
                 );
@@ -340,6 +341,7 @@ mod tests {
                         dropped: 0,
                         completed: 0,
                         arrivals,
+                        deadline_misses: 0,
                     },
                     &o,
                 );

@@ -1,3 +1,5 @@
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -10,7 +12,7 @@ use qdpm_device::{
     Device, DeviceHealth, DeviceMode, DeviceState, FaultEvent, FaultKind, FaultState, PowerModel,
     PowerStateId, Queue, QueueStats, Server, ServiceModel, Step, TransitionSpec,
 };
-use qdpm_workload::{ArrivalGap, RequestGenerator};
+use qdpm_workload::{ArrivalGap, DeadlineSpec, DeadlineStats, RequestGenerator};
 
 use crate::{FaultStats, RunStats, SeriesRecorder, SimError, WindowPoint};
 
@@ -101,6 +103,13 @@ pub struct SimConfig {
     pub noise: ObservationNoise,
     /// How `run` advances time (default: per-slice).
     pub mode: EngineMode,
+    /// Deadline tagging of arriving requests (default: `None` — untagged).
+    /// When set, every admitted request draws an absolute deadline from a
+    /// deterministic side stream (see [`qdpm_workload::DeadlineSpec::draw`])
+    /// and the simulator maintains a [`DeadlineStats`] ledger; completions
+    /// past their deadline surface as [`StepOutcome::deadline_misses`] so
+    /// deadline-aware reward weights can penalize them.
+    pub deadline: Option<DeadlineSpec>,
 }
 
 impl Default for SimConfig {
@@ -112,6 +121,7 @@ impl Default for SimConfig {
             expose_sr_mode: false,
             noise: ObservationNoise::none(),
             mode: EngineMode::PerSlice,
+            deadline: None,
         }
     }
 }
@@ -185,6 +195,22 @@ pub struct Simulator {
     fault_pos: usize,
     /// Availability accounting the fault clock maintains.
     fault_stats: FaultStats,
+    /// Deadline tagging configuration (`None`: untagged workload, and all
+    /// deadline machinery below stays inert).
+    deadline: Option<DeadlineSpec>,
+    /// Absolute deadlines of the waiting requests, parallel to the queue
+    /// (front = oldest). Kept beside the queue rather than inside it so the
+    /// untagged hot path and the queue's own codec stay untouched.
+    deadlines: VecDeque<u64>,
+    /// Monotone per-device index of the next tagged request; the draw
+    /// stream position. Only advances on arrival slices, which both engine
+    /// modes execute per-slice — the determinism anchor.
+    deadline_counter: u64,
+    /// Seed of the deadline side stream (derived from the master seed,
+    /// distinct from the four `StdRng` streams).
+    deadline_seed: u64,
+    /// The met/missed/slack ledger.
+    deadline_stats: DeadlineStats,
 }
 
 impl Simulator {
@@ -225,6 +251,11 @@ impl Simulator {
             faults: Vec::new(),
             fault_pos: 0,
             fault_stats: FaultStats::default(),
+            deadline: config.deadline,
+            deadlines: VecDeque::new(),
+            deadline_counter: 0,
+            deadline_seed: config.seed.wrapping_add(0x94d0_49bb),
+            deadline_stats: DeadlineStats::default(),
         })
     }
 
@@ -432,6 +463,75 @@ impl Simulator {
         &self.fault_stats
     }
 
+    /// The deadline ledger (all zeros when the workload is untagged).
+    ///
+    /// Conservation invariant (asserted by the chaos suite): at every
+    /// slice boundary,
+    /// `tagged == met + missed + dropped + requeued + lost + queue_len` —
+    /// every tagged arrival is waiting or in exactly one terminal bucket.
+    #[must_use]
+    pub fn deadline_stats(&self) -> &DeadlineStats {
+        &self.deadline_stats
+    }
+
+    /// The deadline spec arrivals are tagged with, if any.
+    #[must_use]
+    pub fn deadline_spec(&self) -> Option<DeadlineSpec> {
+        self.deadline
+    }
+
+    /// Admits this slice's arrivals under queue admission control, tagging
+    /// each admitted request with an absolute deadline when tagging is
+    /// enabled; returns the number rejected by a full queue. The untagged
+    /// arm is byte-identical to the pre-deadline admission loop.
+    #[inline]
+    fn admit_arrivals(&mut self, arrivals: u32) -> u32 {
+        let mut dropped = 0u32;
+        if let Some(spec) = self.deadline {
+            for _ in 0..arrivals {
+                self.deadline_stats.tagged += 1;
+                if self.queue.push(self.now) {
+                    let rel = spec.draw(self.deadline_seed, self.deadline_counter);
+                    self.deadline_counter += 1;
+                    self.deadlines.push_back(self.now.saturating_add(rel));
+                } else {
+                    dropped += 1;
+                    self.deadline_stats.dropped += 1;
+                }
+            }
+        } else {
+            for _ in 0..arrivals {
+                if !self.queue.push(self.now) {
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Classifies the completion popped at the current slice against its
+    /// deadline, moving the ledger; returns 1 when the deadline was
+    /// missed (the `deadline_misses` contribution), 0 otherwise.
+    #[inline]
+    fn settle_completion(&mut self) -> u32 {
+        if self.deadline.is_none() {
+            return 0;
+        }
+        let dl = self
+            .deadlines
+            .pop_front()
+            .expect("tagged queue carries one deadline per waiting request");
+        if self.now <= dl {
+            self.deadline_stats.met += 1;
+            self.deadline_stats.slack_sum += dl - self.now;
+            0
+        } else {
+            self.deadline_stats.missed += 1;
+            self.deadline_stats.tardiness_sum += self.now - dl;
+            1
+        }
+    }
+
     /// Removes every admitted-but-unserved request from the queue (and any
     /// partial service progress), returning how many were stranded. A fleet
     /// coordinator calls this at a crash-onset barrier to move the doomed
@@ -442,6 +542,12 @@ impl Simulator {
     pub fn harvest_stranded(&mut self) -> u64 {
         let n = self.queue.drain_all() as u64;
         self.server.set_progress(0);
+        if self.deadline.is_some() {
+            // Harvested requests re-enter some device's arrival path and
+            // are tagged again there with fresh deadlines.
+            self.deadline_stats.requeued += n;
+            self.deadlines.clear();
+        }
         n
     }
 
@@ -509,6 +615,10 @@ impl Simulator {
             } => {
                 let lost = self.queue.drain_all() as u64;
                 self.fault_stats.queue_lost += lost;
+                if self.deadline.is_some() {
+                    self.deadline_stats.lost += lost;
+                    self.deadlines.clear();
+                }
                 self.server.set_progress(0);
                 self.device.set_fault(FaultState::Down {
                     until: self.now.saturating_add(down_for.max(1)),
@@ -541,12 +651,7 @@ impl Simulator {
     /// slices execute per-slice in both.
     fn step_down_slice<const RECORD: bool>(&mut self, power: f64) -> StepOutcome {
         let arrivals = self.slice_arrivals();
-        let mut dropped = 0u32;
-        for _ in 0..arrivals {
-            if !self.queue.push(self.now) {
-                dropped += 1;
-            }
-        }
+        let dropped = self.admit_arrivals(arrivals);
         self.idle_slices = if arrivals > 0 {
             0
         } else {
@@ -558,6 +663,7 @@ impl Simulator {
             dropped,
             completed: 0,
             arrivals,
+            deadline_misses: 0,
         };
         self.now += 1;
         self.stats.record(&outcome, &self.weights, 0);
@@ -588,7 +694,8 @@ impl Simulator {
     /// device mode and in-flight transition, waiting queue and its
     /// counters, service progress, all four RNG streams, the clock, the
     /// cumulative [`RunStats`], the event-skip prefetch, the carried noisy
-    /// observation, pending injected arrivals, and the workload's and power
+    /// observation, pending injected arrivals, the deadline ledger and the
+    /// waiting requests' deadlines, and the workload's and power
     /// manager's own state ([`RequestGenerator::save_state`],
     /// [`PowerManager::save_state`]) — to a payload.
     ///
@@ -657,6 +764,12 @@ impl Simulator {
         w.put_u64(self.fault_stats.faults_injected);
         w.put_u64(self.fault_stats.downtime_slices);
         w.put_u64(self.fault_stats.queue_lost);
+        w.put_usize(self.deadlines.len());
+        for &d in &self.deadlines {
+            w.put_u64(d);
+        }
+        w.put_u64(self.deadline_counter);
+        self.deadline_stats.save_state(w);
         self.generator.save_state(w);
         self.pm.save_state(w);
     }
@@ -744,6 +857,25 @@ impl Simulator {
             downtime_slices: r.get_u64()?,
             queue_lost: r.get_u64()?,
         };
+        let n_deadlines = r.get_usize()?;
+        let expected_deadlines = if self.deadline.is_some() {
+            n_waiting
+        } else {
+            0
+        };
+        if n_deadlines != expected_deadlines {
+            return Err(StateError::BadValue(format!(
+                "restored {n_deadlines} deadlines for a queue of {n_waiting} \
+                 requests (tagging {})",
+                if self.deadline.is_some() { "on" } else { "off" }
+            )));
+        }
+        let mut deadlines = VecDeque::with_capacity(n_deadlines);
+        for _ in 0..n_deadlines {
+            deadlines.push_back(r.get_u64()?);
+        }
+        let deadline_counter = r.get_u64()?;
+        let deadline_stats = DeadlineStats::load_state(r)?;
         self.device.restore_state(device);
         self.device.set_fault(fault);
         self.fault_pos = fault_pos;
@@ -762,6 +894,9 @@ impl Simulator {
         self.pending_gap = pending_gap;
         self.carried_obs = carried_obs;
         self.injected = injected;
+        self.deadlines = deadlines;
+        self.deadline_counter = deadline_counter;
+        self.deadline_stats = deadline_stats;
         self.generator.load_state(r)?;
         self.pm.load_state(r)
     }
@@ -827,12 +962,7 @@ impl Simulator {
 
         // 3. Arrivals (served from the event-skip prefetch when present).
         let arrivals = self.slice_arrivals();
-        let mut dropped = 0u32;
-        for _ in 0..arrivals {
-            if !self.queue.push(self.now) {
-                dropped += 1;
-            }
-        }
+        let dropped = self.admit_arrivals(arrivals);
         self.idle_slices = if arrivals > 0 {
             0
         } else {
@@ -844,17 +974,23 @@ impl Simulator {
 
         // 5. Service, gated by the fault axis: a straggling device takes
         //    only every slowdown-th opportunity, and a gated (or fault-free
-        //    idle) slice draws nothing from the service stream.
+        //    idle) slice draws nothing from the service stream. The serving
+        //    state's operating point scales the completion law (DVFS) —
+        //    `advance_scaled` is the identity at nominal frequency, so
+        //    models without operating points stay bit-identical.
         let mut completed = 0u32;
         let mut wait_of_completed = 0u64;
+        let mut deadline_misses = 0u32;
         if tick.can_serve && !self.queue.is_empty() && self.device.service_gate() {
             let u = uniform(&mut self.rng_service);
-            if self.server.advance(u) {
+            let freq = self.device.operating_freq();
+            if self.server.advance_scaled(u, freq) {
                 wait_of_completed = self
                     .queue
                     .pop(self.now)
                     .expect("non-empty queue pops successfully");
                 completed = 1;
+                deadline_misses = self.settle_completion();
             }
         }
 
@@ -865,6 +1001,7 @@ impl Simulator {
             dropped,
             completed,
             arrivals,
+            deadline_misses,
         };
         self.now += 1;
         self.stats
@@ -968,6 +1105,7 @@ impl Simulator {
                         dropped: 0,
                         completed: 0,
                         arrivals: 0,
+                        deadline_misses: 0,
                     };
                     let obs = self.observation();
                     let k = self
@@ -993,6 +1131,7 @@ impl Simulator {
                         dropped: 0,
                         completed: 0,
                         arrivals: 0,
+                        deadline_misses: 0,
                     };
                     let cap = empty_ahead.min(u64::from(left));
                     offered = cap;

@@ -376,6 +376,7 @@ pub fn run_rapid_response(
                     dropped: 0,
                     completed: 0,
                     arrivals,
+                    deadline_misses: 0,
                 },
                 &qdpm_core::Observation {
                     device_mode: qdpm_device::DeviceMode::Operational(power.serving_state()),
@@ -582,6 +583,7 @@ pub fn run_drift(
                     dropped: 0,
                     completed: 0,
                     arrivals,
+                    deadline_misses: 0,
                 },
                 &qdpm_core::Observation {
                     device_mode: qdpm_device::DeviceMode::Operational(power.serving_state()),
@@ -966,6 +968,314 @@ pub fn tail_mean_cost(points: &[WindowPoint], k: usize) -> f64 {
     let k = if k == 0 { points.len() } else { k };
     let tail = &points[points.len().saturating_sub(k)..];
     tail.iter().map(|p| p.cost_per_slice).sum::<f64>() / tail.len() as f64
+}
+
+/// One point of the DVFS energy / deadline-miss frontier (T-DVFS): a
+/// policy evaluated at one knob setting on the joint sleep-state ×
+/// operating-point device with a deadline-tagged workload.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Which policy produced the point (`"q-dpm"` or `"mdp-oracle"`).
+    pub policy: &'static str,
+    /// The trade-off knob: the agent's per-miss reward penalty, or the
+    /// oracle's MDP performance weight.
+    pub knob: f64,
+    /// Mean energy per slice over the evaluation stretch.
+    pub energy_per_slice: f64,
+    /// Deadline-miss rate over completions of the evaluation stretch.
+    pub miss_rate: f64,
+    /// Mean waiting time of completed requests, in slices.
+    pub mean_wait: f64,
+    /// Deadlines met during evaluation.
+    pub met: u64,
+    /// Deadlines missed during evaluation.
+    pub missed: u64,
+}
+
+/// Parameters of the T-DVFS frontier experiment.
+#[derive(Debug, Clone)]
+pub struct FrontierParams {
+    /// Stationary arrival probability (Bernoulli requester).
+    pub arrival_p: f64,
+    /// Per-request relative-deadline law.
+    pub deadline: qdpm_workload::DeadlineSpec,
+    /// Agent training slices before its evaluation stretch.
+    pub train: Step,
+    /// Evaluation slices (both policies measure over this stretch).
+    pub evaluate: Step,
+    /// Oracle warm-up slices before its evaluation stretch (the solved
+    /// policy is stationary; this only flushes the empty-system start).
+    pub warmup: Step,
+    /// Queue capacity.
+    pub queue_cap: usize,
+    /// Base reward/cost weights; the agent sweep overrides only
+    /// `deadline_penalty`, the oracle sweep only the MDP `perf` weight.
+    pub weights: RewardWeights,
+    /// Master seed (shared: both policies face identical arrivals).
+    pub seed: u64,
+    /// Agent sweep: per-miss deadline penalties, one point each.
+    pub penalties: Vec<f64>,
+    /// Oracle sweep: MDP performance weights, one point each.
+    pub oracle_perf_weights: Vec<f64>,
+}
+
+impl Default for FrontierParams {
+    fn default() -> Self {
+        FrontierParams {
+            arrival_p: 0.15,
+            deadline: qdpm_workload::DeadlineSpec::uniform(3, 12)
+                .expect("default deadline range is valid"),
+            train: 600_000,
+            evaluate: 150_000,
+            warmup: 20_000,
+            queue_cap: 8,
+            weights: RewardWeights::default(),
+            seed: 11,
+            // The per-miss penalty enters the reward scaled by the perf
+            // weight (0.1 by default), so the sweep spans decades to
+            // actually trade energy against misses. It stops at 64: the
+            // miss penalty fires at *completion* time, so a far larger
+            // penalty teaches the agent the degenerate lesson that
+            // requests it never serves are never penalized.
+            penalties: vec![0.0, 2.0, 8.0, 16.0, 32.0, 64.0],
+            oracle_perf_weights: vec![0.02, 0.05, 0.1, 0.3, 1.0, 3.0],
+        }
+    }
+}
+
+/// Builds a [`FrontierPoint`] from one evaluated stretch: energy and
+/// wait from the stretch's [`crate::RunStats`], the miss rate from the
+/// deadline-ledger delta across the stretch.
+fn frontier_point(
+    policy: &'static str,
+    knob: f64,
+    eval: &crate::RunStats,
+    before: &qdpm_workload::DeadlineStats,
+    after: &qdpm_workload::DeadlineStats,
+) -> FrontierPoint {
+    let met = after.met - before.met;
+    let missed = after.missed - before.missed;
+    let done = met + missed;
+    FrontierPoint {
+        policy,
+        knob,
+        energy_per_slice: eval.total_energy / eval.steps as f64,
+        miss_rate: if done == 0 {
+            0.0
+        } else {
+            missed as f64 / done as f64
+        },
+        mean_wait: eval.mean_wait(),
+        met,
+        missed,
+    }
+}
+
+/// Trains a deadline-penalized Q-DPM agent on the joint DVFS device and
+/// evaluates its energy / miss-rate point.
+fn frontier_agent_point(
+    power: &PowerModel,
+    service: &ServiceModel,
+    params: &FrontierParams,
+    penalty: f64,
+) -> Result<FrontierPoint, SimError> {
+    let weights = RewardWeights {
+        deadline_penalty: penalty,
+        ..params.weights
+    };
+    // Exploration schedule as in the T4 sweep: decay to the floor at
+    // ~70% of training, leaving a near-greedy evaluation-ready policy.
+    let eps0: f64 = 0.4;
+    let min_epsilon = 0.005;
+    let decay = (min_epsilon / eps0).powf(1.0 / (0.7 * params.train as f64).max(1.0));
+    let agent = QDpmAgent::new(
+        power,
+        QDpmConfig {
+            queue_cap: params.queue_cap,
+            weights,
+            exploration: qdpm_core::Exploration::DecayingEpsilon {
+                epsilon0: eps0,
+                decay,
+                min_epsilon,
+            },
+            ..QDpmConfig::default()
+        },
+    )?;
+    let mut sim = Simulator::new(
+        power.clone(),
+        *service,
+        WorkloadSpec::bernoulli(params.arrival_p)?.build(),
+        Box::new(agent),
+        SimConfig {
+            seed: params.seed,
+            weights,
+            queue_cap: params.queue_cap,
+            deadline: Some(params.deadline),
+            ..SimConfig::default()
+        },
+    )?;
+    sim.run(params.train);
+    let before = *sim.deadline_stats();
+    let eval = sim.run(params.evaluate);
+    let after = *sim.deadline_stats();
+    Ok(frontier_point("q-dpm", penalty, &eval, &before, &after))
+}
+
+/// Solves the joint (sleep-state × operating-point) MDP at one
+/// performance weight and evaluates the resulting deterministic policy's
+/// energy / miss-rate point on the same deadline-tagged workload.
+///
+/// The oracle is *deadline-blind but queue-aware*: deadlines are not
+/// part of the MDP state, so its frontier is traced by sweeping the
+/// latency (performance) weight — the model-known upper envelope the
+/// learning agent is compared against.
+fn frontier_oracle_point(
+    power: &PowerModel,
+    service: &ServiceModel,
+    params: &FrontierParams,
+    perf_weight: f64,
+) -> Result<FrontierPoint, SimError> {
+    let arrivals = qdpm_workload::MarkovArrivalModel::bernoulli(params.arrival_p)?;
+    let model = build_dpm_mdp(
+        power,
+        service,
+        &arrivals,
+        params.queue_cap,
+        params.weights.drop_penalty,
+    )?;
+    let cost = model.mdp.combined_cost(
+        CostWeights::new(params.weights.energy, perf_weight).map_err(SimError::Mdp)?,
+    );
+    let sol = solvers::relative_value_iteration(&model.mdp, &cost, 1e-9, 500_000)
+        .map_err(SimError::Mdp)?;
+    let controller = MdpPolicyController::deterministic(model.space.clone(), sol.policy.clone())
+        .with_name("dvfs-oracle");
+    let mut sim = Simulator::new(
+        power.clone(),
+        *service,
+        WorkloadSpec::bernoulli(params.arrival_p)?.build(),
+        Box::new(controller),
+        SimConfig {
+            seed: params.seed,
+            weights: params.weights,
+            queue_cap: params.queue_cap,
+            deadline: Some(params.deadline),
+            ..SimConfig::default()
+        },
+    )?;
+    sim.run(params.warmup);
+    let before = *sim.deadline_stats();
+    let eval = sim.run(params.evaluate);
+    let after = *sim.deadline_stats();
+    Ok(frontier_point(
+        "mdp-oracle",
+        perf_weight,
+        &eval,
+        &before,
+        &after,
+    ))
+}
+
+/// Runs the T-DVFS frontier: the deadline-penalized Q-DPM agent swept
+/// over `penalties` against the solved joint-MDP oracle swept over
+/// `oracle_perf_weights`, all on the identical deadline-tagged arrival
+/// stream. Points come back agent-first, each sweep in knob order.
+/// Serial entry point; see [`run_dvfs_frontier_threaded`].
+///
+/// # Errors
+///
+/// Propagates construction and solver errors.
+pub fn run_dvfs_frontier(
+    power: &PowerModel,
+    service: &ServiceModel,
+    params: &FrontierParams,
+) -> Result<Vec<FrontierPoint>, SimError> {
+    run_dvfs_frontier_threaded(power, service, params, 1)
+}
+
+/// [`run_dvfs_frontier`] on `threads` workers — every point is an
+/// independent simulation, so the rows are identical at any worker
+/// count (point order is preserved).
+///
+/// # Errors
+///
+/// Propagates construction and solver errors.
+pub fn run_dvfs_frontier_threaded(
+    power: &PowerModel,
+    service: &ServiceModel,
+    params: &FrontierParams,
+    threads: usize,
+) -> Result<Vec<FrontierPoint>, SimError> {
+    #[derive(Clone, Copy)]
+    enum Job {
+        Agent(f64),
+        Oracle(f64),
+    }
+    let jobs: Vec<Job> = params
+        .penalties
+        .iter()
+        .map(|&p| Job::Agent(p))
+        .chain(params.oracle_perf_weights.iter().map(|&w| Job::Oracle(w)))
+        .collect();
+    parallel::run_indexed(&jobs, threads, |_, job| match *job {
+        Job::Agent(p) => frontier_agent_point(power, service, params, p),
+        Job::Oracle(w) => frontier_oracle_point(power, service, params, w),
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Formats frontier points as the canonical T-DVFS TSV body (header +
+/// one row per point). Shared by the `frontier_dvfs` bin and the
+/// golden-master suite.
+#[must_use]
+pub fn frontier_rows_to_tsv(rows: &[FrontierPoint]) -> String {
+    let mut out =
+        String::from("policy\tknob\tenergy_per_slice\tmiss_rate\tmean_wait\tmet\tmissed\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{}\t{:.3}\t{:.5}\t{:.4}\t{:.2}\t{}\t{}\n",
+            r.policy, r.knob, r.energy_per_slice, r.miss_rate, r.mean_wait, r.met, r.missed
+        ));
+    }
+    out
+}
+
+/// The agent-vs-oracle gap behind the frontier's headline claim: for
+/// each agent point, the cheapest oracle point with a miss rate no worse
+/// than the agent's (within an absolute tolerance of 0.02) is its
+/// matched reference, and the gap is the agent/oracle energy ratio.
+/// Returns `(mean_gap, worst_gap, matched_points)`; agent points whose
+/// miss rate undercuts every oracle point are unmatched and excluded.
+/// Points that completed nothing (a starved sweep endpoint whose miss
+/// rate is vacuous) are excluded from both sides of the match.
+#[must_use]
+pub fn frontier_gap_summary(rows: &[FrontierPoint]) -> (f64, f64, usize) {
+    const MISS_TOL: f64 = 0.02;
+    let mut gaps: Vec<f64> = Vec::new();
+    for agent in rows
+        .iter()
+        .filter(|r| r.policy == "q-dpm" && r.met + r.missed > 0)
+    {
+        let reference = rows
+            .iter()
+            .filter(|r| {
+                r.policy == "mdp-oracle"
+                    && r.met + r.missed > 0
+                    && r.miss_rate <= agent.miss_rate + MISS_TOL
+            })
+            .map(|r| r.energy_per_slice)
+            .fold(f64::INFINITY, f64::min);
+        if reference.is_finite() && reference > 0.0 {
+            gaps.push(agent.energy_per_slice / reference);
+        }
+    }
+    if gaps.is_empty() {
+        return (f64::NAN, f64::NAN, 0);
+    }
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let worst = gaps.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (mean, worst, gaps.len())
 }
 
 #[allow(unused_imports)]

@@ -114,7 +114,8 @@ use qdpm_core::{
 };
 use qdpm_device::{DeviceMode, PowerModel, PowerStateId, ServiceModel, Step};
 use qdpm_workload::{
-    CohortArrivals, DispatchPolicy, FaultInjector, FaultPlan, SparseTrace, WorkloadDispatcher,
+    CohortArrivals, DeadlineSpec, DeadlineStats, DispatchPolicy, FaultInjector, FaultPlan,
+    SparseTrace, WorkloadDispatcher,
 };
 
 use crate::fleet_batch::{group_cohorts, CohortSim};
@@ -298,6 +299,11 @@ pub struct FleetConfig {
     /// cohorts (the structure-of-arrays engine has no fault axis) and run
     /// on the dynamic path instead.
     pub faults: Option<FaultInjector>,
+    /// Deadline tagging applied by every member's simulator (default:
+    /// none). Tagged fleets run on the dynamic per-device path — the
+    /// batched cohort engine carries no deadline ledger, so members of a
+    /// tagged fleet are excluded from cohorts exactly like faulted ones.
+    pub deadline: Option<DeadlineSpec>,
 }
 
 impl Default for FleetConfig {
@@ -312,6 +318,7 @@ impl Default for FleetConfig {
             force_online: false,
             batch_cohorts: true,
             faults: None,
+            deadline: None,
         }
     }
 }
@@ -483,6 +490,9 @@ pub struct FleetStats {
     /// Availability and failure-handling accounting (all-zero with empty
     /// per-device downtime for fault-free runs).
     pub availability: AvailabilityStats,
+    /// Fleet-wide deadline ledger, merged across members in device order
+    /// (all zeros when the fleet's workload is untagged).
+    pub deadline: DeadlineStats,
 }
 
 /// Availability and failure-handling accounting of a fleet run: what the
@@ -550,8 +560,16 @@ impl AvailabilityStats {
     }
 }
 
-/// Nearest-rank percentile (`p` in `[0, 100]`) of a sorted sample.
+/// Nearest-rank percentile of a sorted sample. `p` must lie in
+/// `[0, 100]`: out-of-domain values are a caller bug (caught by a debug
+/// assertion) and are clamped to the domain in release builds rather than
+/// silently indexing as if the rank formula extrapolated.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile {p} outside [0, 100]"
+    );
+    let p = p.clamp(0.0, 100.0);
     if sorted.is_empty() {
         return 0.0;
     }
@@ -609,6 +627,7 @@ impl FleetStats {
             transitioning,
             total,
             availability: AvailabilityStats::default(),
+            deadline: DeadlineStats::default(),
         }
     }
 }
@@ -732,7 +751,10 @@ impl FleetSim {
         // Members with scheduled faults are excluded — the batched engine
         // has no fault clock — and fall back to the dynamic path, keeping
         // faulted runs bit-identical whether or not batching is on.
-        let mut groups = if config.batch_cohorts && config.engine_mode == EngineMode::PerSlice {
+        let mut groups = if config.batch_cohorts
+            && config.engine_mode == EngineMode::PerSlice
+            && config.deadline.is_none()
+        {
             group_cohorts(members)
         } else {
             Vec::new()
@@ -766,6 +788,7 @@ impl FleetSim {
                 expose_sr_mode: false,
                 noise: crate::ObservationNoise::none(),
                 mode: config.engine_mode,
+                deadline: config.deadline,
             };
             let mut sim = Simulator::new(
                 member.power.clone(),
@@ -896,13 +919,20 @@ impl FleetSim {
                 // back after the run (cohort members are fault-free by
                 // construction — their slots stay zero).
                 let mut fault_stats = vec![FaultStats::default(); devices];
+                let mut deadline_stats = vec![DeadlineStats::default(); devices];
                 for unit in &units {
                     if let BatchUnit::Dynamic { index, sim } = unit {
                         fault_stats[*index] = *sim.fault_stats();
+                        deadline_stats[*index] = *sim.deadline_stats();
                     }
                 }
                 let mut stats = FleetStats::aggregate(&per_device, &final_modes, n_states);
                 stats.availability = AvailabilityStats::from_device_stats(&fault_stats);
+                // Merge in device order (cohort members are untagged by
+                // construction — their slots stay zero).
+                for d in &deadline_stats {
+                    stats.deadline.merge(d);
+                }
                 FleetReport {
                     labels,
                     per_device,
@@ -1016,6 +1046,7 @@ impl FleetCell {
                 force_online: false,
                 batch_cohorts: true,
                 faults: None,
+                deadline: None,
             },
         )
     }
@@ -1258,6 +1289,18 @@ mod tests {
         assert_eq!(percentile(&[7.0], 100.0), 7.0);
         assert_eq!(percentile(&[1.0, 2.0], 50.0), 1.0);
         assert_eq!(percentile(&[1.0, 2.0], 51.0), 2.0);
+        // Exact domain boundaries are valid, not off-by-one.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 0.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 100.0), 3.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "outside [0, 100]"))]
+    fn percentile_rejects_out_of_domain_p() {
+        // Debug builds assert; release builds clamp to the domain edges
+        // instead of indexing past the sample.
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 250.0), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], -10.0), 1.0);
     }
 
     #[test]

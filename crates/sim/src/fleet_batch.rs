@@ -37,7 +37,9 @@ use qdpm_core::{
     BatchLearner, DpmStateEncoder, LegalActionTable, Observation, PowerManager, RewardWeights,
     StateEncoder, StepOutcome,
 };
-use qdpm_device::{DeviceMode, DeviceState, PowerModel, PowerStateId, ServiceModel, Step};
+use qdpm_device::{
+    scaled_completion, DeviceMode, DeviceState, PowerModel, PowerStateId, ServiceModel, Step,
+};
 use qdpm_workload::CohortArrivals;
 
 use crate::fleet::{FleetConfig, FleetMember, FleetPolicy};
@@ -336,7 +338,14 @@ fn run_device<P: BatchPolicy>(
         if tick.can_serve && *q_len > 0 {
             let u = uniform(rng_service);
             let served = match service {
-                ServiceModel::Geometric { p } => u < p,
+                // The serving state's operating point scales the geometric
+                // completion law exactly as the dynamic engine's
+                // `Server::advance_scaled` does (identity at nominal
+                // frequency), keeping cohort and dynamic paths bit-exact
+                // for DVFS models too.
+                ServiceModel::Geometric { p } => {
+                    u < scaled_completion(p, state.operating_freq(power))
+                }
                 ServiceModel::Deterministic { steps } => {
                     *progress += 1;
                     if *progress >= steps {
@@ -368,6 +377,7 @@ fn run_device<P: BatchPolicy>(
             dropped,
             completed,
             arrivals,
+            deadline_misses: 0,
         };
         stats.record(&outcome, weights, wait_of_completed);
         let next_obs = Observation {

@@ -521,6 +521,7 @@ impl RackCoordinator {
                 expose_sr_mode: false,
                 noise: crate::ObservationNoise::none(),
                 mode: config.engine_mode,
+                deadline: config.deadline,
             };
             let silent = SparseTrace::new(vec![], config.horizon)?;
             let mut sim = Simulator::new(
@@ -934,6 +935,9 @@ impl RackCoordinator {
         stats.availability.retry_pending = self.retry.pending();
         stats.availability.shed_no_healthy = self.shed_no_healthy;
         stats.availability.shed_retry_exhausted = self.retry.dropped();
+        for sim in &self.sims {
+            stats.deadline.merge(sim.deadline_stats());
+        }
         RackReport {
             label: self.label.clone(),
             power_cap: self

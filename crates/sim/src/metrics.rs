@@ -306,6 +306,7 @@ mod tests {
             dropped,
             completed: 0,
             arrivals: 1,
+            deadline_misses: 0,
         }
     }
 
@@ -345,6 +346,7 @@ mod tests {
             dropped: 0,
             completed: 1,
             arrivals: 0,
+            deadline_misses: 0,
         };
         s.record(&done, &w, 4);
         s.record(&done, &w, 2);
@@ -378,6 +380,7 @@ mod tests {
             dropped: 0,
             completed: 0,
             arrivals: 0,
+            deadline_misses: 0,
         };
         let mut folded = RunStats::new();
         // Interleave with a non-trivial starting state.

@@ -736,6 +736,7 @@ mod tests {
             dropped: 0,
             completed: 0,
             arrivals: 0,
+            deadline_misses: 0,
         };
         pm.observe(&dummy, &obs(&power, "sleep", 0, 0));
         let _ = pm.decide(&obs(&power, "sleep", 1, 0), &mut rng);
@@ -761,6 +762,7 @@ mod tests {
             dropped: 0,
             completed: 0,
             arrivals: 0,
+            deadline_misses: 0,
         };
         pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 1
         pm.observe(&dummy, &obs(&power, "active", 0, 0)); // now = 2

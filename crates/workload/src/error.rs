@@ -41,6 +41,9 @@ pub enum WorkloadError {
     /// A fault-injection spec was inconsistent (rates summing past 1,
     /// non-finite or negative down power, ...).
     InvalidFaultSpec(String),
+    /// A deadline spec was inconsistent (zero deadline, inverted uniform
+    /// range).
+    InvalidDeadline(String),
 }
 
 impl fmt::Display for WorkloadError {
@@ -69,6 +72,9 @@ impl fmt::Display for WorkloadError {
             ),
             WorkloadError::InvalidFaultSpec(msg) => {
                 write!(f, "invalid fault-injection spec: {msg}")
+            }
+            WorkloadError::InvalidDeadline(msg) => {
+                write!(f, "invalid deadline spec: {msg}")
             }
         }
     }

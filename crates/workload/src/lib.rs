@@ -20,6 +20,10 @@
 //! * [`WorkloadSpec`] — a serde-serializable description that both builds a
 //!   generator and, when the workload is Markovian, exports the exact
 //!   [`MarkovArrivalModel`] consumed by the model-based optimal baseline;
+//! * [`DeadlineSpec`] / [`DeadlineStats`] — deadline-tagged requests: each
+//!   arrival draws a relative deadline (deterministically, outside the
+//!   simulation RNG streams) and the ledger classifies every tagged
+//!   request as met, missed, dropped, requeued, or lost;
 //! * online estimators ([`RateEstimator`], [`EwmaRateEstimator`]) and a
 //!   change detector ([`PageHinkley`]) used by the model-based adaptive
 //!   pipeline that Q-DPM is compared against.
@@ -36,6 +40,7 @@
 //! assert!(arrivals > 120 && arrivals < 280); // ~200 expected
 //! ```
 
+mod deadline;
 mod dispatch;
 mod drift;
 mod error;
@@ -50,6 +55,7 @@ mod trace;
 
 use rand::Rng;
 
+pub use deadline::{DeadlineSpec, DeadlineStats};
 pub use dispatch::{
     CohortArrivals, DeviceSnapshot, DispatchPolicy, GroupedSplit, SparseTrace, WorkloadDispatcher,
 };

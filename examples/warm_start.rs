@@ -58,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     dropped,
                     completed,
                     arrivals,
+                    deadline_misses: 0,
                 },
                 &qdpm::core::Observation {
                     device_mode: device.mode(),

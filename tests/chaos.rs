@@ -415,6 +415,205 @@ fn faulted_chaos_rack_holds_cap_and_balances_ledger() {
     }
 }
 
+/// Chaos commands, injected faults *and* deadline tagging at once, both
+/// engine modes: the deadline ledger classifies every tagged arrival
+/// into exactly one bucket — met, missed, dropped at admission, lost to
+/// a crash, or still waiting — and its buckets reconcile with the run
+/// statistics and the fault counters exactly.
+#[test]
+fn chaos_with_faults_and_deadlines_conserves_ledger() {
+    use qdpm::device::{FaultEvent, FaultKind};
+    use qdpm::sim::EngineMode;
+    use qdpm::workload::DeadlineSpec;
+    let power = presets::three_state_dvfs();
+    let schedule = vec![
+        FaultEvent {
+            at: 2_000,
+            kind: FaultKind::TransientCrash {
+                down_for: 500,
+                down_power: 0.01,
+            },
+        },
+        FaultEvent {
+            at: 9_000,
+            kind: FaultKind::TransientCrash {
+                down_for: 300,
+                down_power: 0.0,
+            },
+        },
+    ];
+    for mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let monkey = ChaosMonkey {
+            n_states: power.n_states(),
+        };
+        let mut sim = Simulator::new(
+            power.clone(),
+            presets::default_service(),
+            WorkloadSpec::bernoulli(0.4).unwrap().build(),
+            Box::new(monkey),
+            SimConfig {
+                seed: 2718,
+                mode,
+                deadline: Some(DeadlineSpec::uniform(2, 10).unwrap()),
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        sim.set_fault_schedule(schedule.clone());
+        let stats = sim.run(20_000);
+        let faults = *sim.fault_stats();
+        let d = *sim.deadline_stats();
+        let queued = sim.observation().queue_len as u64;
+        assert_eq!(d.tagged, stats.arrivals, "{mode:?}: every arrival tagged");
+        assert_eq!(
+            d.met + d.missed,
+            stats.completed,
+            "{mode:?}: every completion classified"
+        );
+        assert_eq!(d.dropped, stats.dropped, "{mode:?}: admission drops agree");
+        assert_eq!(
+            d.lost, faults.queue_lost,
+            "{mode:?}: crash losses agree with the fault counters"
+        );
+        assert_eq!(d.requeued, 0, "{mode:?}: no retry coordinator here");
+        assert_eq!(
+            d.tagged,
+            d.settled() + queued,
+            "{mode:?}: a tagged arrival escaped classification"
+        );
+        assert!(d.missed > 0, "{mode:?}: crashes must cause misses");
+    }
+}
+
+/// Deadline-tagged chaos fleet under random fault injection, both engine
+/// modes: the fleet-merged deadline ledger reconciles with the fleet
+/// totals and the availability counters, and what has not settled is
+/// bounded by the queues.
+#[test]
+fn faulted_chaos_fleet_with_deadlines_conserves_ledger() {
+    use qdpm::sim::EngineMode;
+    use qdpm::workload::{DeadlineSpec, FaultInjector};
+    let power = presets::three_state_dvfs();
+    let policies = [
+        FleetPolicy::ChaosMonkey,
+        FleetPolicy::frozen_q_dpm(),
+        FleetPolicy::BreakEvenTimeout,
+        FleetPolicy::ChaosMonkey,
+    ];
+    let members: Vec<FleetMember> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service: presets::default_service(),
+            policy: policy.clone(),
+        })
+        .collect();
+    let workload = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    let faults = FaultInjector {
+        crash_rate: 0.002,
+        crash_down: 150,
+        down_power: 0.02,
+        ..FaultInjector::default()
+    };
+    for engine_mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let config = FleetConfig {
+            horizon: 20_000,
+            engine_mode,
+            seed: 99,
+            faults: Some(faults.clone()),
+            deadline: Some(DeadlineSpec::uniform(3, 12).unwrap()),
+            ..FleetConfig::default()
+        };
+        let report = FleetSim::new(&members, &workload, &config).unwrap().run(2);
+        let avail = &report.stats.availability;
+        let total = &report.stats.total;
+        let d = &report.stats.deadline;
+        assert!(avail.faults_injected > 0, "{engine_mode:?}");
+        assert_eq!(d.tagged, total.arrivals, "{engine_mode:?}");
+        assert_eq!(d.met + d.missed, total.completed, "{engine_mode:?}");
+        assert_eq!(d.dropped, total.dropped, "{engine_mode:?}");
+        assert_eq!(d.lost, avail.queue_lost, "{engine_mode:?}");
+        assert_eq!(d.requeued, 0, "{engine_mode:?}: plain fleets never retry");
+        let in_queue = d.tagged - d.settled();
+        assert!(
+            in_queue <= (members.len() * config.queue_cap) as u64,
+            "{engine_mode:?}: unsettled tagged arrivals exceed the queues"
+        );
+    }
+}
+
+/// A faulted, power-capped chaos rack with deadline tagging, both engine
+/// modes: harvested strands surface as `requeued` (matching the retry
+/// pipeline's own counter), their re-dispatched copies are tagged afresh
+/// at the receiving device, and the merged ledger still balances.
+#[test]
+fn faulted_capped_rack_with_deadlines_balances_ledger() {
+    use qdpm::sim::EngineMode;
+    use qdpm::workload::{DeadlineSpec, FaultInjector};
+    let power = presets::three_state_generic();
+    let cap = 4.0;
+    let spec = RackSpec {
+        label: "chaos-rack".to_string(),
+        members: [
+            FleetPolicy::ChaosMonkey,
+            FleetPolicy::BreakEvenTimeout,
+            FleetPolicy::frozen_q_dpm(),
+            FleetPolicy::ChaosMonkey,
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, policy)| FleetMember {
+            label: format!("dev-{i}"),
+            power: power.clone(),
+            service: presets::default_service(),
+            policy: policy.clone(),
+        })
+        .collect(),
+        power_cap: Some(cap),
+    };
+    let faults = FaultInjector {
+        crash_rate: 0.003,
+        crash_down: 120,
+        down_power: 0.02,
+        ..FaultInjector::default()
+    };
+    let workload = ScenarioWorkload::Stationary(WorkloadSpec::bernoulli(0.5).unwrap());
+    for engine_mode in [EngineMode::PerSlice, EngineMode::EventSkip] {
+        let config = FleetConfig {
+            horizon: 10_000,
+            dispatch: DispatchPolicy::SleepAware { spill: 2 },
+            seed: 4242,
+            engine_mode,
+            faults: Some(faults.clone()),
+            deadline: Some(DeadlineSpec::uniform(3, 12).unwrap()),
+            ..FleetConfig::default()
+        };
+        let report = RackCoordinator::new(&spec, &config)
+            .unwrap()
+            .run(&workload, 2)
+            .unwrap();
+        let avail = &report.fleet.stats.availability;
+        let total = &report.fleet.stats.total;
+        let d = &report.fleet.stats.deadline;
+        assert!(avail.faults_injected > 0, "{engine_mode:?}");
+        assert_eq!(d.tagged, total.arrivals, "{engine_mode:?}");
+        assert_eq!(d.met + d.missed, total.completed, "{engine_mode:?}");
+        assert_eq!(d.dropped, total.dropped, "{engine_mode:?}");
+        assert_eq!(
+            d.requeued, avail.retries_enqueued,
+            "{engine_mode:?}: harvested strands must all surface as requeued"
+        );
+        assert_eq!(d.lost, avail.queue_lost, "{engine_mode:?}");
+        let in_queue = d.tagged - d.settled();
+        assert!(
+            in_queue <= (spec.members.len() * config.queue_cap) as u64,
+            "{engine_mode:?}: unsettled tagged arrivals exceed the queues"
+        );
+    }
+}
+
 #[test]
 fn chaos_against_zero_and_saturated_load() {
     let power = presets::three_state_generic();

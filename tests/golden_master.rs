@@ -23,6 +23,7 @@ const REGENERATORS: &[(&str, &str)] = &[
     ("table_ablation", "table_ablation.tsv"),
     ("fig2", "fig2_rapid_response.tsv"),
     ("table_sweep", "table_sweep.tsv"),
+    ("frontier_dvfs", "frontier_dvfs.tsv"),
 ];
 
 fn workspace_root() -> PathBuf {

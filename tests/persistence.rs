@@ -74,6 +74,7 @@ fn warm_start_skips_the_learning_transient() {
                 dropped,
                 completed,
                 arrivals,
+                deadline_misses: 0,
             };
             agent.observe(&outcome, &observe(&device, &queue, idle));
         }
